@@ -1,0 +1,27 @@
+"""Shared reporting helper for the benchmark harness.
+
+Every benchmark regenerates the rows/series of one paper figure/table (see
+the experiments index in DESIGN.md).  :func:`emit` writes each series to
+``benchmarks/results/<experiment>.txt`` and queues it for display;
+``benchmarks/conftest.py`` prints the queued series in the pytest terminal
+summary (after capture is released), so a plain
+``pytest benchmarks/ --benchmark-only`` shows the regenerated numbers next
+to the timing tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: (experiment id, rendered text) in emission order; drained by conftest.
+EMITTED: list[tuple[str, str]] = []
+
+
+def emit(experiment: str, text: str) -> None:
+    """Persist one experiment's regenerated series and queue it for the
+    terminal summary."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    EMITTED.append((experiment, text))

@@ -1,0 +1,15 @@
+"""Benchmark-harness hooks: print the regenerated paper series after the
+test run (outside pytest's output capture)."""
+
+import _report
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _report.EMITTED:
+        return
+    terminalreporter.section("regenerated paper series (see also benchmarks/results/)")
+    for experiment, text in _report.EMITTED:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"===== {experiment} " + "=" * max(0, 60 - len(experiment)))
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,35 @@
+"""FIG1 — the search and sort usage-profile flows (Figure 1).
+
+Regenerates the two flow diagrams as their textual renderings and
+benchmarks model construction (the cost of instantiating analytic
+interfaces, which a SOC broker pays per discovered candidate).
+"""
+
+from repro.scenarios import build_search_component, build_sort_component
+
+from _report import emit
+
+
+def build_models():
+    search = build_search_component(phi=1e-6, q=0.9)
+    sort1 = build_sort_component("sort1", phi=1e-6)
+    sort2 = build_sort_component("sort2", phi=1e-7)
+    return search, sort1, sort2
+
+
+def test_figure1_flows(benchmark):
+    search, sort1, sort2 = benchmark(build_models)
+
+    text = (
+        "Figure 1 — flows of the search and sort services\n\n"
+        f"Search (in:elem, in:list, out:res):\n{search.flow.describe()}\n\n"
+        f"Sort1 (in-out:list):\n{sort1.flow.describe()}\n\n"
+        f"Sort2 (in-out:list):\n{sort2.flow.describe()}"
+    )
+    emit("FIG1", text)
+
+    # structural assertions pinning the Figure 1 shape
+    assert [s.name for s in search.flow.states] == ["sort", "search"]
+    assert search.flow.request_targets() == {"sort", "cpu"}
+    assert [s.name for s in sort1.flow.states] == ["work"]
+    assert sort1.flow.request_targets() == {"cpu"}

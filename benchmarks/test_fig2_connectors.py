@@ -1,0 +1,60 @@
+"""FIG2 — the LPC and RPC connector flows (Figure 2).
+
+Regenerates the connector flow renderings and the eq. (19)/(20) closed
+forms at representative transported sizes; benchmarks the evaluation of
+``Pfail(rpc, ip, op)`` — the per-binding cost a broker pays when scoring a
+remote alternative.
+"""
+
+from repro.analysis import format_table
+from repro.core import ReliabilityEvaluator
+from repro.scenarios import SearchSortParameters, remote_assembly, local_assembly
+from repro.scenarios.search_sort_closed_forms import pfail_lpc, pfail_rpc
+
+from _report import emit
+
+
+def test_figure2_connectors(benchmark):
+    params = SearchSortParameters()
+    remote = remote_assembly(params)
+    local = local_assembly(params)
+    evaluator = ReliabilityEvaluator(remote)
+    lpc_evaluator = ReliabilityEvaluator(local)
+
+    sizes = [(1, 1), (11, 1), (101, 1), (501, 1), (1001, 1)]
+
+    def evaluate_connectors():
+        rows = []
+        for ip, op in sizes:
+            rows.append(
+                (
+                    ip, op,
+                    lpc_evaluator.pfail("lpc", ip=ip, op=op),
+                    evaluator.pfail("rpc", ip=ip, op=op),
+                )
+            )
+        return rows
+
+    rows = benchmark(evaluate_connectors)
+
+    lpc_service = local.service("lpc")
+    rpc_service = remote.service("rpc")
+    table_rows = [
+        (ip, op, plpc, float(pfail_lpc(params)), prpc, float(pfail_rpc(ip, op, params)))
+        for (ip, op, plpc, prpc) in rows
+    ]
+    text = (
+        "Figure 2 — flows of the LPC and RPC connectors\n\n"
+        f"lpc(in:ip, out:op):\n{lpc_service.flow.describe()}\n\n"
+        f"rpc(in:ip, out:op):\n{rpc_service.flow.describe()}\n\n"
+        + format_table(
+            ["ip", "op", "Pfail(lpc)", "eq.19", "Pfail(rpc)", "eq.20"],
+            table_rows,
+            float_format="{:.6e}",
+        )
+    )
+    emit("FIG2", text)
+
+    for ip, op, plpc, prpc in rows:
+        assert plpc == float(pfail_lpc(params))
+        assert abs(prpc - float(pfail_rpc(ip, op, params))) < 1e-12

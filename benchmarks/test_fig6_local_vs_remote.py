@@ -1,0 +1,105 @@
+"""FIG6 — the paper's headline experiment (Figure 6).
+
+Regenerates the reliability-vs-list-size comparison of the local (solid)
+and remote (dashed) assemblies for phi1 in {1e-6, 5e-6} and gamma in
+{1e-1, 5e-2, 2.5e-2, 5e-3}; reports each curve pair, the winner at the top
+of the range, and the crossover location where the ranking flips — the
+quantities the paper's closing discussion reads off the figure.
+
+The benchmark measures the cost of producing one full Figure 6 grid (8
+curve pairs x 60 points) via the symbolic back-end — the "automatic and
+efficient" pathway the paper calls for.
+"""
+
+import numpy as np
+
+from repro.analysis import compare_assemblies, format_table, sparkline
+from repro.scenarios import (
+    PAPER_GAMMA_VALUES,
+    PAPER_PHI1_VALUES,
+    SearchSortParameters,
+    local_assembly,
+    remote_assembly,
+)
+
+from _report import emit
+
+GRID = np.linspace(1, 1000, 60)
+FIXED = {"elem": 1, "res": 1}
+
+
+def figure6_grid():
+    """All 8 curve-pair comparisons of Figure 6."""
+    out = {}
+    for phi1 in PAPER_PHI1_VALUES:
+        for gamma in PAPER_GAMMA_VALUES:
+            params = SearchSortParameters().with_figure6_point(phi1, gamma)
+            out[(phi1, gamma)] = compare_assemblies(
+                local_assembly(params), remote_assembly(params),
+                "search", "list", GRID, FIXED, refine_crossovers=True,
+            )
+    return out
+
+
+def test_figure6(benchmark):
+    comparisons = benchmark(figure6_grid)
+
+    rows = []
+    curve_lines = []
+    for (phi1, gamma), comparison in sorted(comparisons.items()):
+        local_curve = comparison.sweep_a.reliability
+        remote_curve = comparison.sweep_b.reliability
+        winner_end = comparison.winner_at(1000.0)
+        crossover = (
+            f"{comparison.crossovers[0].location:.1f}"
+            if comparison.crossovers else "-"
+        )
+        rows.append(
+            (
+                f"{phi1:g}", f"{gamma:g}",
+                float(local_curve[-1]), float(remote_curve[-1]),
+                winner_end, crossover,
+            )
+        )
+        curve_lines.append(
+            f"phi1={phi1:g} gamma={gamma:g}\n"
+            f"  local  (solid) : {sparkline(local_curve)}  "
+            f"R(1)={local_curve[0]:.6f} R(1000)={local_curve[-1]:.6f}\n"
+            f"  remote (dashed): {sparkline(remote_curve)}  "
+            f"R(1)={remote_curve[0]:.6f} R(1000)={remote_curve[-1]:.6f}"
+        )
+
+    table = format_table(
+        ["phi1", "gamma", "R_local(1000)", "R_remote(1000)", "winner@1000",
+         "crossover@list"],
+        rows,
+        float_format="{:.6f}",
+    )
+    winners_low = {
+        g: comparisons[(1e-6, g)].winner_at(1000.0) for g in PAPER_GAMMA_VALUES
+    }
+    winners_high = {
+        g: comparisons[(5e-6, g)].winner_at(1000.0) for g in PAPER_GAMMA_VALUES
+    }
+    claim1 = (
+        winners_low[5e-3] == "remote"
+        and all(winners_low[g] == "local" for g in (2.5e-2, 5e-2, 1e-1))
+    )
+    claim3 = (
+        winners_high[5e-3] == "remote"
+        and winners_high[2.5e-2] == "remote"
+        and all(winners_high[g] == "local" for g in (5e-2, 1e-1))
+    )
+    paper_claims = (
+        "paper claims checked at list=1000:\n"
+        f"  [phi1=1e-6] remote wins only at gamma=5e-3 ............ {claim1}\n"
+        f"  [phi1=5e-6] remote wins for 5e-3 <= gamma < 5e-2 ...... {claim3}"
+    )
+
+    emit(
+        "FIG6",
+        "Figure 6 — local (solid) vs remote (dashed) assembly reliability "
+        "vs list size\n\n" + "\n".join(curve_lines) + "\n\n" + table + "\n\n"
+        + paper_claims,
+    )
+    assert claim1 and claim3

@@ -1,0 +1,90 @@
+"""MC — Monte Carlo cross-validation of the analytic predictions.
+
+Regenerates the analytic-vs-simulated table over the repository's
+scenarios (failure rates inflated so failures are observable with modest
+trial budgets) and benchmarks simulator throughput — the cost of the
+brute-force alternative the analytic method replaces.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.core import ReliabilityEvaluator
+from repro.scenarios import (
+    DatabaseParameters,
+    SearchSortParameters,
+    local_assembly,
+    remote_assembly,
+    replicated_assembly,
+)
+from repro.simulation import MonteCarloSimulator
+
+from _report import emit
+
+TRIALS = 20_000
+
+CASES = [
+    (
+        "search/local",
+        local_assembly(replace(SearchSortParameters(), phi_sort1=1e-4,
+                               phi_search=1e-4)),
+        "search", {"elem": 1, "list": 200, "res": 1},
+    ),
+    (
+        "search/remote",
+        remote_assembly(replace(SearchSortParameters(), phi_sort2=1e-5,
+                                phi_search=1e-4, gamma=0.2)),
+        "search", {"elem": 1, "list": 200, "res": 1},
+    ),
+    (
+        "db/shared",
+        replicated_assembly(
+            3, True, DatabaseParameters(db_failure_rate=5e-3, phi_report=1e-5)
+        ),
+        "report", {"size": 300},
+    ),
+    (
+        "db/independent",
+        replicated_assembly(
+            3, False, DatabaseParameters(db_failure_rate=5e-3, phi_report=1e-4)
+        ),
+        "report", {"size": 300},
+    ),
+]
+
+
+def test_monte_carlo_validation(benchmark):
+    def simulate_all():
+        rows = []
+        for name, assembly, service, actuals in CASES:
+            analytic = ReliabilityEvaluator(assembly).pfail(service, **actuals)
+            simulator = MonteCarloSimulator(assembly, seed=2026)
+            result = simulator.estimate_pfail(service, TRIALS, **actuals)
+            rows.append((name, analytic, result))
+        return rows
+
+    rows = benchmark.pedantic(simulate_all, rounds=2, iterations=1)
+
+    table_rows = []
+    all_consistent = True
+    for name, analytic, result in rows:
+        consistent = result.consistent_with(analytic)
+        all_consistent &= consistent
+        table_rows.append(
+            (
+                name, analytic, result.pfail, result.standard_error,
+                "yes" if consistent else "NO",
+            )
+        )
+    text = (
+        f"MC — analytic vs Monte Carlo ({TRIALS} trials per scenario, "
+        "inflated failure rates)\n\n"
+        + format_table(
+            ["scenario", "analytic Pfail", "simulated Pfail", "std err",
+             "consistent(4 sigma)"],
+            table_rows,
+            float_format="{:.6e}",
+        )
+    )
+    emit("MC", text)
+    assert all_consistent

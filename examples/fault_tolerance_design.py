@@ -1,0 +1,116 @@
+"""Designing fault tolerance honestly: redundancy, sharing, quorum, masking.
+
+A design-space exploration over a redundant storage front-end that writes a
+record to ``n`` replicas.  Naive redundancy math assumes independence; this
+example quantifies what the paper's dependency model (and this library's
+extensions) reveal:
+
+1. **replica count** under OR completion — with truly independent replicas
+   vs all replicas secretly behind one storage backend (eq. 7 vs eq. 12);
+2. **dependency granularity** — the grouped-sharing extension: replicas
+   spread over 1, 2 or n independent backends;
+3. **quorum strength** — the k-of-n completion extension: write quorums
+   between OR (1-of-n) and AND (n-of-n);
+4. **error masking** — the fail-stop relaxation: a caller that can absorb a
+   backend failure (hinted handoff, async repair) recovers part of the
+   sharing loss.
+
+Run:  python examples/fault_tolerance_design.py
+"""
+
+from repro.analysis import format_table
+from repro.core import (
+    grouped_state_failure_probability,
+    state_failure_probability,
+)
+from repro.model import AND, OR, KOfNCompletion
+
+#: per-replica probabilities for one write
+INTERNAL = 0.01   # driver-side failure (eq. 14 style, per request)
+EXTERNAL = 0.04   # backend failure during the write
+
+
+def replica_sweep() -> None:
+    print("1) replica count under OR completion: independence vs sharing")
+    rows = []
+    for n in (1, 2, 3, 5, 8):
+        independent = state_failure_probability(
+            OR if n > 1 else AND, False, [INTERNAL] * n, [EXTERNAL] * n
+        )
+        shared = state_failure_probability(
+            OR if n > 1 else AND, True if n > 1 else False,
+            [INTERNAL] * n, [EXTERNAL] * n,
+        )
+        rows.append((n, independent, shared))
+    print(format_table(
+        ["replicas", "Pfail independent", "Pfail shared backend"],
+        rows, float_format="{:.3e}",
+    ))
+    print("-> adding replicas on a shared backend makes writes WORSE.\n")
+
+
+def granularity_sweep() -> None:
+    print("2) dependency granularity (6 replicas, OR): how many backends?")
+    partitions = {
+        "1 backend (all shared)": [tuple(range(6))],
+        "2 backends (3+3)": [(0, 1, 2), (3, 4, 5)],
+        "3 backends (2+2+2)": [(0, 1), (2, 3), (4, 5)],
+        "6 backends (independent)": [(i,) for i in range(6)],
+    }
+    rows = [
+        (label, grouped_state_failure_probability(
+            OR, groups, [INTERNAL] * 6, [EXTERNAL] * 6
+        ))
+        for label, groups in partitions.items()
+    ]
+    print(format_table(["deployment", "Pfail"], rows, float_format="{:.3e}"))
+    print("-> each extra independent backend buys orders of magnitude.\n")
+
+
+def quorum_sweep() -> None:
+    print("3) write-quorum strength (5 independent replicas):")
+    rows = []
+    for k in range(1, 6):
+        completion = KOfNCompletion(k)
+        pfail = state_failure_probability(
+            completion, False, [INTERNAL] * 5, [EXTERNAL] * 5
+        )
+        durability_note = {1: "fastest, weakest durability",
+                          3: "majority quorum",
+                          5: "full sync, most fragile"}.get(k, "")
+        rows.append((f"{k}-of-5", pfail, durability_note))
+    print(format_table(["quorum", "Pfail(write)", "note"], rows,
+                       float_format="{:.3e}"))
+    print("-> availability cost of stronger quorums, quantified.\n")
+
+
+def masking_sweep() -> None:
+    print("4) error masking on a shared backend (3 replicas, OR):")
+    rows = []
+    for m in (0.0, 0.25, 0.5, 0.75, 0.95):
+        pfail = state_failure_probability(
+            OR, True, [INTERNAL] * 3, [EXTERNAL] * 3, [m] * 3
+        )
+        rows.append((m, pfail))
+    print(format_table(
+        ["masking probability", "Pfail shared"], rows, float_format="{:.3e}",
+    ))
+    print("-> hinted-handoff-style masking claws back the sharing loss.\n")
+
+
+def main() -> None:
+    print(__doc__.splitlines()[0] + "\n")
+    replica_sweep()
+    granularity_sweep()
+    quorum_sweep()
+    masking_sweep()
+    print(
+        "Design takeaway: count your *independent* failure domains, not "
+        "your replicas.\n(AND-style quorums are provably indifferent to "
+        "sharing — eq. 11 == eq. 6 — but\nOR-style redundancy lives or "
+        "dies by the dependency structure.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""The paper's section 4 example, end to end.
+
+Walks the complete worked example of the paper: the search/sort flows
+(Figure 1), the LPC/RPC connectors (Figure 2), the local and remote
+assemblies (Figures 3/4), the failure-structure augmentation (Figure 5),
+the closed forms (equations 15-22), and the local-vs-remote comparison
+(Figure 6) with crossover detection and sensitivity ranking.
+
+Run:  python examples/search_sort.py
+"""
+
+import numpy as np
+
+from repro.analysis import compare_assemblies, format_comparison
+from repro.core import (
+    ReliabilityEvaluator,
+    SymbolicEvaluator,
+    attribute_sensitivities,
+)
+from repro.scenarios import (
+    PAPER_GAMMA_VALUES,
+    SearchSortParameters,
+    local_assembly,
+    remote_assembly,
+)
+
+USAGE = {"elem": 1, "list": 500, "res": 1}
+
+
+def show_models(params: SearchSortParameters) -> None:
+    local = local_assembly(params)
+    remote = remote_assembly(params)
+
+    print("=" * 72)
+    print("Figure 1 — the search and sort flows")
+    print("=" * 72)
+    print(local.service("search").flow.describe())
+    print()
+    print(local.service("sort1").flow.describe())
+
+    print()
+    print("=" * 72)
+    print("Figure 2 — the connector flows")
+    print("=" * 72)
+    print(local.service("lpc").flow.describe())
+    print()
+    print(remote.service("rpc").flow.describe())
+
+    print()
+    print("=" * 72)
+    print("Figures 3/4 — the two assemblies")
+    print("=" * 72)
+    print(local.describe())
+    print()
+    print(remote.describe())
+
+    print()
+    print("=" * 72)
+    print("Section 4 recursion levels")
+    print("=" * 72)
+    for assembly in (local, remote):
+        levels = assembly.recursion_levels()
+        by_level: dict[int, list[str]] = {}
+        for name, level in levels.items():
+            by_level.setdefault(level, []).append(name)
+        rendered = "; ".join(
+            f"level {lvl}: {', '.join(sorted(names))}"
+            for lvl, names in sorted(by_level.items())
+        )
+        print(f"{assembly.name:7s} {rendered}")
+
+
+def show_closed_forms(params: SearchSortParameters) -> None:
+    print()
+    print("=" * 72)
+    print("Equations (15)-(22) — derived mechanically by the symbolic engine")
+    print("=" * 72)
+    local = local_assembly(params)
+    symbolic = SymbolicEvaluator(local)
+    print("Pfail(sort1, list)  =", symbolic.pfail_expression("sort1"))
+    print("Pfail(lpc, ip, op)  =", symbolic.pfail_expression("lpc"))
+    print("Pfail(search, ...)  =", symbolic.pfail_expression("search"))
+
+    evaluator = ReliabilityEvaluator(local)
+    report = evaluator.report("search", **USAGE)
+    print("\nFigure 5 — per-state failure breakdown at", USAGE)
+    print(report)
+
+
+def show_figure6(params: SearchSortParameters) -> None:
+    print()
+    print("=" * 72)
+    print("Figure 6 — local vs remote, with crossovers")
+    print("=" * 72)
+    grid = np.linspace(1, 1000, 40)
+    for gamma in PAPER_GAMMA_VALUES:
+        point = params.with_figure6_point(params.phi_sort1, gamma)
+        comparison = compare_assemblies(
+            local_assembly(point), remote_assembly(point),
+            "search", "list", grid, {"elem": 1, "res": 1},
+        )
+        print(f"\n--- gamma = {gamma:g} ---")
+        print(format_comparison(comparison, max_rows=6))
+
+
+def show_sensitivity(params: SearchSortParameters) -> None:
+    print()
+    print("=" * 72)
+    print("What should the provider improve? (attribute sensitivities)")
+    print("=" * 72)
+    for build in (local_assembly, remote_assembly):
+        assembly = build(params)
+        ranked = attribute_sensitivities(assembly, "search", USAGE, top=3)
+        print(f"\n{assembly.name} assembly:")
+        for result in ranked:
+            print(
+                f"  {result.name:35s} dPfail/dx = {result.derivative:+.3e}  "
+                f"elasticity = {result.elasticity:+.3e}"
+            )
+
+
+def main() -> None:
+    params = SearchSortParameters()
+    show_models(params)
+    show_closed_forms(params)
+    show_figure6(params)
+    show_sensitivity(params)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,148 @@
+"""Estimating a usage profile from noisy observations (Hidden Markov Model).
+
+The paper assumes the usage-profile Markov chain "is completely known" and
+points at Roshandel & Medvidovic for the realistic case: the profile must
+be estimated from imperfect observations (section 5, ref [16]).  This
+example closes that gap with the library's HMM module:
+
+1. a "true" two-mode client (browse-heavy vs checkout-heavy) drives a
+   storefront service; we only see noisy request logs;
+2. Baum-Welch re-estimates the hidden mode-switching structure from the
+   logs;
+3. the estimated transition probabilities parameterize the storefront's
+   flow, and the predicted reliability under the *estimated* profile is
+   compared with the prediction under the *true* profile.
+
+Run:  python examples/usage_profile_estimation.py
+"""
+
+import numpy as np
+
+from repro.core import ReliabilityEvaluator
+from repro.markov import HiddenMarkovModel
+from repro.model import (
+    AnalyticInterface,
+    Assembly,
+    CompositeService,
+    CpuResource,
+    FlowBuilder,
+    FormalParameter,
+    IntegerDomain,
+    ServiceRequest,
+    perfect_connector,
+)
+from repro.reliability import per_operation_internal
+from repro.symbolic import Parameter
+
+#: hidden modes and their observable request symbols
+BROWSE, CHECKOUT = 0, 1
+
+
+def true_client_model() -> HiddenMarkovModel:
+    """The ground-truth client: sticky modes, slightly noisy logs."""
+    return HiddenMarkovModel(
+        initial=np.array([0.8, 0.2]),
+        transition=np.array([[0.9, 0.1], [0.3, 0.7]]),
+        emission=np.array([[0.95, 0.05], [0.1, 0.9]]),
+        state_labels=("browse", "checkout"),
+    )
+
+
+def sample_traces(model: HiddenMarkovModel, n_traces: int, length: int, seed: int):
+    rng = np.random.default_rng(seed)
+    traces = []
+    for _ in range(n_traces):
+        state = int(rng.choice(2, p=model.initial))
+        trace = []
+        for _ in range(length):
+            trace.append(int(rng.choice(2, p=model.emission[state])))
+            state = int(rng.choice(2, p=model.transition[state]))
+        traces.append(trace)
+    return traces
+
+
+def storefront_assembly(p_browse_to_checkout: float) -> Assembly:
+    """A storefront whose flow branches by the estimated client behavior:
+    after browsing, the client proceeds to checkout with the estimated
+    mode-switch probability (checkout costs 20x the work)."""
+    items = Parameter("items")
+    interface = AnalyticInterface(
+        formal_parameters=(FormalParameter("items", domain=IntegerDomain(low=0)),),
+        attributes={"software_failure_rate": 1e-7},
+        description="storefront session handler",
+    )
+    flow = (
+        FlowBuilder(formals=("items",))
+        .state(
+            "browse",
+            requests=[
+                ServiceRequest(
+                    "cpu", actuals={"N": items * 100},
+                    internal_failure=per_operation_internal(
+                        "software_failure_rate", items * 100
+                    ),
+                )
+            ],
+        )
+        .state(
+            "checkout",
+            requests=[
+                ServiceRequest(
+                    "cpu", actuals={"N": items * 2000},
+                    internal_failure=per_operation_internal(
+                        "software_failure_rate", items * 2000
+                    ),
+                )
+            ],
+        )
+        .transition("Start", "browse", 1)
+        .transition("browse", "checkout", p_browse_to_checkout)
+        .transition("browse", "End", 1 - p_browse_to_checkout)
+        .transition("checkout", "End", 1)
+        .build()
+    )
+    storefront = CompositeService("storefront", interface, flow)
+    assembly = Assembly(f"storefront-p{p_browse_to_checkout:.3f}")
+    assembly.add_services(
+        storefront,
+        CpuResource("cpu", speed=1e6, failure_rate=1e-7).service(),
+        perfect_connector("loc"),
+    )
+    assembly.bind("storefront", "cpu", "cpu", connector="loc")
+    return assembly
+
+
+def main() -> None:
+    truth = true_client_model()
+    traces = sample_traces(truth, n_traces=30, length=120, seed=42)
+    print(f"observed {len(traces)} request logs of {len(traces[0])} events each")
+
+    # deliberately wrong starting point for EM
+    start = HiddenMarkovModel(
+        initial=np.array([0.5, 0.5]),
+        transition=np.array([[0.6, 0.4], [0.4, 0.6]]),
+        emission=np.array([[0.7, 0.3], [0.3, 0.7]]),
+        state_labels=("browse", "checkout"),
+    )
+    fitted = start.baum_welch(traces, iterations=60)
+
+    true_switch = float(truth.transition[BROWSE, CHECKOUT])
+    estimated_switch = float(fitted.transition[BROWSE, CHECKOUT])
+    print(f"true  P(browse -> checkout) = {true_switch:.3f}")
+    print(f"fitted P(browse -> checkout) = {estimated_switch:.3f}")
+
+    for label, p in (("true", true_switch), ("estimated", estimated_switch)):
+        assembly = storefront_assembly(p)
+        reliability = ReliabilityEvaluator(assembly).reliability(
+            "storefront", items=200
+        )
+        print(f"R(storefront, items=200) under the {label:9s} profile: "
+              f"{reliability:.6f}")
+
+    path = fitted.viterbi(traces[0][:20])
+    print("decoded modes of the first 20 events of trace 0:")
+    print("  " + " ".join(label[:1] for label in path))
+
+
+if __name__ == "__main__":
+    main()

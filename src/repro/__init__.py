@@ -1,0 +1,97 @@
+"""repro — architecture-based reliability prediction for service-oriented
+computing.
+
+A complete implementation of Vincenzo Grassi, *"Architecture-Based
+Reliability Prediction for Service-Oriented Computing"* (Architecting
+Dependable Systems III, LNCS 3549, 2005): the unified service/connector
+model, parametric analytic interfaces, the per-state failure math under
+completion x sharing models, the recursive evaluation procedure
+``Pfail_Alg`` with numeric and symbolic back-ends, a fixed-point extension
+for recursive assemblies, Monte Carlo cross-validation, related-work
+baselines, and analysis tooling (sweeps, crossovers, service selection,
+sensitivity).
+
+Quickstart::
+
+    from repro import ReliabilityEvaluator
+    from repro.scenarios import local_assembly
+
+    evaluator = ReliabilityEvaluator(local_assembly())
+    print(evaluator.reliability("search", elem=1, list=100, res=1))
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.core import (
+    FixedPointEvaluator,
+    PerformanceEvaluator,
+    ReliabilityEvaluator,
+    SymbolicEvaluator,
+)
+from repro.errors import (
+    CyclicAssemblyError,
+    EvaluationError,
+    MarkovError,
+    ModelError,
+    ReproError,
+    SymbolicError,
+)
+from repro.model import (
+    AND,
+    OR,
+    AnalyticInterface,
+    Assembly,
+    CompositeService,
+    CpuResource,
+    FlowBuilder,
+    FormalParameter,
+    KOfNCompletion,
+    LocalCallConnector,
+    NetworkResource,
+    RemoteCallConnector,
+    ServiceRegistry,
+    ServiceRequest,
+    SimpleService,
+    SoftwareComponent,
+    perfect_connector,
+    validate_assembly,
+)
+from repro.symbolic import Environment, Expression, Parameter, parse_expression
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AND",
+    "OR",
+    "AnalyticInterface",
+    "Assembly",
+    "CompositeService",
+    "CpuResource",
+    "CyclicAssemblyError",
+    "Environment",
+    "EvaluationError",
+    "Expression",
+    "FixedPointEvaluator",
+    "FlowBuilder",
+    "FormalParameter",
+    "KOfNCompletion",
+    "MarkovError",
+    "ModelError",
+    "NetworkResource",
+    "Parameter",
+    "PerformanceEvaluator",
+    "ReliabilityEvaluator",
+    "RemoteCallConnector",
+    "ReproError",
+    "ServiceRegistry",
+    "ServiceRequest",
+    "SimpleService",
+    "SoftwareComponent",
+    "SymbolicError",
+    "SymbolicEvaluator",
+    "parse_expression",
+    "perfect_connector",
+    "validate_assembly",
+    "__version__",
+]

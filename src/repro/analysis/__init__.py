@@ -1,0 +1,41 @@
+"""Analysis tooling: sweeps, architecture comparison, crossover detection,
+reliability-driven service selection, and text reporting."""
+
+from repro.analysis.comparison import AssemblyComparison, compare_assemblies
+from repro.analysis.crossover import Crossover, bisect_crossover, find_crossovers
+from repro.analysis.report import (
+    format_comparison,
+    format_sweep,
+    format_table,
+    sparkline,
+)
+from repro.analysis.selection import CandidateEvaluation, select_assembly
+from repro.analysis.sweep import SweepResult, sweep_attribute, sweep_parameter
+from repro.analysis.uncertainty import (
+    UncertaintyEstimate,
+    delta_method,
+    sample_uncertainty,
+)
+from repro.analysis.usage import InvocationProfile, expected_invocations
+
+__all__ = [
+    "AssemblyComparison",
+    "CandidateEvaluation",
+    "Crossover",
+    "InvocationProfile",
+    "SweepResult",
+    "UncertaintyEstimate",
+    "bisect_crossover",
+    "compare_assemblies",
+    "delta_method",
+    "expected_invocations",
+    "find_crossovers",
+    "format_comparison",
+    "format_sweep",
+    "format_table",
+    "sample_uncertainty",
+    "select_assembly",
+    "sparkline",
+    "sweep_attribute",
+    "sweep_parameter",
+]

@@ -1,0 +1,29 @@
+"""Related-work baseline models (the paper's section 5 comparison).
+
+- :mod:`repro.baselines.cheung` — Cheung's classical state-based model;
+- :mod:`repro.baselines.path_based` — Dolbec–Shepard path-based model [5];
+- :mod:`repro.baselines.wang` — Wang–Wu–Chen state-based model with AND/OR
+  states and connector reliabilities [19];
+- :mod:`repro.baselines.adapters` — executable mappings from a repro
+  assembly into each baseline's restricted vocabulary.
+"""
+
+from repro.baselines.adapters import (
+    cheung_from_assembly,
+    path_based_from_assembly,
+    wang_from_assembly,
+)
+from repro.baselines.cheung import CheungModel
+from repro.baselines.path_based import ExecutionPath, PathBasedModel
+from repro.baselines.wang import WangModel, WangState
+
+__all__ = [
+    "CheungModel",
+    "ExecutionPath",
+    "PathBasedModel",
+    "WangModel",
+    "WangState",
+    "cheung_from_assembly",
+    "path_based_from_assembly",
+    "wang_from_assembly",
+]

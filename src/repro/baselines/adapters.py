@@ -1,0 +1,134 @@
+"""Adapters mapping a repro assembly into the related-work baseline models.
+
+The section 5 comparison is qualitative in the paper; these adapters make
+it executable.  Each adapter flattens one composite service of an assembly
+(with concrete actual parameters) into the restricted vocabulary of a
+baseline model:
+
+- the **Cheung** and **path-based** adapters collapse every flow state into
+  one "component" whose reliability is the state's success probability
+  *computed under the no-sharing assumption* — exactly the information
+  loss those models impose.  For assemblies with no shared states, Cheung's
+  answer coincides with the paper's (same Markov structure); for shared OR
+  states it is optimistic (see the BASE benchmark);
+- the **Wang** adapter keeps states multi-component with their AND/OR
+  completion, and likewise hard-wires no-sharing (its built-in assumption).
+
+Since the baselines take fixed numeric reliabilities, the adapters evaluate
+all of the assembly's parametric structure at the supplied actuals first —
+the baselines cannot express the parametric dependency, which is the other
+half of the paper's section 5 argument.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cheung import CheungModel
+from repro.baselines.path_based import EXIT, PathBasedModel
+from repro.baselines.wang import WangModel, WangState
+from repro.core.evaluator import ReliabilityEvaluator
+from repro.core.state_failure import state_failure_probability
+from repro.errors import EvaluationError
+from repro.model.assembly import Assembly
+from repro.model.completion import OrCompletion
+from repro.model.flow import END, START
+from repro.model.service import CompositeService
+
+__all__ = [
+    "cheung_from_assembly",
+    "path_based_from_assembly",
+    "wang_from_assembly",
+]
+
+#: Name given to the synthetic entry component (Start carries no behavior,
+#: reliability 1).
+ENTRY = "__entry__"
+
+
+def _flatten(assembly: Assembly, service: str, actuals: dict):
+    """Common flattening: per-state success probability (no sharing) and the
+    concrete transition structure."""
+    svc = assembly.service(service)
+    if not isinstance(svc, CompositeService):
+        raise EvaluationError(f"{service!r} is not a composite service")
+    evaluator = ReliabilityEvaluator(assembly)
+    per_state = evaluator.state_probabilities(service, **actuals)
+    env = svc.evaluation_environment(actuals, check=False)
+
+    reliabilities: dict[str, float] = {}
+    for state in svc.flow.states:
+        internal, external = per_state[state.name]
+        pfail = state_failure_probability(
+            state.completion, False, list(internal), list(external)
+        )
+        reliabilities[state.name] = 1.0 - float(pfail)
+
+    transitions: dict[tuple[str, str], float] = {}
+    for source in [START, *(s.name for s in svc.flow.states)]:
+        for t in svc.flow.outgoing(source):
+            p = float(t.probability.evaluate(env))
+            if p > 0.0:
+                key = (ENTRY if source == START else source, t.target)
+                transitions[key] = transitions.get(key, 0.0) + p
+    return svc, reliabilities, transitions, per_state
+
+
+def cheung_from_assembly(
+    assembly: Assembly, service: str, **actuals: float
+) -> CheungModel:
+    """Flatten one composite service into a :class:`CheungModel`.
+
+    ``End`` becomes the implicit final transfer: the adapter inserts a
+    perfectly reliable terminal component standing for successful
+    completion, since Cheung's final component transfers to ``C`` itself.
+    """
+    _, reliabilities, transitions, _ = _flatten(assembly, service, dict(actuals))
+    reliabilities[ENTRY] = 1.0
+    terminal = "__done__"
+    reliabilities[terminal] = 1.0
+    cheung_transitions: dict[tuple[str, str], float] = {}
+    for (src, dst), p in transitions.items():
+        cheung_transitions[(src, terminal if dst == END else dst)] = p
+    return CheungModel(reliabilities, cheung_transitions, initial=ENTRY)
+
+
+def path_based_from_assembly(
+    assembly: Assembly,
+    service: str,
+    mass_threshold: float = 1e-12,
+    **actuals: float,
+) -> PathBasedModel:
+    """Flatten one composite service into a :class:`PathBasedModel`."""
+    _, reliabilities, transitions, _ = _flatten(assembly, service, dict(actuals))
+    reliabilities[ENTRY] = 1.0
+    path_transitions: dict[tuple[str, str], float] = {}
+    for (src, dst), p in transitions.items():
+        path_transitions[(src, EXIT if dst == END else dst)] = p
+    return PathBasedModel(
+        reliabilities, path_transitions, initial=ENTRY, mass_threshold=mass_threshold
+    )
+
+
+def wang_from_assembly(
+    assembly: Assembly, service: str, **actuals: float
+) -> WangModel:
+    """Flatten one composite service into a :class:`WangModel`.
+
+    Per-request reliabilities are ``(1 - Pfail_int) * (1 - Pfail_ext)``
+    (connector folded into the external factor, since Wang's per-transition
+    connector slot cannot express per-request connectors); state completion
+    (AND/OR) is preserved; sharing is dropped — the model's assumption.
+    """
+    svc, _, transitions, per_state = _flatten(assembly, service, dict(actuals))
+    states = [WangState(ENTRY, (1.0,), "and")]
+    for state in svc.flow.states:
+        internal, external = per_state[state.name]
+        request_reliabilities = tuple(
+            (1.0 - pi) * (1.0 - pe) for pi, pe in zip(internal, external)
+        ) or (1.0,)
+        completion = "or" if isinstance(state.completion, OrCompletion) else "and"
+        states.append(WangState(state.name, request_reliabilities, completion))
+    wang_transitions = [
+        (src, "C" if dst == END else dst, p, 1.0)
+        for (src, dst), p in transitions.items()
+    ]
+    return WangModel(states, wang_transitions, initial=ENTRY)

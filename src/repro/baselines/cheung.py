@@ -1,0 +1,104 @@
+"""Cheung's classical state-based reliability model.
+
+The reference point of the architecture-based reliability literature (and of
+the paper's section 5 taxonomy via Goseva-Popstojanova/Mathur/Trivedi [8]):
+an application is a discrete-time Markov chain over *components*; component
+``i`` has reliability ``R_i``; control transfers from ``i`` to ``j`` with
+probability ``p_ij``.  Adding an absorbing failure state ``F`` (entered from
+``i`` with probability ``1 - R_i``) and an absorbing correct-output state
+``C`` (entered from the final component with probability ``R_final``), the
+system reliability is the probability of absorption in ``C``.
+
+This is exactly the structure the paper *generalizes*: no connectors, one
+activity per state, no parameters, no sharing.  It is implemented here on
+top of :mod:`repro.markov` so the section 5 comparison benchmarks can run
+all models on identical inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import InvalidDistributionError, ModelError, UnknownStateError
+from repro.markov import AbsorbingChainAnalysis, ChainBuilder
+
+__all__ = ["CheungModel"]
+
+#: Reserved labels for the two absorbing states.
+CORRECT = "C"
+FAILED = "F"
+
+
+class CheungModel:
+    """A Cheung-style component reliability model.
+
+    Args:
+        reliabilities: component name -> reliability ``R_i`` in [0, 1].
+        transitions: ``(i, j)`` -> control-transfer probability ``p_ij``;
+            rows must sum to 1 over each component's outgoing transitions,
+            except for *final* components (no outgoing transitions), which
+            transfer to the correct-output state on success.
+        initial: name of the entry component.
+    """
+
+    def __init__(
+        self,
+        reliabilities: Mapping[str, float],
+        transitions: Mapping[tuple[str, str], float],
+        initial: str,
+    ):
+        if initial not in reliabilities:
+            raise UnknownStateError(initial)
+        for name, value in reliabilities.items():
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(f"reliability of {name!r} is {value}, not in [0,1]")
+        for (src, dst), p in transitions.items():
+            if src not in reliabilities or dst not in reliabilities:
+                raise UnknownStateError(src if src not in reliabilities else dst)
+            if p < 0.0:
+                raise InvalidDistributionError(
+                    f"negative transition probability {p} on {src!r}->{dst!r}"
+                )
+        self.reliabilities = dict(reliabilities)
+        self.transitions = dict(transitions)
+        self.initial = initial
+
+        rows: dict[str, float] = {name: 0.0 for name in reliabilities}
+        for (src, _), p in transitions.items():
+            rows[src] += p
+        for name, total in rows.items():
+            if total > 0.0 and abs(total - 1.0) > 1e-9:
+                raise InvalidDistributionError(
+                    f"outgoing transfer probabilities of {name!r} sum to {total}"
+                )
+        self._final = {name for name, total in rows.items() if total == 0.0}
+        if not self._final:
+            raise ModelError(
+                "Cheung model needs at least one final component "
+                "(no outgoing transitions)"
+            )
+
+    def system_reliability(self) -> float:
+        """Probability of absorption in the correct-output state ``C``."""
+        builder = ChainBuilder()
+        builder.add_state(self.initial)
+        for name in self.reliabilities:
+            builder.add_state(name)
+        builder.add_state(CORRECT)
+        builder.add_state(FAILED)
+        for name, r in self.reliabilities.items():
+            if 1.0 - r > 0.0:
+                builder.add_edge(name, FAILED, 1.0 - r)
+            if name in self._final:
+                if r > 0.0:
+                    builder.add_edge(name, CORRECT, r)
+                continue
+            for (src, dst), p in self.transitions.items():
+                if src == name and r * p > 0.0:
+                    builder.add_edge(name, dst, r * p)
+        analysis = AbsorbingChainAnalysis(builder.build())
+        return analysis.absorption_probability(self.initial, CORRECT)
+
+    def system_unreliability(self) -> float:
+        """``1 - system_reliability()``."""
+        return 1.0 - self.system_reliability()

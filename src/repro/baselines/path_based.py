@@ -1,0 +1,142 @@
+"""Dolbec–Shepard path-based reliability model (the paper's reference [5]).
+
+Path-based models ([8]'s other family) compute system reliability as the
+expectation over *execution paths*: each path visits a sequence of
+components, the path reliability is the product of the visited components'
+reliabilities, and the system reliability is the path-probability-weighted
+sum.  As the paper notes (section 5), the model "only considers sequential
+executions of services (so excluding, for example, OR completion models),
+and does not take into account the impact of the interconnection
+architecture; it also does not consider possible dependencies among
+services".
+
+For graphs with loops the path set is infinite; following the usual
+practice, enumeration truncates at a probability-mass threshold and reports
+the truncated residual mass (treated optimistically as success, the
+convention that makes the truncated value an upper bound on the exact
+reliability contribution of the enumerated mass plus residual).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ModelError, UnknownStateError
+
+__all__ = ["ExecutionPath", "PathBasedModel"]
+
+#: Reserved terminal marker in the transition structure.
+EXIT = "Exit"
+
+
+@dataclass(frozen=True)
+class ExecutionPath:
+    """One enumerated execution path with its probability and reliability."""
+
+    components: tuple[str, ...]
+    probability: float
+    reliability: float
+
+
+class PathBasedModel:
+    """A Dolbec–Shepard style path-based model.
+
+    Args:
+        reliabilities: component name -> reliability.
+        transitions: ``(i, j)`` -> control-transfer probability, where ``j``
+            may be :data:`EXIT` to terminate the path; rows must sum to 1.
+        initial: entry component.
+        mass_threshold: stop expanding a path once its probability falls
+            below this bound (loop truncation).
+        max_paths: hard cap on the number of enumerated paths.
+    """
+
+    def __init__(
+        self,
+        reliabilities: Mapping[str, float],
+        transitions: Mapping[tuple[str, str], float],
+        initial: str,
+        mass_threshold: float = 1e-12,
+        max_paths: int = 1_000_000,
+    ):
+        if initial not in reliabilities:
+            raise UnknownStateError(initial)
+        for name, value in reliabilities.items():
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(f"reliability of {name!r} is {value}, not in [0,1]")
+        rows: dict[str, float] = {name: 0.0 for name in reliabilities}
+        for (src, dst), p in transitions.items():
+            if src not in reliabilities:
+                raise UnknownStateError(src)
+            if dst != EXIT and dst not in reliabilities:
+                raise UnknownStateError(dst)
+            if p < 0.0:
+                raise ModelError(f"negative probability on {src!r}->{dst!r}")
+            rows[src] += p
+        for name, total in rows.items():
+            if abs(total - 1.0) > 1e-9:
+                raise ModelError(
+                    f"outgoing probabilities of {name!r} sum to {total}; "
+                    f"every component must transfer somewhere (use EXIT)"
+                )
+        self.reliabilities = dict(reliabilities)
+        self.transitions = dict(transitions)
+        self.initial = initial
+        self.mass_threshold = float(mass_threshold)
+        self.max_paths = int(max_paths)
+
+    def _successors(self, name: str) -> Sequence[tuple[str, float]]:
+        return [
+            (dst, p) for (src, dst), p in self.transitions.items()
+            if src == name and p > 0.0
+        ]
+
+    def enumerate_paths(self) -> tuple[list[ExecutionPath], float]:
+        """All execution paths down to the truncation threshold.
+
+        Returns ``(paths, truncated_mass)`` where ``truncated_mass`` is the
+        total probability of abandoned prefixes.
+        """
+        paths: list[ExecutionPath] = []
+        truncated = 0.0
+        stack: list[tuple[str, tuple[str, ...], float, float]] = [
+            (self.initial, (self.initial,), 1.0, self.reliabilities[self.initial])
+        ]
+        while stack:
+            node, visited, probability, reliability = stack.pop()
+            if len(paths) >= self.max_paths:
+                truncated += probability
+                continue
+            if probability < self.mass_threshold:
+                truncated += probability
+                continue
+            for target, p in self._successors(node):
+                if target == EXIT:
+                    paths.append(
+                        ExecutionPath(visited, probability * p, reliability)
+                    )
+                else:
+                    stack.append(
+                        (
+                            target,
+                            visited + (target,),
+                            probability * p,
+                            reliability * self.reliabilities[target],
+                        )
+                    )
+        return paths, truncated
+
+    def system_reliability(self) -> float:
+        """Path-probability-weighted mean path reliability.
+
+        Truncated mass is counted as fully reliable, so for loopy graphs the
+        value is an upper bound that tightens as ``mass_threshold``
+        decreases; for acyclic graphs it is exact.
+        """
+        paths, truncated = self.enumerate_paths()
+        return sum(p.probability * p.reliability for p in paths) + truncated
+
+    def system_unreliability(self) -> float:
+        """``1 - system_reliability()``."""
+        return 1.0 - self.system_reliability()

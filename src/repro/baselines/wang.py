@@ -1,0 +1,143 @@
+"""Wang–Wu–Chen architecture-based model (the paper's reference [19]).
+
+A state-based model one step closer to the paper's: states of a
+probabilistic control-flow graph may hold *several* components completed
+under AND or OR, and transitions carry *connector reliabilities*.  What it
+still lacks — the paper's section 5 point — is (a) service sharing (all
+requests are assumed independent, i.e. the no-sharing dependency model is
+hard-wired) and (b) parametric dependency between a service's inputs and
+its cascading requests (all reliabilities are fixed numbers).
+
+State semantics: a state with component reliabilities ``R_1..R_n`` succeeds
+with probability ``prod R_j`` under AND and ``1 - prod (1 - R_j)`` under
+OR; on success, control moves along a transition chosen with probability
+``p_ij``, surviving its connector with reliability ``Rc_ij``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import InvalidDistributionError, ModelError, UnknownStateError
+from repro.markov import AbsorbingChainAnalysis, ChainBuilder
+
+__all__ = ["WangState", "WangModel"]
+
+#: Reserved labels.
+CORRECT = "C"
+FAILED = "F"
+
+
+@dataclass(frozen=True)
+class WangState:
+    """A control-flow state holding one or more components.
+
+    Attributes:
+        name: state label.
+        reliabilities: the components' reliabilities.
+        completion: ``"and"`` (all must succeed) or ``"or"`` (any suffices).
+    """
+
+    name: str
+    reliabilities: tuple[float, ...]
+    completion: str = "and"
+
+    def __post_init__(self) -> None:
+        if not self.reliabilities:
+            raise ModelError(f"state {self.name!r} needs at least one component")
+        if any(not 0.0 <= r <= 1.0 for r in self.reliabilities):
+            raise ModelError(f"state {self.name!r} has reliability outside [0,1]")
+        if self.completion not in ("and", "or"):
+            raise ModelError(f"unknown completion {self.completion!r}")
+
+    def success_probability(self) -> float:
+        """State success probability under its completion model (requests
+        independent — the model's built-in no-sharing assumption)."""
+        if self.completion == "and":
+            out = 1.0
+            for r in self.reliabilities:
+                out *= r
+            return out
+        fail = 1.0
+        for r in self.reliabilities:
+            fail *= 1.0 - r
+        return 1.0 - fail
+
+
+@dataclass(frozen=True)
+class _Transition:
+    source: str
+    target: str
+    probability: float
+    connector_reliability: float = 1.0
+
+
+class WangModel:
+    """A Wang–Wu–Chen style model with connector reliabilities.
+
+    Args:
+        states: the control-flow states.
+        transitions: ``(source, target, probability, connector_reliability)``
+            tuples; targets may be the reserved ``"C"`` (correct output).
+            Each source's probabilities must sum to 1.
+        initial: entry state name.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[WangState],
+        transitions: Sequence[tuple],
+        initial: str,
+    ):
+        self.states = {s.name: s for s in states}
+        if len(self.states) != len(states):
+            raise ModelError("duplicate state names")
+        if initial not in self.states:
+            raise UnknownStateError(initial)
+        self.initial = initial
+        self.transitions: list[_Transition] = []
+        totals: dict[str, float] = {name: 0.0 for name in self.states}
+        for entry in transitions:
+            t = _Transition(*entry)
+            if t.source not in self.states:
+                raise UnknownStateError(t.source)
+            if t.target != CORRECT and t.target not in self.states:
+                raise UnknownStateError(t.target)
+            if t.probability < 0.0 or not 0.0 <= t.connector_reliability <= 1.0:
+                raise ModelError(f"bad transition {entry!r}")
+            totals[t.source] += t.probability
+            self.transitions.append(t)
+        for name, total in totals.items():
+            if abs(total - 1.0) > 1e-9:
+                raise InvalidDistributionError(
+                    f"outgoing probabilities of state {name!r} sum to {total}"
+                )
+
+    def system_reliability(self) -> float:
+        """Probability of reaching the correct-output state ``C``."""
+        builder = ChainBuilder()
+        builder.add_state(self.initial)
+        for name in self.states:
+            builder.add_state(name)
+        builder.add_state(CORRECT)
+        builder.add_state(FAILED)
+        for name, state in self.states.items():
+            success = state.success_probability()
+            fail_mass = 1.0 - success
+            for t in self.transitions:
+                if t.source != name:
+                    continue
+                through = success * t.probability * t.connector_reliability
+                lost = success * t.probability * (1.0 - t.connector_reliability)
+                if through > 0.0:
+                    builder.add_edge(name, t.target, through)
+                fail_mass += lost
+            if fail_mass > 0.0:
+                builder.add_edge(name, FAILED, fail_mass)
+        analysis = AbsorbingChainAnalysis(builder.build())
+        return analysis.absorption_probability(self.initial, CORRECT)
+
+    def system_unreliability(self) -> float:
+        """``1 - system_reliability()``."""
+        return 1.0 - self.system_reliability()

@@ -1,0 +1,392 @@
+"""Command-line interface: the "reliability prediction engine" binding.
+
+Section 5 of the paper argues the analytic interface should live in
+machine-processable service descriptions "bound to some underlying
+reliability prediction engine that implements the algorithm outlined in
+section 3.3".  This CLI is that engine over the ``repro/1`` JSON form:
+
+.. code-block:: text
+
+    python -m repro export-scenario local -o local.json
+    python -m repro validate local.json
+    python -m repro describe local.json
+    python -m repro evaluate local.json search --set elem=1 list=500 res=1
+    python -m repro evaluate local.json search --set ... --report
+    python -m repro closed-form local.json search
+    python -m repro sweep local.json search list --from 1 --to 1000 \\
+        --points 25 --set elem=1 res=1
+    python -m repro compare local.json remote.json search list \\
+        --from 1 --to 1000 --points 25 --set elem=1 res=1
+    python -m repro invocations local.json search --set elem=1 list=500 res=1
+    python -m repro simulate local.json search --trials 20000 --seed 7 \\
+        --set elem=1 list=500 res=1
+
+Exit status: 0 on success, 1 on model/evaluation errors (message on
+stderr), 2 on usage errors (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_bindings(pairs: Sequence[str]) -> dict[str, float]:
+    bindings: dict[str, float] = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise ReproError(
+                f"--set expects name=value pairs, got {pair!r}"
+            )
+        try:
+            bindings[name] = float(value)
+        except ValueError:
+            raise ReproError(f"--set {pair!r}: {value!r} is not a number") from None
+    return bindings
+
+
+def _load(path: str):
+    from repro.dsl import load_assembly
+
+    text = Path(path).read_text()
+    return load_assembly(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Architecture-based reliability prediction engine "
+                    "(Grassi, LNCS 3549).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_set(sub):
+        sub.add_argument(
+            "--set", nargs="*", default=[], metavar="NAME=VALUE",
+            help="actual parameter bindings",
+        )
+
+    sub = commands.add_parser("validate", help="structural validation report")
+    sub.add_argument("file")
+
+    sub = commands.add_parser("describe", help="render assembly and flows")
+    sub.add_argument("file")
+
+    sub = commands.add_parser("evaluate", help="predict Pfail/reliability")
+    sub.add_argument("file")
+    sub.add_argument("service")
+    add_set(sub)
+    sub.add_argument(
+        "--report", action="store_true",
+        help="include the per-state failure breakdown",
+    )
+    sub.add_argument(
+        "--fixed-point", action="store_true",
+        help="use the fixed-point evaluator (required for recursive "
+             "assemblies)",
+    )
+
+    sub = commands.add_parser(
+        "closed-form", help="derive the symbolic Pfail expression"
+    )
+    sub.add_argument("file")
+    sub.add_argument("service")
+    sub.add_argument(
+        "--symbolic-attributes", action="store_true",
+        help="leave interface attributes as free 'service::attr' symbols",
+    )
+
+    sub = commands.add_parser("sweep", help="reliability vs one parameter")
+    sub.add_argument("file")
+    sub.add_argument("service")
+    sub.add_argument("parameter")
+    sub.add_argument("--from", dest="start", type=float, required=True)
+    sub.add_argument("--to", dest="stop", type=float, required=True)
+    sub.add_argument("--points", type=int, default=20)
+    add_set(sub)
+
+    sub = commands.add_parser(
+        "compare", help="two assemblies head-to-head with crossovers"
+    )
+    sub.add_argument("file_a")
+    sub.add_argument("file_b")
+    sub.add_argument("service")
+    sub.add_argument("parameter")
+    sub.add_argument("--from", dest="start", type=float, required=True)
+    sub.add_argument("--to", dest="stop", type=float, required=True)
+    sub.add_argument("--points", type=int, default=20)
+    add_set(sub)
+
+    sub = commands.add_parser(
+        "invocations", help="expected invocation counts per service"
+    )
+    sub.add_argument("file")
+    sub.add_argument("service")
+    add_set(sub)
+
+    sub = commands.add_parser(
+        "simulate", help="Monte Carlo fault-injection estimate"
+    )
+    sub.add_argument("file")
+    sub.add_argument("service")
+    sub.add_argument("--trials", type=int, default=10_000)
+    sub.add_argument("--seed", type=int, default=None)
+    add_set(sub)
+
+    sub = commands.add_parser(
+        "performance", help="predict the expected execution time"
+    )
+    sub.add_argument("file")
+    sub.add_argument("service")
+    add_set(sub)
+
+    sub = commands.add_parser(
+        "uncertainty",
+        help="propagate published-attribute uncertainty to the prediction",
+    )
+    sub.add_argument("file")
+    sub.add_argument("service")
+    sub.add_argument(
+        "--relative-std", type=float, default=0.1,
+        help="relative standard deviation applied to every attribute",
+    )
+    sub.add_argument("--samples", type=int, default=10_000)
+    sub.add_argument("--seed", type=int, default=None)
+    add_set(sub)
+
+    sub = commands.add_parser(
+        "export-scenario",
+        help="write a built-in scenario assembly as repro/1 JSON",
+    )
+    sub.add_argument(
+        "name",
+        choices=["local", "remote", "booking", "booking-shared",
+                 "pipeline", "shared-db", "replicated-db"],
+    )
+    sub.add_argument("-o", "--output", default=None, help="output path "
+                     "(default: stdout)")
+
+    return parser
+
+
+def _cmd_validate(args) -> int:
+    from repro.model import validate_assembly
+
+    report = validate_assembly(_load(args.file))
+    print(report)
+    return 0 if report.ok else 1
+
+
+def _cmd_describe(args) -> int:
+    from repro.model.service import CompositeService
+
+    assembly = _load(args.file)
+    print(assembly.describe())
+    for service in assembly.services:
+        if isinstance(service, CompositeService):
+            print(f"\nflow of {service.name!r}:")
+            print(service.flow.describe())
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.core import FixedPointEvaluator, ReliabilityEvaluator
+
+    assembly = _load(args.file)
+    bindings = _parse_bindings(args.set)
+    cls = FixedPointEvaluator if args.fixed_point else ReliabilityEvaluator
+    evaluator = cls(assembly)
+    if args.report:
+        print(evaluator.report(args.service, **bindings))
+    else:
+        pfail = evaluator.pfail(args.service, **bindings)
+        print(f"Pfail({args.service}) = {pfail:.9e}")
+        print(f"R({args.service})     = {1.0 - pfail:.9f}")
+    return 0
+
+
+def _cmd_closed_form(args) -> int:
+    from repro.core import SymbolicEvaluator
+
+    assembly = _load(args.file)
+    evaluator = SymbolicEvaluator(
+        assembly, symbolic_attributes=args.symbolic_attributes
+    )
+    expression = evaluator.pfail_expression(args.service)
+    print(f"Pfail({args.service}, {', '.join(sorted(expression.free_parameters()))}) =")
+    print(f"  {expression}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis import format_sweep, sweep_parameter
+
+    assembly = _load(args.file)
+    grid = np.linspace(args.start, args.stop, args.points)
+    sweep = sweep_parameter(
+        assembly, args.service, args.parameter, grid, _parse_bindings(args.set)
+    )
+    print(format_sweep(sweep))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis import compare_assemblies, format_comparison
+
+    grid = np.linspace(args.start, args.stop, args.points)
+    comparison = compare_assemblies(
+        _load(args.file_a), _load(args.file_b), args.service, args.parameter,
+        grid, _parse_bindings(args.set),
+    )
+    print(format_comparison(comparison))
+    return 0
+
+
+def _cmd_invocations(args) -> int:
+    from repro.analysis import expected_invocations
+
+    profile = expected_invocations(
+        _load(args.file), args.service, **_parse_bindings(args.set)
+    )
+    print(profile)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.simulation import MonteCarloSimulator
+
+    simulator = MonteCarloSimulator(_load(args.file), seed=args.seed)
+    result = simulator.estimate_pfail(
+        args.service, args.trials, **_parse_bindings(args.set)
+    )
+    low, high = result.confidence_interval()
+    print(
+        f"simulated Pfail({args.service}) = {result.pfail:.6e} "
+        f"({result.failures}/{result.trials} failures)"
+    )
+    print(f"95% Wilson interval: [{low:.6e}, {high:.6e}]")
+    return 0
+
+
+def _cmd_performance(args) -> int:
+    from repro.core import PerformanceEvaluator
+    from repro.model.service import CompositeService
+
+    assembly = _load(args.file)
+    bindings = _parse_bindings(args.set)
+    evaluator = PerformanceEvaluator(assembly)
+    duration = evaluator.expected_duration(args.service, **bindings)
+    print(f"E[T]({args.service}) = {duration:.6e} time units")
+    if isinstance(assembly.service(args.service), CompositeService):
+        print("per-state breakdown (duration x expected visits):")
+        for name, (state_duration, visits) in evaluator.state_durations(
+            args.service, **bindings
+        ).items():
+            print(
+                f"  {name:20s} {state_duration:.6e} x {visits:.4f} "
+                f"= {state_duration * visits:.6e}"
+            )
+    return 0
+
+
+def _cmd_uncertainty(args) -> int:
+    from repro.analysis import delta_method, sample_uncertainty
+
+    assembly = _load(args.file)
+    bindings = _parse_bindings(args.set)
+    delta = delta_method(
+        assembly, args.service, bindings, relative_std=args.relative_std
+    )
+    sampled = sample_uncertainty(
+        assembly, args.service, bindings,
+        relative_std=args.relative_std, samples=args.samples, seed=args.seed,
+    )
+    low, high = delta.interval()
+    print(f"Pfail({args.service}) = {delta.pfail:.6e}")
+    print(
+        f"attribute uncertainty +/-{args.relative_std * 100:.0f}% -> "
+        f"std {delta.std:.3e} (delta method), {sampled.std:.3e} (sampled)"
+    )
+    print(f"95% interval (delta): [{low:.6e}, {high:.6e}]")
+    print("sampled percentiles:")
+    for p, value in sorted(sampled.percentiles.items()):
+        print(f"  p{p:>4.1f}  {value:.6e}")
+    if delta.contributions:
+        print("variance contributions:")
+        ranked = sorted(
+            delta.contributions.items(), key=lambda kv: kv[1], reverse=True
+        )
+        for name, share in ranked[:5]:
+            print(f"  {name:35s} {share * 100:6.2f}%")
+    return 0
+
+
+def _cmd_export_scenario(args) -> int:
+    from repro.dsl import dump_assembly
+    from repro.scenarios import (
+        booking_assembly,
+        local_assembly,
+        pipeline_assembly,
+        remote_assembly,
+        replicated_assembly,
+    )
+
+    builders = {
+        "local": local_assembly,
+        "remote": remote_assembly,
+        "booking": booking_assembly,
+        "booking-shared": lambda: booking_assembly(shared_gds=True),
+        "pipeline": pipeline_assembly,
+        "shared-db": lambda: replicated_assembly(3, shared=True),
+        "replicated-db": lambda: replicated_assembly(3, shared=False),
+    }
+    text = dump_assembly(builders[args.name]())
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "validate": _cmd_validate,
+    "describe": _cmd_describe,
+    "evaluate": _cmd_evaluate,
+    "closed-form": _cmd_closed_form,
+    "sweep": _cmd_sweep,
+    "compare": _cmd_compare,
+    "invocations": _cmd_invocations,
+    "simulate": _cmd_simulate,
+    "performance": _cmd_performance,
+    "uncertainty": _cmd_uncertainty,
+    "export-scenario": _cmd_export_scenario,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,363 @@
+"""The recursive reliability-evaluation procedure of section 3.3.
+
+:class:`ReliabilityEvaluator` implements ``Pfail_Alg(S, fp)``: for a service
+``S`` of an assembly with concrete actual parameters,
+
+1. **simple services** (the recursion base) evaluate their published
+   closed-form unreliability;
+2. **composite services** evaluate, for each flow state, the internal and
+   external failure probability of every request — recursively obtaining
+   ``Pfail(S_j, ap_j)`` for the bound provider and ``Pfail(C_j, [S_j,
+   ap_j])`` for the connector, with actual parameters computed from the
+   caller's formals (the parametric composition of section 2) — combines
+   them per the state's completion/sharing models (eqs. 4–13), augments the
+   flow with the failure structure (Figure 5) and returns
+   ``1 - p*(Start, End)`` (eq. 3).
+
+Results are memoized on ``(service, actual parameters)``: a service invoked
+many times with the same actuals (e.g. ``cpu1`` throughout the section 4
+example) is analyzed once, keeping the procedure polynomial on DAG
+assemblies.
+
+Cyclic assemblies are detected (re-entry on a service already on the
+evaluation stack) and rejected with :class:`CyclicAssemblyError`, making the
+infinite loop the paper warns about impossible; see
+:class:`repro.core.fixed_point.FixedPointEvaluator` for the fixed-point
+treatment the paper proposes instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import (
+    CyclicAssemblyError,
+    EvaluationError,
+    ModelError,
+    ProbabilityRangeError,
+)
+from repro.core.failure_structure import augment_with_failures
+from repro.core.state_failure import (
+    external_failure_probability,
+    state_failure_probability,
+)
+from repro.markov import AbsorbingChainAnalysis
+from repro.model.assembly import Assembly
+from repro.model.flow import END, START, FlowState
+from repro.model.service import CompositeService, Service, SimpleService
+from repro.model.validation import validate_assembly
+from repro.symbolic import Environment
+
+__all__ = ["ReliabilityEvaluator", "StateBreakdown", "EvaluationReport"]
+
+_TOL = 1e-9
+
+
+class StateBreakdown:
+    """Per-state diagnostic record produced by :meth:`ReliabilityEvaluator.report`."""
+
+    def __init__(
+        self,
+        state: str,
+        failure_probability: float,
+        request_internal: tuple[float, ...],
+        request_external: tuple[float, ...],
+        expected_visits: float,
+    ):
+        self.state = state
+        self.failure_probability = failure_probability
+        self.request_internal = request_internal
+        self.request_external = request_external
+        self.expected_visits = expected_visits
+
+    def __repr__(self) -> str:
+        return (
+            f"StateBreakdown({self.state!r}, p_fail={self.failure_probability:.3e}, "
+            f"visits={self.expected_visits:.3f})"
+        )
+
+
+class EvaluationReport:
+    """Full diagnostic output for one composite-service evaluation.
+
+    Attributes:
+        service: evaluated service name.
+        actuals: the actual parameters used.
+        pfail: the overall unreliability ``Pfail(S, fp)``.
+        states: per-state breakdowns (failure probability, per-request
+            internal/external probabilities, expected visit counts from the
+            augmented chain — the states that dominate unreliability are the
+            architectural hot spots).
+    """
+
+    def __init__(
+        self,
+        service: str,
+        actuals: Mapping[str, float],
+        pfail: float,
+        states: tuple[StateBreakdown, ...],
+    ):
+        self.service = service
+        self.actuals = dict(actuals)
+        self.pfail = pfail
+        self.states = states
+
+    @property
+    def reliability(self) -> float:
+        """``1 - Pfail``."""
+        return 1.0 - self.pfail
+
+    def dominant_state(self) -> StateBreakdown | None:
+        """The state contributing the largest ``visits * p_fail`` mass."""
+        if not self.states:
+            return None
+        return max(
+            self.states, key=lambda s: s.expected_visits * s.failure_probability
+        )
+
+    def __str__(self) -> str:
+        lines = [
+            f"service {self.service!r} with {self.actuals}: "
+            f"Pfail = {self.pfail:.6e} (R = {self.reliability:.6f})"
+        ]
+        for s in self.states:
+            lines.append(
+                f"  state {s.state:20s} p_fail={s.failure_probability:.6e} "
+                f"E[visits]={s.expected_visits:.4f}"
+            )
+        return "\n".join(lines)
+
+
+class ReliabilityEvaluator:
+    """Numeric implementation of ``Pfail_Alg`` over one assembly.
+
+    Args:
+        assembly: the service assembly to analyze.
+        validate: run structural validation up front (recommended; the
+            errors raised later by an invalid assembly are less direct).
+        check_domains: verify actual parameters against the declared
+            abstract domains on every call (disable for speed inside tight
+            sweeps over real-valued interpolations of integer domains).
+    """
+
+    def __init__(
+        self,
+        assembly: Assembly,
+        validate: bool = True,
+        check_domains: bool = True,
+    ):
+        self.assembly = assembly
+        self.check_domains = check_domains
+        if validate:
+            report = validate_assembly(assembly)
+            report.raise_if_invalid()
+        self._cache: dict[tuple, float] = {}
+        self._stack: list[str] = []
+
+    # -- public API ----------------------------------------------------------
+
+    def pfail(self, service: str | Service, **actuals: float) -> float:
+        """``Pfail(S, fp)`` for concrete actual parameters."""
+        svc = self._coerce(service)
+        return self._pfail_service(svc, self._normalize(svc, actuals))
+
+    def reliability(self, service: str | Service, **actuals: float) -> float:
+        """``1 - Pfail(S, fp)``."""
+        return 1.0 - self.pfail(service, **actuals)
+
+    def report(self, service: str | Service, **actuals: float) -> EvaluationReport:
+        """Evaluate a composite service and return per-state diagnostics."""
+        svc = self._coerce(service)
+        if not isinstance(svc, CompositeService):
+            raise EvaluationError(
+                f"report() requires a composite service; {svc.name!r} is simple"
+            )
+        normalized = self._normalize(svc, actuals)
+        env = svc.evaluation_environment(dict(normalized), check=self.check_domains)
+        failures: dict[str, float] = {}
+        breakdowns: list[StateBreakdown] = []
+        self._stack.append(svc.name)
+        try:
+            for state in svc.flow.states:
+                internal, external, masking = self._state_probabilities(
+                    svc, state, env
+                )
+                failures[state.name] = state_failure_probability(
+                    state.completion, state.shared, internal, external,
+                    masking, groups=state.sharing_groups,
+                )
+                breakdowns.append(
+                    StateBreakdown(
+                        state.name,
+                        failures[state.name],
+                        tuple(internal),
+                        tuple(external),
+                        expected_visits=float("nan"),  # filled after absorption
+                    )
+                )
+        finally:
+            self._stack.pop()
+        chain = augment_with_failures(svc.flow, env, failures)
+        analysis = AbsorbingChainAnalysis(chain)
+        for breakdown in breakdowns:
+            breakdown.expected_visits = analysis.expected_visits(
+                START, breakdown.state
+            )
+        pfail = 1.0 - analysis.absorption_probability(START, END)
+        return EvaluationReport(svc.name, dict(normalized), pfail, tuple(breakdowns))
+
+    def state_probabilities(
+        self, service: str | Service, **actuals: float
+    ) -> dict[str, tuple[tuple[float, ...], tuple[float, ...]]]:
+        """Per-state ``(internal, external)`` request failure probabilities
+        of a composite service under concrete actuals.
+
+        This exposes the raw inputs of eqs. (4)-(13) — used by the
+        related-work adapters in :mod:`repro.baselines` and by diagnostic
+        tooling.
+        """
+        svc = self._coerce(service)
+        if not isinstance(svc, CompositeService):
+            raise EvaluationError(
+                f"state_probabilities() requires a composite service; "
+                f"{svc.name!r} is simple"
+            )
+        normalized = self._normalize(svc, actuals)
+        env = svc.evaluation_environment(dict(normalized), check=self.check_domains)
+        out: dict[str, tuple[tuple[float, ...], tuple[float, ...]]] = {}
+        self._stack.append(svc.name)
+        try:
+            for state in svc.flow.states:
+                internal, external, _ = self._state_probabilities(svc, state, env)
+                out[state.name] = (tuple(internal), tuple(external))
+        finally:
+            self._stack.pop()
+        return out
+
+    def clear_cache(self) -> None:
+        """Drop all memoized results (e.g. after mutating the assembly)."""
+        self._cache.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _coerce(self, service: str | Service) -> Service:
+        if isinstance(service, Service):
+            return service
+        return self.assembly.service(service)
+
+    def _normalize(
+        self, service: Service, actuals: Mapping[str, float]
+    ) -> tuple[tuple[str, float], ...]:
+        """Validate and canonicalize actuals into a hashable memo key part."""
+        formals = service.formal_parameters
+        missing = [f for f in formals if f not in actuals]
+        if missing:
+            raise EvaluationError(
+                f"service {service.name!r}: missing actual parameters {missing}"
+            )
+        extra = [a for a in actuals if a not in formals]
+        if extra:
+            raise EvaluationError(
+                f"service {service.name!r}: unknown actual parameters {extra}"
+            )
+        values = []
+        for name in formals:
+            value = actuals[name]
+            if isinstance(value, np.ndarray):
+                raise EvaluationError(
+                    "the numeric evaluator takes scalar actuals; use "
+                    "repro.analysis.sweep or the symbolic evaluator for "
+                    "vectorized sweeps"
+                )
+            values.append((name, float(value)))
+        return tuple(values)
+
+    def _pfail_service(self, service: Service, actuals: tuple[tuple[str, float], ...]) -> float:
+        key = (service.name, actuals)
+        if key in self._cache:
+            return self._cache[key]
+        if service.name in self._stack:
+            start = self._stack.index(service.name)
+            return self._handle_cycle(
+                key, tuple(self._stack[start:]) + (service.name,)
+            )
+        self._stack.append(service.name)
+        try:
+            value = self._compute(service, dict(actuals))
+        finally:
+            self._stack.pop()
+        if not -_TOL <= value <= 1.0 + _TOL:
+            raise ProbabilityRangeError(f"Pfail({service.name})", value)
+        value = min(max(value, 0.0), 1.0)
+        self._cache[key] = value
+        return value
+
+    def _handle_cycle(self, key: tuple, cycle: tuple[str, ...]) -> float:
+        """Hook invoked on re-entrant evaluation of a service.
+
+        The base evaluator treats a cycle as fatal, exactly where the
+        paper's procedure would loop forever.
+        :class:`~repro.core.fixed_point.FixedPointEvaluator` overrides this
+        to return the current fixed-point estimate instead.
+        """
+        raise CyclicAssemblyError(cycle)
+
+    def _compute(self, service: Service, actuals: dict[str, float]) -> float:
+        # Abstract domains constrain what callers may request of the
+        # assembly, so they are enforced on the top-level actuals only;
+        # derived actuals (e.g. list * log2(list)) may fall between the
+        # representative elements of an integer domain.
+        check = self.check_domains and len(self._stack) == 1
+        if isinstance(service, SimpleService):
+            env = service.evaluation_environment(actuals, check=check)
+            return float(service.failure_probability.evaluate(env))
+        if not isinstance(service, CompositeService):
+            raise ModelError(f"cannot evaluate service of type {type(service)!r}")
+        env = service.evaluation_environment(actuals, check=check)
+        failures: dict[str, float] = {}
+        for state in service.flow.states:
+            internal, external, masking = self._state_probabilities(
+                service, state, env
+            )
+            failures[state.name] = state_failure_probability(
+                state.completion, state.shared, internal, external,
+                masking, groups=state.sharing_groups,
+            )
+        chain = augment_with_failures(service.flow, env, failures)
+        analysis = AbsorbingChainAnalysis(chain)
+        return 1.0 - analysis.absorption_probability(START, END)
+
+    def _state_probabilities(
+        self, service: CompositeService, state: FlowState, env: Environment
+    ) -> tuple[list[float], list[float], list[float]]:
+        """Internal failure, external failure and error-masking
+        probabilities for every request of one state, under the caller's
+        environment."""
+        internal: list[float] = []
+        external: list[float] = []
+        masking: list[float] = []
+        for request in state.requests:
+            resolved = self.assembly.resolve_request(service.name, request)
+            p_int = float(request.internal_failure.evaluate(env))
+
+            callee_actuals = tuple(
+                (name, float(request.actuals[name].evaluate(env)))
+                for name in resolved.provider.formal_parameters
+            )
+            p_service = self._pfail_service(resolved.provider, callee_actuals)
+
+            if resolved.connector is None:
+                p_connector = 0.0
+            else:
+                connector_actuals = tuple(
+                    (name, float(resolved.connector_actuals[name].evaluate(env)))
+                    for name in resolved.connector.formal_parameters
+                )
+                p_connector = self._pfail_service(resolved.connector, connector_actuals)
+
+            internal.append(p_int)
+            external.append(external_failure_probability(p_service, p_connector))
+            masking.append(float(request.masking.evaluate(env)))
+        return internal, external, masking

@@ -1,0 +1,99 @@
+"""Failure-structure augmentation of a flow (section 3.2, Figure 5).
+
+Under the fail-stop / no-repair assumptions, adding failure behavior to a
+usage-profile flow means:
+
+1. add a new ``Fail`` absorbing state;
+2. for every internal state ``i`` with failure probability
+   ``f = p(i, Fail)``: add a transition ``i -> Fail`` with probability ``f``
+   and re-weight every existing outgoing transition by ``(1 - f)``;
+3. leave ``Start`` untouched — "we assume that it does not represent any
+   real behavior, and hence no failure can occur in it";
+4. ``End`` and ``Fail`` are absorbing.
+
+The result is a concrete :class:`~repro.markov.DiscreteTimeMarkovChain` on
+which eq. (3) is one absorption query.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import InvalidFlowError, ProbabilityRangeError
+from repro.markov import ChainBuilder, DiscreteTimeMarkovChain
+from repro.model.flow import END, FAIL, START, ServiceFlow
+from repro.symbolic import Environment
+
+__all__ = ["augment_with_failures", "FAIL"]
+
+
+def augment_with_failures(
+    flow: ServiceFlow,
+    environment: Environment | Mapping[str, float],
+    state_failure_probabilities: Mapping[str, float],
+) -> DiscreteTimeMarkovChain:
+    """Build the failure-augmented concrete DTMC of a flow.
+
+    Args:
+        flow: the parametric usage profile.
+        environment: bindings for the flow's formal parameters (and the
+            owning service's attributes), used to evaluate transition
+            probabilities.
+        state_failure_probabilities: ``p(i, Fail)`` per internal state name,
+            as computed by :mod:`repro.core.state_failure`.
+
+    Returns:
+        A DTMC over ``Start``, the internal states, ``End`` and ``Fail``.
+
+    Raises:
+        InvalidFlowError: if probabilities fail to normalize under
+            ``environment`` or a failure probability is supplied for an
+            unknown state.
+        ProbabilityRangeError: if a supplied failure probability is outside
+            ``[0, 1]``.
+    """
+    known = {state.name for state in flow.states}
+    unknown = set(state_failure_probabilities) - known
+    if unknown:
+        raise InvalidFlowError(
+            f"failure probabilities supplied for unknown states {sorted(unknown)}"
+        )
+    missing = known - set(state_failure_probabilities)
+    if missing:
+        raise InvalidFlowError(
+            f"failure probabilities missing for states {sorted(missing)}"
+        )
+
+    flow.check_probabilities(environment)
+
+    builder = ChainBuilder()
+    # pin a deterministic state order: Start, internal states, End, Fail
+    builder.add_state(START)
+    for state in flow.states:
+        builder.add_state(state.name)
+    builder.add_state(END)
+    builder.add_state(FAIL)
+
+    for transition in flow.outgoing(START):
+        probability = float(transition.probability.evaluate(environment))
+        if probability > 0.0:
+            builder.add_edge(START, transition.target, probability)
+
+    for state in flow.states:
+        fail_probability = float(state_failure_probabilities[state.name])
+        if not 0.0 <= fail_probability <= 1.0 + 1e-12:
+            raise ProbabilityRangeError(
+                f"failure probability of state {state.name!r}", fail_probability
+            )
+        fail_probability = min(fail_probability, 1.0)
+        survive = 1.0 - fail_probability
+        for transition in flow.outgoing(state.name):
+            probability = float(transition.probability.evaluate(environment))
+            if probability > 0.0:
+                builder.add_edge(state.name, transition.target, survive * probability)
+        if fail_probability > 0.0:
+            builder.add_edge(state.name, FAIL, fail_probability)
+
+    # End/Fail get their absorbing self-loops from ChainBuilder's
+    # no-outgoing-edges convention.
+    return builder.build()

@@ -1,0 +1,504 @@
+"""Symbolic (closed-form) reliability evaluation.
+
+Section 4 of the paper notes that, "thanks to the possibility of a symbolic
+evaluation, we can directly start from the bottom of the recursion ... going
+up to upper levels", deriving Pfail(search, ...) as the closed forms
+(15)–(22) instead of repeatedly solving matrices numerically.
+
+:class:`SymbolicEvaluator` mechanizes that derivation for *any* assembly:
+it returns ``Pfail(S, fp)`` as a single
+:class:`~repro.symbolic.Expression` over the formal parameters of ``S``.
+The derivation mirrors the numeric evaluator exactly —
+
+- simple services contribute their published expressions with interface
+  attributes substituted (numerically, or as named symbols when
+  ``symbolic_attributes=True``, which reproduces the paper's fully symbolic
+  formulas with ``lambda1``, ``gamma``, ... left free);
+- composite services substitute each callee's closed form with the actual
+  parameter expressions (the ``N := list * log(list)`` substitution the
+  paper highlights below eq. 18), combine per-state failure expressions
+  under the completion/sharing models, and eliminate the flow's Markov
+  structure symbolically (back-substitution for acyclic flows, symbolic
+  Gaussian elimination for flows with loops).
+
+The result can then be evaluated *vectorized* over numpy arrays — this is
+how the Figure 6 sweep computes 8 curves x hundreds of points in a single
+expression evaluation — and differentiated for sensitivity analysis.
+
+Equivalence with the numeric evaluator (to ~1e-12) is asserted by
+``tests/integration/test_section4_closed_forms.py`` and by property tests
+over randomized assemblies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    CyclicAssemblyError,
+    EvaluationError,
+    ModelError,
+)
+from repro.model.assembly import Assembly
+from repro.model.completion import (
+    AndCompletion,
+    CompletionModel,
+    OrCompletion,
+)
+from repro.model.flow import END, START, FlowState, ServiceFlow
+from repro.model.service import CompositeService, Service, SimpleService
+from repro.model.validation import validate_assembly
+from repro.symbolic import (
+    Constant,
+    Environment,
+    Expression,
+    Parameter,
+    simplify,
+)
+
+__all__ = ["SymbolicEvaluator", "attribute_environment", "attribute_symbol"]
+
+_ONE = Constant(1.0)
+_ZERO = Constant(0.0)
+
+
+def attribute_symbol(service_name: str, attribute: str) -> str:
+    """The parameter name used for an interface attribute left symbolic."""
+    return f"{service_name}::{attribute}"
+
+
+def attribute_environment(assembly: Assembly) -> Environment:
+    """An environment binding every ``service::attribute`` symbol of the
+    assembly to its published numeric value — pairs with
+    ``SymbolicEvaluator(symbolic_attributes=True)`` to evaluate or
+    differentiate fully symbolic formulas at the published design point."""
+    bindings: dict[str, float] = {}
+    for service in assembly.services:
+        for attr, value in service.interface.attributes.items():
+            bindings[attribute_symbol(service.name, attr)] = value
+    return Environment(bindings)
+
+
+class SymbolicEvaluator:
+    """Closed-form implementation of ``Pfail_Alg`` over one assembly.
+
+    Args:
+        assembly: the (acyclic) service assembly.
+        symbolic_attributes: leave interface attributes as free symbols
+            named ``service::attribute`` instead of substituting their
+            numeric values.
+        validate: run structural validation up front.
+    """
+
+    def __init__(
+        self,
+        assembly: Assembly,
+        symbolic_attributes: bool = False,
+        validate: bool = True,
+    ):
+        self.assembly = assembly
+        self.symbolic_attributes = symbolic_attributes
+        if validate:
+            validate_assembly(assembly).raise_if_invalid()
+        self._cache: dict[str, Expression] = {}
+        self._stack: list[str] = []
+
+    # -- public API ----------------------------------------------------------
+
+    def pfail_expression(self, service: str | Service) -> Expression:
+        """``Pfail(S, fp)`` as an expression over S's formal parameters
+        (plus ``service::attribute`` symbols when ``symbolic_attributes``)."""
+        svc = service if isinstance(service, Service) else self.assembly.service(service)
+        return self._pfail(svc)
+
+    def reliability_expression(self, service: str | Service) -> Expression:
+        """``1 - Pfail(S, fp)`` as an expression."""
+        return simplify(_ONE - self.pfail_expression(service))
+
+    # -- recursion ----------------------------------------------------------
+
+    def _pfail(self, service: Service) -> Expression:
+        if service.name in self._cache:
+            return self._cache[service.name]
+        if service.name in self._stack:
+            start = self._stack.index(service.name)
+            raise CyclicAssemblyError(tuple(self._stack[start:]) + (service.name,))
+        self._stack.append(service.name)
+        try:
+            if isinstance(service, SimpleService):
+                expr = self._attribute_substitute(
+                    service, service.failure_probability
+                )
+            elif isinstance(service, CompositeService):
+                expr = self._pfail_composite(service)
+            else:
+                raise ModelError(f"cannot evaluate service type {type(service)!r}")
+        finally:
+            self._stack.pop()
+        expr = simplify(expr)
+        self._cache[service.name] = expr
+        return expr
+
+    def _attribute_substitute(self, service: Service, expr: Expression) -> Expression:
+        mapping: dict[str, Expression] = {}
+        for attr, value in service.interface.attributes.items():
+            if self.symbolic_attributes:
+                mapping[attr] = Parameter(attribute_symbol(service.name, attr))
+            else:
+                mapping[attr] = Constant(value)
+        return expr.substitute(mapping) if mapping else expr
+
+    def _pfail_composite(self, service: CompositeService) -> Expression:
+        failures: dict[str, Expression] = {}
+        for state in service.flow.states:
+            failures[state.name] = self._state_failure(service, state)
+        survival = _solve_success_probability(service.flow, failures, service, self)
+        return simplify(_ONE - survival)
+
+    def _state_failure(self, service: CompositeService, state: FlowState) -> Expression:
+        internal: list[Expression] = []
+        external: list[Expression] = []
+        masking: list[Expression] = []
+        for request in state.requests:
+            resolved = self.assembly.resolve_request(service.name, request)
+            p_int = self._attribute_substitute(service, request.internal_failure)
+
+            callee = self._pfail(resolved.provider)
+            callee_actuals = {
+                name: self._attribute_substitute(service, request.actuals[name])
+                for name in resolved.provider.formal_parameters
+            }
+            p_service = callee.substitute(callee_actuals)
+
+            if resolved.connector is None:
+                p_connector: Expression = _ZERO
+            else:
+                conn = self._pfail(resolved.connector)
+                conn_actuals = {
+                    name: self._attribute_substitute(
+                        service, resolved.connector_actuals[name]
+                    )
+                    for name in resolved.connector.formal_parameters
+                }
+                p_connector = conn.substitute(conn_actuals)
+
+            internal.append(simplify(p_int))
+            external.append(
+                simplify(_ONE - (_ONE - p_service) * (_ONE - p_connector))
+            )
+            masking.append(
+                simplify(self._attribute_substitute(service, request.masking))
+            )
+        return simplify(
+            _symbolic_state_failure(
+                state.completion, state.shared, internal, external, masking,
+                groups=state.sharing_groups,
+            )
+        )
+
+
+def _symbolic_state_failure(
+    completion: CompletionModel,
+    shared: bool,
+    internal: list[Expression],
+    external: list[Expression],
+    masking: list[Expression] | None = None,
+    groups: tuple[tuple[int, ...], ...] | None = None,
+) -> Expression:
+    """Expression form of eqs. (4)-(13), the k-of-n extension, the
+    error-masking extension, and the grouped-sharing extension."""
+    n = len(internal)
+    if n == 0:
+        return _ZERO
+    k = completion.required_successes(n)
+    if masking is None:
+        masking = [_ZERO] * n
+
+    if groups is not None:
+        return _symbolic_grouped_state_failure(
+            k, groups, internal, external, masking
+        )
+
+    if any(not (isinstance(m, Constant) and m.value == 0.0) for m in masking):
+        return _symbolic_masked_state_failure(
+            k, shared, internal, external, masking
+        )
+
+    if isinstance(completion, AndCompletion):
+        # eq. (6) == eq. (11): sharing-insensitive
+        survive = _ONE
+        for pi, pe in zip(internal, external):
+            survive = survive * (_ONE - pi) * (_ONE - pe)
+        return _ONE - survive
+
+    if isinstance(completion, OrCompletion):
+        if not shared:
+            # eq. (7)+(8)
+            out = _ONE
+            for pi, pe in zip(internal, external):
+                out = out * (_ONE - (_ONE - pi) * (_ONE - pe))
+            return out
+        # eq. (12)
+        no_ext = _ONE
+        all_int = _ONE
+        for pi, pe in zip(internal, external):
+            no_ext = no_ext * (_ONE - pe)
+            all_int = all_int * pi
+        return _ONE - no_ext * (_ONE - all_int)
+
+    # general k-of-n via a symbolic Poisson-binomial DP
+    def below(successes: list[Expression], required: int) -> Expression:
+        dist: list[Expression] = [_ONE] + [_ZERO] * (required - 1)
+        for p in successes:
+            new: list[Expression] = []
+            for j in range(len(dist)):
+                stay = dist[j] * (_ONE - p)
+                step = dist[j - 1] * p if j > 0 else _ZERO
+                new.append(simplify(stay + step))
+            dist = new
+        total: Expression = _ZERO
+        for term in dist:
+            total = total + term
+        return simplify(total)
+
+    if not shared:
+        successes = [
+            simplify((_ONE - pi) * (_ONE - pe))
+            for pi, pe in zip(internal, external)
+        ]
+        return below(successes, k)
+    no_ext = _ONE
+    for pe in external:
+        no_ext = no_ext * (_ONE - pe)
+    internal_only = below([simplify(_ONE - pi) for pi in internal], k)
+    return (_ONE - no_ext) + no_ext * internal_only
+
+
+def _poisson_binomial_below_expr(successes: list[Expression], required: int) -> Expression:
+    """Symbolic ``P(#successes < required)`` via the same DP as the
+    numeric engine."""
+    if required <= 0:
+        return _ZERO
+    dist: list[Expression] = [_ONE] + [_ZERO] * (required - 1)
+    for p in successes:
+        new: list[Expression] = []
+        for j in range(len(dist)):
+            stay = dist[j] * (_ONE - p)
+            step = dist[j - 1] * p if j > 0 else _ZERO
+            new.append(simplify(stay + step))
+        dist = new
+    total: Expression = _ZERO
+    for term in dist:
+        total = total + term
+    return simplify(total)
+
+
+def _symbolic_grouped_state_failure(
+    k: int,
+    groups: tuple[tuple[int, ...], ...],
+    internal: list[Expression],
+    external: list[Expression],
+    masking: list[Expression],
+) -> Expression:
+    """The grouped-sharing extension, symbolically (mirrors the numeric
+    :func:`repro.core.state_failure.grouped_state_failure_probability`)."""
+    from itertools import product as _cartesian
+
+    n = len(internal)
+    multi = [tuple(g) for g in groups if len(g) >= 2]
+    base_success: dict[int, Expression] = {}
+    for g in groups:
+        if len(g) == 1:
+            j = g[0]
+            base_success[j] = simplify(
+                _ONE
+                - (_ONE - masking[j])
+                * (_ONE - (_ONE - internal[j]) * (_ONE - external[j]))
+            )
+
+    total: Expression = _ZERO
+    for statuses in _cartesian((False, True), repeat=len(multi)):
+        weight: Expression = _ONE
+        successes: list[Expression] = [_ZERO] * n
+        for j, value in base_success.items():
+            successes[j] = value
+        for group, group_failed in zip(multi, statuses):
+            no_ext: Expression = _ONE
+            for j in group:
+                no_ext = no_ext * (_ONE - external[j])
+            no_ext = simplify(no_ext)
+            weight = weight * ((_ONE - no_ext) if group_failed else no_ext)
+            for j in group:
+                if group_failed:
+                    successes[j] = masking[j]
+                else:
+                    successes[j] = simplify(
+                        _ONE - (_ONE - masking[j]) * internal[j]
+                    )
+        total = total + simplify(weight) * _poisson_binomial_below_expr(
+            successes, k
+        )
+    return simplify(total)
+
+
+def _symbolic_masked_state_failure(
+    k: int,
+    shared: bool,
+    internal: list[Expression],
+    external: list[Expression],
+    masking: list[Expression],
+) -> Expression:
+    """The error-masking extension, symbolically (mirrors the numeric
+    :func:`repro.core.state_failure.state_failure_probability`)."""
+    if not shared:
+        successes = [
+            simplify(
+                _ONE - (_ONE - m) * (_ONE - (_ONE - pi) * (_ONE - pe))
+            )
+            for pi, pe, m in zip(internal, external, masking)
+        ]
+        return _poisson_binomial_below_expr(successes, k)
+    no_ext = _ONE
+    for pe in external:
+        no_ext = no_ext * (_ONE - pe)
+    no_ext = simplify(no_ext)
+    internal_only = _poisson_binomial_below_expr(
+        [simplify(_ONE - (_ONE - m) * pi) for pi, m in zip(internal, masking)], k
+    )
+    under_ext = _poisson_binomial_below_expr(list(masking), k)
+    return simplify((_ONE - no_ext) * under_ext + no_ext * internal_only)
+
+
+def _solve_success_probability(
+    flow: ServiceFlow,
+    failures: dict[str, Expression],
+    service: CompositeService,
+    evaluator: SymbolicEvaluator,
+) -> Expression:
+    """``p*(Start, End)`` symbolically.
+
+    Unknowns ``x_i`` (probability of eventually reaching End from internal
+    state ``i``) satisfy
+
+        ``x_i = (1 - f_i) * ( sum_k p(i, k) x_k + p(i, End) )``
+
+    and ``x_Start = sum_k p(Start, k) x_k + p(Start, End)`` (no failure in
+    Start).  Acyclic flows are solved by back-substitution in reverse
+    topological order; flows with loops fall back to symbolic Gaussian
+    elimination (producing the rational functions one expects from loops).
+    """
+    internal = [s.name for s in flow.states]
+    index = {name: i for i, name in enumerate(internal)}
+
+    def substituted(expr: Expression) -> Expression:
+        return evaluator._attribute_substitute(service, expr)
+
+    # adjacency among internal states
+    edges: dict[str, list[tuple[str, Expression]]] = {name: [] for name in internal}
+    to_end: dict[str, Expression] = {name: _ZERO for name in internal}
+    for name in internal:
+        for t in flow.outgoing(name):
+            prob = substituted(t.probability)
+            if t.target == END:
+                to_end[name] = simplify(to_end[name] + prob)
+            else:
+                edges[name].append((t.target, prob))
+
+    order = _topological(internal, edges)
+    if order is not None:
+        x: dict[str, Expression] = {}
+        for name in reversed(order):
+            inner = to_end[name]
+            for target, prob in edges[name]:
+                inner = inner + prob * x[target]
+            x[name] = simplify((_ONE - failures[name]) * inner)
+    else:
+        x = _gaussian_solve(internal, index, edges, to_end, failures)
+
+    start_value: Expression = _ZERO
+    for t in flow.outgoing(START):
+        prob = substituted(t.probability)
+        if t.target == END:
+            start_value = start_value + prob
+        else:
+            start_value = start_value + prob * x[t.target]
+    return simplify(start_value)
+
+
+def _topological(
+    nodes: list[str], edges: dict[str, list[tuple[str, Expression]]]
+) -> list[str] | None:
+    """Topological order of internal states, or None when cyclic."""
+    indegree = {n: 0 for n in nodes}
+    for source in nodes:
+        for target, _ in edges[source]:
+            indegree[target] += 1
+    queue = [n for n in nodes if indegree[n] == 0]
+    order: list[str] = []
+    while queue:
+        node = queue.pop()
+        order.append(node)
+        for target, _ in edges[node]:
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                queue.append(target)
+    if len(order) != len(nodes):
+        return None
+    return order
+
+
+def _gaussian_solve(
+    nodes: list[str],
+    index: dict[str, int],
+    edges: dict[str, list[tuple[str, Expression]]],
+    to_end: dict[str, Expression],
+    failures: dict[str, Expression],
+) -> dict[str, Expression]:
+    """Symbolic Gaussian elimination for cyclic flows.
+
+    Solves ``(I - C) x = b`` where ``C[i][k] = (1 - f_i) p(i, k)`` and
+    ``b[i] = (1 - f_i) p(i, End)``.  Pivots are symbolic; a pivot that
+    simplifies to the constant zero means the flow wiring makes End
+    unreachable from some state, which flow validation already excludes —
+    it is reported defensively anyway.
+    """
+    n = len(nodes)
+    matrix: list[list[Expression]] = [
+        [_ONE if i == j else _ZERO for j in range(n)] for i in range(n)
+    ]
+    rhs: list[Expression] = [_ZERO] * n
+    for name in nodes:
+        i = index[name]
+        survive = simplify(_ONE - failures[name])
+        rhs[i] = simplify(survive * to_end[name])
+        for target, prob in edges[name]:
+            j = index[target]
+            matrix[i][j] = simplify(matrix[i][j] - survive * prob)
+
+    for col in range(n):
+        # pick a pivot row whose diagonal is not literally zero
+        pivot_row = None
+        for row in range(col, n):
+            candidate = simplify(matrix[row][col])
+            if not (isinstance(candidate, Constant) and candidate.value == 0.0):
+                pivot_row = row
+                break
+        if pivot_row is None:
+            raise EvaluationError(
+                "singular symbolic system: End unreachable from some state"
+            )
+        matrix[col], matrix[pivot_row] = matrix[pivot_row], matrix[col]
+        rhs[col], rhs[pivot_row] = rhs[pivot_row], rhs[col]
+        pivot = matrix[col][col]
+        for row in range(n):
+            if row == col:
+                continue
+            factor = simplify(matrix[row][col] / pivot)
+            if isinstance(factor, Constant) and factor.value == 0.0:
+                continue
+            for k in range(col, n):
+                matrix[row][k] = simplify(matrix[row][k] - factor * matrix[col][k])
+            rhs[row] = simplify(rhs[row] - factor * rhs[col])
+
+    return {
+        name: simplify(rhs[index[name]] / matrix[index[name]][index[name]])
+        for name in nodes
+    }

@@ -1,0 +1,21 @@
+"""Machine-processable analytic-interface descriptions (JSON schema
+``repro/1``) — the section 5 embedding of the paper's interface elements
+into a service-description language."""
+
+from repro.dsl.loader import assembly_from_dict, load_assembly, service_from_dict
+from repro.dsl.serializer import (
+    SCHEMA_VERSION,
+    assembly_to_dict,
+    dump_assembly,
+    service_to_dict,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "assembly_from_dict",
+    "assembly_to_dict",
+    "dump_assembly",
+    "load_assembly",
+    "service_from_dict",
+    "service_to_dict",
+]

@@ -1,0 +1,182 @@
+"""Deserialization of models from the ``repro/1`` JSON schema.
+
+Inverse of :mod:`repro.dsl.serializer`.  Expression fields accept either
+the AST-dictionary form or a plain string (parsed with
+:func:`repro.symbolic.parse_expression`), so hand-written model files stay
+readable::
+
+    {"target": "cpu", "actuals": {"N": "list * log2(list)"}, ...}
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ModelError
+from repro.model.assembly import Assembly
+from repro.model.completion import AND, OR, CompletionModel, KOfNCompletion
+from repro.model.connector import CompositeConnector, SimpleConnector
+from repro.model.flow import FlowState, FlowTransition, ServiceFlow
+from repro.model.parameters import (
+    FiniteDomain,
+    FormalParameter,
+    IntegerDomain,
+    ParameterDomain,
+    RealDomain,
+)
+from repro.model.requests import ServiceRequest
+from repro.model.service import (
+    AnalyticInterface,
+    CompositeService,
+    Service,
+    SimpleService,
+)
+from repro.symbolic import Expression, parse_expression
+
+__all__ = ["service_from_dict", "assembly_from_dict", "load_assembly"]
+
+
+def _expression(data) -> Expression:
+    if isinstance(data, str):
+        return parse_expression(data)
+    if isinstance(data, (int, float)) and not isinstance(data, bool):
+        from repro.symbolic import Constant
+
+        return Constant(float(data))
+    if isinstance(data, dict):
+        return Expression.from_dict(data)
+    raise ModelError(f"cannot interpret {data!r} as an expression")
+
+
+def _bound(value, default: float) -> float:
+    return default if value is None else float(value)
+
+
+def _domain_from_dict(data: dict) -> ParameterDomain:
+    kind = data.get("kind")
+    if kind == "integer":
+        return IntegerDomain(
+            low=int(_bound(data.get("low"), 0)),
+            high=_bound(data.get("high"), float("inf")),
+        )
+    if kind == "real":
+        return RealDomain(
+            low=_bound(data.get("low"), float("-inf")),
+            high=_bound(data.get("high"), float("inf")),
+        )
+    if kind == "finite":
+        return FiniteDomain(tuple(data["values"]))
+    raise ModelError(f"unknown domain kind {kind!r}")
+
+
+def _completion_from_dict(data: dict) -> CompletionModel:
+    kind = data.get("kind")
+    if kind == "and":
+        return AND
+    if kind == "or":
+        return OR
+    if kind == "k_of_n":
+        return KOfNCompletion(int(data["k"]))
+    raise ModelError(f"unknown completion kind {kind!r}")
+
+
+def _interface_from_dict(data: dict) -> AnalyticInterface:
+    parameters = tuple(
+        FormalParameter(
+            p["name"],
+            domain=_domain_from_dict(p.get("domain", {"kind": "integer", "low": 0})),
+            direction=p.get("direction", "in"),
+            description=p.get("description", ""),
+        )
+        for p in data.get("parameters", ())
+    )
+    return AnalyticInterface(
+        formal_parameters=parameters,
+        attributes=data.get("attributes", {}),
+        description=data.get("description", ""),
+    )
+
+
+def _flow_from_dict(data: dict) -> ServiceFlow:
+    states = []
+    for s in data.get("states", ()):
+        requests = []
+        for r in s.get("requests", ()):
+            connector_actuals = r.get("connector_actuals")
+            requests.append(
+                ServiceRequest(
+                    r["target"],
+                    actuals={k: _expression(v) for k, v in r.get("actuals", {}).items()},
+                    internal_failure=_expression(r.get("internal_failure", 0)),
+                    masking=_expression(r.get("masking", 0)),
+                    connector_actuals=(
+                        None
+                        if connector_actuals is None
+                        else {k: _expression(v) for k, v in connector_actuals.items()}
+                    ),
+                    label=r.get("label", ""),
+                )
+            )
+        raw_groups = s.get("sharing_groups")
+        states.append(
+            FlowState(
+                s["name"],
+                tuple(requests),
+                completion=_completion_from_dict(s.get("completion", {"kind": "and"})),
+                shared=bool(s.get("shared", False)),
+                sharing_groups=(
+                    None
+                    if raw_groups is None
+                    else tuple(tuple(int(i) for i in g) for g in raw_groups)
+                ),
+            )
+        )
+    transitions = [
+        FlowTransition(t["source"], t["target"], _expression(t["probability"]))
+        for t in data.get("transitions", ())
+    ]
+    return ServiceFlow(tuple(data.get("formals", ())), states, transitions)
+
+
+def service_from_dict(data: dict) -> Service:
+    """Rebuild one service from its serialized form."""
+    kind = data.get("kind")
+    name = data["name"]
+    interface = _interface_from_dict(data.get("interface", {}))
+    is_connector = bool(data.get("connector", False))
+    if kind == "simple":
+        cls = SimpleConnector if is_connector else SimpleService
+        raw_duration = data.get("duration")
+        return cls(
+            name, interface, _expression(data.get("failure_probability", 0)),
+            duration=None if raw_duration is None else _expression(raw_duration),
+        )
+    if kind == "composite":
+        cls = CompositeConnector if is_connector else CompositeService
+        return cls(name, interface, _flow_from_dict(data["flow"]))
+    raise ModelError(f"unknown service kind {kind!r}")
+
+
+def assembly_from_dict(data: dict) -> Assembly:
+    """Rebuild a whole assembly from its serialized form."""
+    assembly = Assembly(data.get("name", "assembly"))
+    for service_data in data.get("services", ()):
+        assembly.add_service(service_from_dict(service_data))
+    for binding in data.get("bindings", ()):
+        assembly.bind(
+            binding["consumer"],
+            binding["slot"],
+            binding["provider"],
+            connector=binding.get("connector"),
+            connector_actuals={
+                k: _expression(v)
+                for k, v in (binding.get("connector_actuals") or {}).items()
+            },
+        )
+    return assembly
+
+
+def load_assembly(text: str) -> Assembly:
+    """Parse a JSON string produced by
+    :func:`repro.dsl.serializer.dump_assembly`."""
+    return assembly_from_dict(json.loads(text))

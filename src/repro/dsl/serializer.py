@@ -1,0 +1,201 @@
+"""Serialization of models to plain JSON-compatible dictionaries.
+
+Section 5 of the paper argues that integrating reliability prediction with
+automated discovery/composition requires "the embedding of the analytic
+interface ... into the machine-processable languages used to support the
+service description and composition" (OWL-S, BPEL4WS, WSDL), listing the
+required elements: the probabilistic flow graph, the internal failure
+model, and service-request models whose actual parameters are functions of
+the calling service's formal parameters.
+
+This module is that machine-processable form, as a neutral JSON schema
+(version tag ``repro/1``): every element the paper lists round-trips
+through :mod:`repro.dsl.loader`.  Expressions serialize as AST dictionaries
+(see :meth:`repro.symbolic.Expression.to_dict`); the loader additionally
+accepts plain strings parsed by :func:`repro.symbolic.parse_expression`,
+which keeps hand-written files readable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.errors import ModelError
+from repro.model.assembly import Assembly, Binding
+from repro.model.completion import (
+    AndCompletion,
+    CompletionModel,
+    KOfNCompletion,
+    OrCompletion,
+)
+from repro.model.flow import ServiceFlow
+from repro.model.parameters import (
+    FiniteDomain,
+    IntegerDomain,
+    ParameterDomain,
+    RealDomain,
+)
+from repro.model.service import (
+    AnalyticInterface,
+    CompositeService,
+    Service,
+    SimpleService,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "service_to_dict",
+    "assembly_to_dict",
+    "dump_assembly",
+]
+
+#: Schema tag written into every serialized document.
+SCHEMA_VERSION = "repro/1"
+
+
+def _finite_or_none(value: float) -> float | None:
+    """JSON has no infinity; open bounds serialize as null."""
+    return None if math.isinf(value) else value
+
+
+def _domain_to_dict(domain: ParameterDomain) -> dict:
+    if isinstance(domain, IntegerDomain):
+        return {
+            "kind": "integer",
+            "low": _finite_or_none(domain.low),
+            "high": _finite_or_none(domain.high),
+        }
+    if isinstance(domain, RealDomain):
+        return {
+            "kind": "real",
+            "low": _finite_or_none(domain.low),
+            "high": _finite_or_none(domain.high),
+        }
+    if isinstance(domain, FiniteDomain):
+        return {"kind": "finite", "values": list(domain.values)}
+    raise ModelError(f"cannot serialize domain {domain!r}")
+
+
+def _completion_to_dict(completion: CompletionModel) -> dict:
+    if isinstance(completion, AndCompletion):
+        return {"kind": "and"}
+    if isinstance(completion, OrCompletion):
+        return {"kind": "or"}
+    if isinstance(completion, KOfNCompletion):
+        return {"kind": "k_of_n", "k": completion.k}
+    raise ModelError(f"cannot serialize completion model {completion!r}")
+
+
+def _interface_to_dict(interface: AnalyticInterface) -> dict:
+    return {
+        "parameters": [
+            {
+                "name": p.name,
+                "domain": _domain_to_dict(p.domain),
+                "direction": p.direction,
+                "description": p.description,
+            }
+            for p in interface.formal_parameters
+        ],
+        "attributes": dict(interface.attributes),
+        "description": interface.description,
+    }
+
+
+def _flow_to_dict(flow: ServiceFlow) -> dict:
+    states = []
+    for state in flow.states:
+        requests = []
+        for request in state.requests:
+            requests.append(
+                {
+                    "target": request.target,
+                    "actuals": {k: v.to_dict() for k, v in request.actuals.items()},
+                    "internal_failure": request.internal_failure.to_dict(),
+                    "masking": request.masking.to_dict(),
+                    "connector_actuals": (
+                        None
+                        if request.connector_actuals is None
+                        else {
+                            k: v.to_dict()
+                            for k, v in request.connector_actuals.items()
+                        }
+                    ),
+                    "label": request.label,
+                }
+            )
+        states.append(
+            {
+                "name": state.name,
+                "completion": _completion_to_dict(state.completion),
+                "shared": state.shared,
+                "sharing_groups": (
+                    None
+                    if state.sharing_groups is None
+                    else [list(group) for group in state.sharing_groups]
+                ),
+                "requests": requests,
+            }
+        )
+    return {
+        "formals": list(flow.formal_parameters),
+        "states": states,
+        "transitions": [
+            {
+                "source": t.source,
+                "target": t.target,
+                "probability": t.probability.to_dict(),
+            }
+            for t in flow.transitions
+        ],
+    }
+
+
+def service_to_dict(service: Service) -> dict:
+    """Serialize one service (simple or composite, connector or not)."""
+    base = {
+        "schema": SCHEMA_VERSION,
+        "name": service.name,
+        "connector": service.is_connector,
+        "interface": _interface_to_dict(service.interface),
+    }
+    if isinstance(service, SimpleService):
+        base["kind"] = "simple"
+        base["failure_probability"] = service.failure_probability.to_dict()
+        base["duration"] = (
+            None if service.duration is None else service.duration.to_dict()
+        )
+        return base
+    if isinstance(service, CompositeService):
+        base["kind"] = "composite"
+        base["flow"] = _flow_to_dict(service.flow)
+        return base
+    raise ModelError(f"cannot serialize service type {type(service)!r}")
+
+
+def _binding_to_dict(binding: Binding) -> dict:
+    return {
+        "consumer": binding.consumer,
+        "slot": binding.slot,
+        "provider": binding.provider,
+        "connector": binding.connector,
+        "connector_actuals": {
+            k: v.to_dict() for k, v in binding.connector_actuals.items()
+        },
+    }
+
+
+def assembly_to_dict(assembly: Assembly) -> dict:
+    """Serialize a whole assembly (services + bindings)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": assembly.name,
+        "services": [service_to_dict(s) for s in assembly.services],
+        "bindings": [_binding_to_dict(b) for b in assembly.bindings],
+    }
+
+
+def dump_assembly(assembly: Assembly, indent: int = 2) -> str:
+    """Serialize an assembly to a JSON string."""
+    return json.dumps(assembly_to_dict(assembly), indent=indent, sort_keys=True)

@@ -1,0 +1,165 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch one base class at an API boundary.  The hierarchy mirrors the layers of
+the library:
+
+- :class:`SymbolicError` — expression construction/evaluation problems;
+- :class:`MarkovError` — malformed or non-analyzable Markov chains;
+- :class:`ModelError` — malformed architectural models (services, flows,
+  assemblies);
+- :class:`EvaluationError` — failures of the reliability evaluator itself,
+  including :class:`CyclicAssemblyError`, raised where the paper's recursive
+  procedure (section 3.3) would loop forever.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# symbolic layer
+# ---------------------------------------------------------------------------
+
+
+class SymbolicError(ReproError):
+    """Base class for expression-engine errors."""
+
+
+class UnboundParameterError(SymbolicError):
+    """An expression was evaluated without a binding for some parameter."""
+
+    def __init__(self, name: str):
+        super().__init__(f"parameter {name!r} is not bound in the environment")
+        self.name = name
+
+
+class UnknownFunctionError(SymbolicError):
+    """An expression refers to a function not present in the registry."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown function {name!r}")
+        self.name = name
+
+
+class ExpressionParseError(SymbolicError):
+    """The textual form of an expression could not be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# markov layer
+# ---------------------------------------------------------------------------
+
+
+class MarkovError(ReproError):
+    """Base class for Markov-chain errors."""
+
+
+class InvalidDistributionError(MarkovError):
+    """Transition probabilities are negative or do not sum to one."""
+
+
+class UnknownStateError(MarkovError):
+    """A transition or query refers to a state not present in the chain."""
+
+    def __init__(self, state: object):
+        super().__init__(f"unknown state {state!r}")
+        self.state = state
+
+
+class NotAbsorbingError(MarkovError):
+    """Absorbing-chain analysis was requested on a chain with no absorbing
+    state reachable from the queried start state."""
+
+
+# ---------------------------------------------------------------------------
+# model layer
+# ---------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Base class for architectural-model errors."""
+
+
+class DuplicateNameError(ModelError):
+    """Two entities in one scope (registry, assembly, flow) share a name."""
+
+    def __init__(self, kind: str, name: str):
+        super().__init__(f"duplicate {kind} name {name!r}")
+        self.kind = kind
+        self.name = name
+
+
+class UnknownServiceError(ModelError):
+    """A binding or request refers to a service that is not defined."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown service {name!r}")
+        self.name = name
+
+
+class UnboundRequirementError(ModelError):
+    """A composite service requires a service that the assembly never binds."""
+
+    def __init__(self, service: str, requirement: str):
+        super().__init__(
+            f"service {service!r} requires {requirement!r}, "
+            f"but the assembly does not bind it"
+        )
+        self.service = service
+        self.requirement = requirement
+
+
+class InvalidFlowError(ModelError):
+    """A service flow violates a structural rule (missing Start/End,
+    bad probabilities, requests attached to Start/End, ...)."""
+
+
+class InvalidSharingError(ModelError):
+    """A state declares the sharing dependency model but its requests do not
+    all target the same service through the same connector (the restriction
+    stated in section 3.2 of the paper)."""
+
+
+# ---------------------------------------------------------------------------
+# evaluation layer
+# ---------------------------------------------------------------------------
+
+
+class EvaluationError(ReproError):
+    """Base class for reliability-evaluation errors."""
+
+
+class CyclicAssemblyError(EvaluationError):
+    """The recursive evaluator hit a cycle of service requirements.
+
+    Section 3.3 of the paper notes that the recursive procedure "does not
+    work in the case of a service assembly where some services recursively
+    call each other" — the reliability is then the solution of a fixed-point
+    equation.  The default evaluator detects the cycle and raises this error;
+    :class:`repro.core.fixed_point.FixedPointEvaluator` solves such
+    assemblies instead.
+    """
+
+    def __init__(self, cycle: tuple[str, ...]):
+        super().__init__(
+            "cyclic service assembly: " + " -> ".join(cycle)
+            + " (use FixedPointEvaluator for recursive assemblies)"
+        )
+        self.cycle = cycle
+
+
+class FixedPointDivergenceError(EvaluationError):
+    """Fixed-point iteration failed to converge within the iteration cap."""
+
+
+class ProbabilityRangeError(EvaluationError):
+    """A computed or supplied probability fell outside [0, 1]."""
+
+    def __init__(self, what: str, value: float):
+        super().__init__(f"{what} = {value!r} is outside [0, 1]")
+        self.what = what
+        self.value = value

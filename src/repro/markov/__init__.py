@@ -1,0 +1,30 @@
+"""Discrete-time Markov chain substrate.
+
+The usage profile of every composite service in the paper is a DTMC; this
+subpackage provides the chain representation, the absorbing-chain analysis
+behind equation (3), long-run (stationary) analysis, and a Hidden Markov
+Model module for estimating usage profiles from observation traces (the
+paper's reference [16]).
+"""
+
+from repro.markov.absorbing import AbsorbingChainAnalysis, absorption_probability
+from repro.markov.ctmc import ContinuousTimeMarkovChain
+from repro.markov.dtmc import ChainBuilder, DiscreteTimeMarkovChain
+from repro.markov.hmm import HiddenMarkovModel
+from repro.markov.stationary import (
+    is_irreducible,
+    mean_first_passage_time,
+    stationary_distribution,
+)
+
+__all__ = [
+    "AbsorbingChainAnalysis",
+    "ChainBuilder",
+    "ContinuousTimeMarkovChain",
+    "DiscreteTimeMarkovChain",
+    "HiddenMarkovModel",
+    "absorption_probability",
+    "is_irreducible",
+    "mean_first_passage_time",
+    "stationary_distribution",
+]

@@ -1,0 +1,155 @@
+"""Absorbing-chain analysis: the numerical engine behind equation (3).
+
+The failure-augmented flow of a composite service is an absorbing DTMC with
+two absorbing states, ``End`` (successful completion) and ``Fail``.  The
+service unreliability is ``Pfail(S, fp) = 1 - p*(Start, End)`` where
+``p*(Start, End)`` is the probability of eventual absorption in ``End``
+starting from ``Start`` (eq. 3) — "standard Markov methods" in the paper's
+words.  This module implements those standard methods on top of numpy:
+
+given the canonical partition of the transition matrix into
+
+.. math::
+
+    P = \\begin{pmatrix} Q & R \\\\ 0 & I \\end{pmatrix}
+
+with ``Q`` the transient-to-transient block and ``R`` the
+transient-to-absorbing block, the fundamental matrix ``N = (I - Q)^{-1}``
+yields absorption probabilities ``B = N R``, expected visit counts ``N``
+itself, and expected steps-to-absorption ``t = N 1``.
+
+Rather than forming the inverse we solve the linear systems directly
+(``numpy.linalg.solve``), which is both faster and better conditioned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+import numpy as np
+
+from repro.errors import NotAbsorbingError, UnknownStateError
+from repro.markov.dtmc import DiscreteTimeMarkovChain
+
+__all__ = ["AbsorbingChainAnalysis", "absorption_probability"]
+
+
+class AbsorbingChainAnalysis:
+    """Cached analysis of an absorbing DTMC.
+
+    Args:
+        chain: the chain to analyze.  It must contain at least one absorbing
+            state; transient states from which no absorbing state is
+            reachable make the analysis ill-posed and raise
+            :class:`NotAbsorbingError`.
+    """
+
+    def __init__(self, chain: DiscreteTimeMarkovChain):
+        self._chain = chain
+        self._transient = list(chain.transient_states())
+        self._absorbing = list(chain.absorbing_states())
+        if not self._absorbing:
+            raise NotAbsorbingError("chain has no absorbing state")
+        self._t_index = {s: i for i, s in enumerate(self._transient)}
+        self._a_index = {s: i for i, s in enumerate(self._absorbing)}
+
+        matrix = chain.matrix
+        t_rows = [chain.index(s) for s in self._transient]
+        a_cols = [chain.index(s) for s in self._absorbing]
+        if t_rows:
+            q = matrix[np.ix_(t_rows, t_rows)]
+            r = matrix[np.ix_(t_rows, a_cols)]
+            identity = np.eye(len(t_rows))
+            system = identity - q
+            # Singular (I - Q) means some transient state can never reach an
+            # absorbing state, i.e. the chain keeps probability mass cycling
+            # forever; the reliability question is then ill-posed.
+            try:
+                self._absorption = np.linalg.solve(system, r)
+                self._expected_visits = np.linalg.solve(system, identity)
+                self._expected_steps = np.linalg.solve(
+                    system, np.ones(len(t_rows))
+                )
+            except np.linalg.LinAlgError as exc:
+                raise NotAbsorbingError(
+                    "some transient state cannot reach any absorbing state"
+                ) from exc
+        else:
+            self._absorption = np.zeros((0, len(a_cols)))
+            self._expected_visits = np.zeros((0, 0))
+            self._expected_steps = np.zeros(0)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def chain(self) -> DiscreteTimeMarkovChain:
+        """The analyzed chain."""
+        return self._chain
+
+    @property
+    def transient_states(self) -> tuple[Hashable, ...]:
+        """Transient states, in analysis order."""
+        return tuple(self._transient)
+
+    @property
+    def absorbing_states(self) -> tuple[Hashable, ...]:
+        """Absorbing states, in analysis order."""
+        return tuple(self._absorbing)
+
+    # -- queries --------------------------------------------------------------
+
+    def absorption_probability(self, start: Hashable, target: Hashable) -> float:
+        """Probability of eventual absorption in ``target`` from ``start``.
+
+        ``start`` may itself be absorbing (probability is then 1 or 0).
+        This is the paper's ``p*(start, target)`` of equation (3).
+        """
+        if target not in self._a_index:
+            if target in self._t_index:
+                return 0.0
+            raise UnknownStateError(target)
+        if start in self._a_index:
+            return 1.0 if start == target else 0.0
+        if start not in self._t_index:
+            raise UnknownStateError(start)
+        value = self._absorption[self._t_index[start], self._a_index[target]]
+        return float(min(max(value, 0.0), 1.0))
+
+    def absorption_distribution(self, start: Hashable) -> dict[Hashable, float]:
+        """Absorption probabilities from ``start`` into every absorbing state."""
+        return {
+            target: self.absorption_probability(start, target)
+            for target in self._absorbing
+        }
+
+    def expected_visits(self, start: Hashable, state: Hashable) -> float:
+        """Expected number of visits to transient ``state`` from ``start``.
+
+        This is entry ``(start, state)`` of the fundamental matrix ``N``.
+        """
+        if start in self._a_index:
+            return 0.0
+        if start not in self._t_index:
+            raise UnknownStateError(start)
+        if state not in self._t_index:
+            if state in self._a_index:
+                raise NotAbsorbingError(
+                    "expected_visits is defined for transient states only"
+                )
+            raise UnknownStateError(state)
+        return float(self._expected_visits[self._t_index[start], self._t_index[state]])
+
+    def expected_steps_to_absorption(self, start: Hashable) -> float:
+        """Expected number of transitions until absorption from ``start``."""
+        if start in self._a_index:
+            return 0.0
+        if start not in self._t_index:
+            raise UnknownStateError(start)
+        return float(self._expected_steps[self._t_index[start]])
+
+
+def absorption_probability(
+    chain: DiscreteTimeMarkovChain, start: Hashable, target: Hashable
+) -> float:
+    """One-shot convenience wrapper around :class:`AbsorbingChainAnalysis`."""
+    return AbsorbingChainAnalysis(chain).absorption_probability(start, target)

@@ -1,0 +1,216 @@
+"""Continuous-time Markov chains.
+
+The paper's simple-service failure models are CTMCs in disguise: eq. (1)'s
+``Pfail(cpu, N) = 1 - e^(-lambda N / s)`` is the absorption probability of
+the two-state working->failed chain over the execution duration ``N / s``.
+This module makes that substrate explicit, which buys two things:
+
+- a *validation* route for the exponential models (the test suite checks
+  eq. (1) against :meth:`transient_distribution` of the two-state chain);
+- the machinery for the **repair extension** (see
+  :mod:`repro.reliability.availability`): the paper assumes "no repair
+  occurs" — a failure/repair birth-death CTMC yields the steady-state
+  availability that releases that assumption at the resource level.
+
+Transient analysis uses **uniformization** (Jensen's method): with
+``q >= max_i |Q_ii|``, ``P(t) = sum_k Poisson(qt, k) * P_hat^k`` where
+``P_hat = I + Q/q`` — numerically robust, no matrix exponentials of
+ill-conditioned generators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import InvalidDistributionError, MarkovError, UnknownStateError
+
+__all__ = ["ContinuousTimeMarkovChain"]
+
+
+class ContinuousTimeMarkovChain:
+    """A CTMC with labeled states and generator matrix ``Q``.
+
+    Args:
+        states: ordered unique state labels.
+        generator: the ``n x n`` generator: non-negative off-diagonal rates,
+            rows summing to zero (diagonal = minus the exit rate).
+    """
+
+    def __init__(self, states: Iterable[Hashable], generator: np.ndarray):
+        state_list = tuple(states)
+        if len(set(state_list)) != len(state_list) or not state_list:
+            raise InvalidDistributionError("states must be unique and non-empty")
+        q = np.asarray(generator, dtype=float)
+        n = len(state_list)
+        if q.shape != (n, n):
+            raise InvalidDistributionError(
+                f"generator shape {q.shape} does not match {n} states"
+            )
+        off_diagonal = q.copy()
+        np.fill_diagonal(off_diagonal, 0.0)
+        if np.any(off_diagonal < 0.0):
+            raise InvalidDistributionError(
+                "off-diagonal generator rates must be non-negative"
+            )
+        if not np.allclose(q.sum(axis=1), 0.0, atol=1e-9):
+            raise InvalidDistributionError("generator rows must sum to zero")
+        self._states = state_list
+        self._index = {s: i for i, s in enumerate(state_list)}
+        self._generator = q
+        self._generator.setflags(write=False)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def states(self) -> tuple[Hashable, ...]:
+        """The ordered state labels."""
+        return self._states
+
+    @property
+    def generator(self) -> np.ndarray:
+        """The (read-only) generator matrix."""
+        return self._generator
+
+    def index(self, state: Hashable) -> int:
+        """Index of ``state`` (raises :class:`UnknownStateError`)."""
+        try:
+            return self._index[state]
+        except KeyError:
+            raise UnknownStateError(state) from None
+
+    def rate(self, source: Hashable, target: Hashable) -> float:
+        """Transition rate from ``source`` to ``target``."""
+        return float(self._generator[self.index(source), self.index(target)])
+
+    def is_absorbing_state(self, state: Hashable) -> bool:
+        """True when the state has no exit rate."""
+        i = self.index(state)
+        return bool(abs(self._generator[i, i]) < 1e-15)
+
+    # -- transient analysis ---------------------------------------------------
+
+    def transient_distribution(
+        self,
+        initial: Mapping[Hashable, float],
+        time: float,
+        tolerance: float = 1e-12,
+    ) -> dict[Hashable, float]:
+        """State distribution at ``time`` by uniformization.
+
+        Args:
+            initial: the distribution at time 0 (must sum to 1).
+            time: elapsed time (non-negative).
+            tolerance: truncation bound on the neglected Poisson tail mass.
+        """
+        if time < 0:
+            raise MarkovError("time must be non-negative")
+        n = len(self._states)
+        pi = np.zeros(n)
+        for state, mass in initial.items():
+            pi[self.index(state)] = mass
+        if not np.isclose(pi.sum(), 1.0, atol=1e-9):
+            raise InvalidDistributionError(
+                f"initial distribution sums to {pi.sum()}, expected 1"
+            )
+        if time == 0.0:
+            return {s: float(pi[i]) for i, s in enumerate(self._states)}
+
+        q = float(max(-np.diag(self._generator).min(), 1e-300))
+        p_hat = np.eye(n) + self._generator / q
+        # Poisson(q t) weights, accumulated until the tail is below tol
+        qt = q * time
+        result = np.zeros(n)
+        term_vector = pi.copy()
+        log_weight = -qt  # log Poisson(k=0)
+        weight = np.exp(log_weight)
+        accumulated = weight
+        result += weight * term_vector
+        k = 0
+        # cap well beyond the Poisson bulk: qt + 10 sqrt(qt) + 50
+        cap = int(qt + 10.0 * np.sqrt(qt) + 50.0) + 1
+        while accumulated < 1.0 - tolerance and k < cap:
+            k += 1
+            term_vector = term_vector @ p_hat
+            weight = weight * qt / k
+            accumulated += weight
+            result += weight * term_vector
+        # distribute any neglected tail proportionally (keeps a distribution)
+        total = result.sum()
+        if total > 0:
+            result = result / total
+        return {s: float(result[i]) for i, s in enumerate(self._states)}
+
+    def absorption_probability_by(
+        self,
+        initial: Mapping[Hashable, float],
+        target: Hashable,
+        time: float,
+    ) -> float:
+        """Probability of being in absorbing ``target`` at ``time`` —
+        for an absorbing target this is P(absorbed by ``time``)."""
+        if not self.is_absorbing_state(target):
+            raise MarkovError(
+                f"{target!r} is not absorbing; absorption-by-time is "
+                f"ill-defined"
+            )
+        return self.transient_distribution(initial, time)[target]
+
+    # -- long-run analysis -----------------------------------------------------
+
+    def steady_state(self) -> dict[Hashable, float]:
+        """The stationary distribution ``pi Q = 0`` (requires an
+        irreducible chain; raises :class:`MarkovError` otherwise)."""
+        n = len(self._states)
+        # irreducibility via the embedded adjacency
+        adjacency = self._generator > 0.0
+        for i in range(n):
+            reach = {i}
+            frontier = [i]
+            while frontier:
+                j = frontier.pop()
+                for k in np.nonzero(adjacency[j])[0]:
+                    if int(k) not in reach:
+                        reach.add(int(k))
+                        frontier.append(int(k))
+            if len(reach) != n:
+                raise MarkovError("steady state requires an irreducible CTMC")
+        system = np.vstack([self._generator.T, np.ones((1, n))])
+        rhs = np.zeros(n + 1)
+        rhs[-1] = 1.0
+        solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+        solution = np.clip(solution, 0.0, None)
+        solution = solution / solution.sum()
+        return {s: float(solution[i]) for i, s in enumerate(self._states)}
+
+    def mean_time_to_absorption(
+        self, initial: Mapping[Hashable, float]
+    ) -> float:
+        """Expected time until *any* absorbing state is reached.
+
+        Solves ``Q_TT tau = -1`` over the transient block; raises
+        :class:`MarkovError` when no absorbing state exists or some
+        transient state cannot reach one.
+        """
+        transient = [s for s in self._states if not self.is_absorbing_state(s)]
+        absorbing = [s for s in self._states if self.is_absorbing_state(s)]
+        if not absorbing:
+            raise MarkovError("chain has no absorbing state")
+        idx = [self.index(s) for s in transient]
+        block = self._generator[np.ix_(idx, idx)]
+        try:
+            tau = np.linalg.solve(block, -np.ones(len(idx)))
+        except np.linalg.LinAlgError as exc:
+            raise MarkovError(
+                "some transient state cannot reach an absorbing state"
+            ) from exc
+        by_state = {s: float(t) for s, t in zip(transient, tau)}
+        total = 0.0
+        for state, mass in initial.items():
+            if mass == 0.0:
+                continue
+            if self.is_absorbing_state(state):
+                continue  # already absorbed: contributes 0 time
+            total += mass * by_state[state]
+        return total

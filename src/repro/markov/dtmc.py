@@ -1,0 +1,208 @@
+"""Discrete-time Markov chains over arbitrary hashable state labels.
+
+The paper models the abstract usage profile of every composite service as a
+DTMC (section 2, point (b)).  This module is the generic substrate: chain
+construction and validation, stepping, reachability, and classification of
+transient vs absorbing states.  The reliability-specific analysis (absorbing
+probabilities into ``End`` vs ``Fail``) lives in
+:mod:`repro.markov.absorbing`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import InvalidDistributionError, UnknownStateError
+
+__all__ = ["DiscreteTimeMarkovChain", "ChainBuilder"]
+
+#: Tolerance for row-stochasticity checks.
+_ROW_SUM_TOL = 1e-9
+
+
+class DiscreteTimeMarkovChain:
+    """An immutable DTMC with labeled states and a dense transition matrix.
+
+    Args:
+        states: ordered state labels (any hashable, must be unique).
+        matrix: row-stochastic transition matrix aligned with ``states``.
+
+    The matrix is validated on construction: entries must lie in ``[0, 1]``
+    (within tolerance) and every row must sum to one.  States whose entire
+    probability mass self-loops are *absorbing*.
+    """
+
+    __slots__ = ("_states", "_index", "_matrix")
+
+    def __init__(self, states: Iterable[Hashable], matrix: np.ndarray):
+        state_list = tuple(states)
+        if len(set(state_list)) != len(state_list):
+            raise InvalidDistributionError("state labels must be unique")
+        if not state_list:
+            raise InvalidDistributionError("a Markov chain needs at least one state")
+        mat = np.asarray(matrix, dtype=float)
+        n = len(state_list)
+        if mat.shape != (n, n):
+            raise InvalidDistributionError(
+                f"matrix shape {mat.shape} does not match {n} states"
+            )
+        if np.any(mat < -_ROW_SUM_TOL) or np.any(mat > 1.0 + _ROW_SUM_TOL):
+            raise InvalidDistributionError("transition probabilities must lie in [0, 1]")
+        row_sums = mat.sum(axis=1)
+        bad = np.where(np.abs(row_sums - 1.0) > 1e-6)[0]
+        if bad.size:
+            raise InvalidDistributionError(
+                f"rows {[state_list[i] for i in bad]} sum to "
+                f"{row_sums[bad]} instead of 1"
+            )
+        # renormalize away round-off so downstream linear algebra is clean
+        mat = np.clip(mat, 0.0, 1.0)
+        mat = mat / mat.sum(axis=1, keepdims=True)
+        self._states = state_list
+        self._index = {s: i for i, s in enumerate(state_list)}
+        self._matrix = mat
+        self._matrix.setflags(write=False)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def states(self) -> tuple[Hashable, ...]:
+        """The ordered state labels."""
+        return self._states
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The (read-only) row-stochastic transition matrix."""
+        return self._matrix
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, state: Hashable) -> bool:
+        return state in self._index
+
+    def index(self, state: Hashable) -> int:
+        """Row/column index of ``state`` (raises :class:`UnknownStateError`)."""
+        try:
+            return self._index[state]
+        except KeyError:
+            raise UnknownStateError(state) from None
+
+    def probability(self, source: Hashable, target: Hashable) -> float:
+        """One-step transition probability ``P(source -> target)``."""
+        return float(self._matrix[self.index(source), self.index(target)])
+
+    def successors(self, state: Hashable) -> dict[Hashable, float]:
+        """Mapping of states reachable from ``state`` in one step (prob > 0)."""
+        row = self._matrix[self.index(state)]
+        return {
+            self._states[j]: float(p) for j, p in enumerate(row) if p > 0.0
+        }
+
+    # -- classification ------------------------------------------------------
+
+    def is_absorbing_state(self, state: Hashable) -> bool:
+        """True when ``state`` self-loops with probability one."""
+        i = self.index(state)
+        return bool(self._matrix[i, i] >= 1.0 - _ROW_SUM_TOL)
+
+    def absorbing_states(self) -> tuple[Hashable, ...]:
+        """All absorbing states, in state order."""
+        return tuple(s for s in self._states if self.is_absorbing_state(s))
+
+    def transient_states(self) -> tuple[Hashable, ...]:
+        """All non-absorbing states, in state order."""
+        return tuple(s for s in self._states if not self.is_absorbing_state(s))
+
+    def reachable_from(self, start: Hashable) -> frozenset[Hashable]:
+        """States reachable from ``start`` (including itself) through
+        positive-probability paths."""
+        seen = {self.index(start)}
+        frontier = [self.index(start)]
+        while frontier:
+            i = frontier.pop()
+            for j in np.nonzero(self._matrix[i] > 0.0)[0]:
+                if int(j) not in seen:
+                    seen.add(int(j))
+                    frontier.append(int(j))
+        return frozenset(self._states[i] for i in seen)
+
+    # -- dynamics --------------------------------------------------------------
+
+    def step_distribution(
+        self, distribution: Mapping[Hashable, float], steps: int = 1
+    ) -> dict[Hashable, float]:
+        """Push a state distribution ``steps`` transitions forward."""
+        if steps < 0:
+            raise InvalidDistributionError("steps must be non-negative")
+        vec = np.zeros(len(self._states))
+        for state, mass in distribution.items():
+            vec[self.index(state)] = mass
+        total = vec.sum()
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise InvalidDistributionError(
+                f"initial distribution sums to {total}, expected 1"
+            )
+        for _ in range(steps):
+            vec = vec @ self._matrix
+        return {s: float(vec[i]) for i, s in enumerate(self._states) if vec[i] > 0.0}
+
+    def n_step_matrix(self, steps: int) -> np.ndarray:
+        """The ``steps``-step transition matrix ``P**steps``."""
+        if steps < 0:
+            raise InvalidDistributionError("steps must be non-negative")
+        return np.linalg.matrix_power(self._matrix, steps)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscreteTimeMarkovChain(states={len(self._states)}, "
+            f"absorbing={len(self.absorbing_states())})"
+        )
+
+
+class ChainBuilder:
+    """Incremental construction of a :class:`DiscreteTimeMarkovChain`.
+
+    States are added implicitly by naming them in edges; probability mass
+    not assigned on a row is reported as an error at :meth:`build` time
+    (unless the state has no outgoing edges at all, in which case it is made
+    absorbing with a self-loop — the convention for ``End``/``Fail`` states).
+    """
+
+    def __init__(self) -> None:
+        self._order: list[Hashable] = []
+        self._edges: dict[Hashable, dict[Hashable, float]] = {}
+
+    def add_state(self, state: Hashable) -> "ChainBuilder":
+        """Declare a state explicitly (useful to pin state ordering)."""
+        if state not in self._edges:
+            self._order.append(state)
+            self._edges[state] = {}
+        return self
+
+    def add_edge(self, source: Hashable, target: Hashable, probability: float) -> "ChainBuilder":
+        """Add (accumulate) transition probability from ``source`` to ``target``."""
+        if probability < 0.0:
+            raise InvalidDistributionError(
+                f"negative probability {probability} on edge {source!r}->{target!r}"
+            )
+        self.add_state(source)
+        self.add_state(target)
+        row = self._edges[source]
+        row[target] = row.get(target, 0.0) + float(probability)
+        return self
+
+    def build(self) -> DiscreteTimeMarkovChain:
+        """Validate and freeze into a :class:`DiscreteTimeMarkovChain`."""
+        n = len(self._order)
+        index = {s: i for i, s in enumerate(self._order)}
+        matrix = np.zeros((n, n))
+        for source, row in self._edges.items():
+            if not row:
+                matrix[index[source], index[source]] = 1.0  # absorbing by convention
+                continue
+            for target, p in row.items():
+                matrix[index[source], index[target]] = p
+        return DiscreteTimeMarkovChain(self._order, matrix)

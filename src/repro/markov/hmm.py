@@ -1,0 +1,228 @@
+"""Hidden Markov Models for usage-profile estimation.
+
+The paper (section 5) assumes "the Markov model specifying the service usage
+profile is completely known" and points at Roshandel & Medvidovic [16] for
+the realistic case: the profile must be *estimated* from imperfect
+observations of the service's behavior, for which a Hidden Markov Model is
+the standard tool.  This module provides that substrate:
+
+- :meth:`HiddenMarkovModel.forward` / :meth:`backward` — scaled
+  forward/backward passes (log-likelihood of an observation trace);
+- :meth:`HiddenMarkovModel.viterbi` — most likely hidden state path;
+- :meth:`HiddenMarkovModel.baum_welch` — EM re-estimation of transition and
+  emission matrices from traces, from which a
+  :class:`~repro.markov.dtmc.DiscreteTimeMarkovChain` usage profile can be
+  extracted (:meth:`to_chain`).
+
+Observations are integer symbol indices; callers map request labels to
+symbols.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidDistributionError, MarkovError
+from repro.markov.dtmc import DiscreteTimeMarkovChain
+
+__all__ = ["HiddenMarkovModel"]
+
+
+def _validate_stochastic(name: str, matrix: np.ndarray, axis: int = -1) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=float)
+    if np.any(matrix < 0.0):
+        raise InvalidDistributionError(f"{name} has negative entries")
+    sums = matrix.sum(axis=axis)
+    if not np.allclose(sums, 1.0, atol=1e-6):
+        raise InvalidDistributionError(f"{name} rows must sum to 1, got {sums}")
+    return matrix / matrix.sum(axis=axis, keepdims=True)
+
+
+class HiddenMarkovModel:
+    """A discrete-emission HMM ``(pi, A, B)``.
+
+    Args:
+        initial: length-``n`` initial state distribution ``pi``.
+        transition: ``n x n`` hidden-state transition matrix ``A``.
+        emission: ``n x m`` emission matrix ``B`` (row = hidden state,
+            column = observation symbol).
+        state_labels: optional labels for hidden states (used by
+            :meth:`to_chain`).
+    """
+
+    def __init__(
+        self,
+        initial: np.ndarray,
+        transition: np.ndarray,
+        emission: np.ndarray,
+        state_labels: Sequence[Hashable] | None = None,
+    ):
+        self.initial = _validate_stochastic("initial distribution", np.atleast_1d(initial))
+        self.transition = _validate_stochastic("transition matrix", transition)
+        self.emission = _validate_stochastic("emission matrix", emission)
+        n = self.initial.shape[0]
+        if self.transition.shape != (n, n):
+            raise InvalidDistributionError(
+                f"transition matrix shape {self.transition.shape} != ({n}, {n})"
+            )
+        if self.emission.shape[0] != n:
+            raise InvalidDistributionError(
+                f"emission matrix has {self.emission.shape[0]} rows, expected {n}"
+            )
+        if state_labels is not None and len(tuple(state_labels)) != n:
+            raise InvalidDistributionError("state_labels length must match state count")
+        self.state_labels = tuple(state_labels) if state_labels is not None else tuple(range(n))
+
+    @property
+    def n_states(self) -> int:
+        """Number of hidden states."""
+        return self.initial.shape[0]
+
+    @property
+    def n_symbols(self) -> int:
+        """Number of observation symbols."""
+        return self.emission.shape[1]
+
+    def _check_trace(self, trace: Sequence[int]) -> np.ndarray:
+        obs = np.asarray(trace, dtype=int)
+        if obs.ndim != 1 or obs.size == 0:
+            raise MarkovError("observation trace must be a non-empty 1-D sequence")
+        if np.any(obs < 0) or np.any(obs >= self.n_symbols):
+            raise MarkovError(
+                f"observation symbols must lie in [0, {self.n_symbols})"
+            )
+        return obs
+
+    # -- inference ---------------------------------------------------------
+
+    def forward(self, trace: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Scaled forward pass.
+
+        Returns ``(alpha, scale)`` where ``alpha[t, i]`` is the scaled
+        probability of being in state ``i`` after observing ``trace[:t+1]``
+        and ``scale[t]`` the per-step normalizers;
+        ``log-likelihood = sum(log(scale))``.
+        """
+        obs = self._check_trace(trace)
+        steps = obs.size
+        alpha = np.zeros((steps, self.n_states))
+        scale = np.zeros(steps)
+        alpha[0] = self.initial * self.emission[:, obs[0]]
+        scale[0] = alpha[0].sum()
+        if scale[0] == 0.0:
+            raise MarkovError("trace has zero likelihood under the model")
+        alpha[0] /= scale[0]
+        for t in range(1, steps):
+            alpha[t] = (alpha[t - 1] @ self.transition) * self.emission[:, obs[t]]
+            scale[t] = alpha[t].sum()
+            if scale[t] == 0.0:
+                raise MarkovError("trace has zero likelihood under the model")
+            alpha[t] /= scale[t]
+        return alpha, scale
+
+    def backward(self, trace: Sequence[int], scale: np.ndarray) -> np.ndarray:
+        """Scaled backward pass using the normalizers from :meth:`forward`."""
+        obs = self._check_trace(trace)
+        steps = obs.size
+        beta = np.zeros((steps, self.n_states))
+        beta[-1] = 1.0 / scale[-1]
+        for t in range(steps - 2, -1, -1):
+            beta[t] = (self.transition @ (self.emission[:, obs[t + 1]] * beta[t + 1]))
+            beta[t] /= scale[t]
+        return beta
+
+    def log_likelihood(self, trace: Sequence[int]) -> float:
+        """Log probability of ``trace`` under the model."""
+        _, scale = self.forward(trace)
+        return float(np.log(scale).sum())
+
+    def viterbi(self, trace: Sequence[int]) -> list[Hashable]:
+        """Most likely hidden-state path for ``trace`` (labels)."""
+        obs = self._check_trace(trace)
+        steps = obs.size
+        with np.errstate(divide="ignore"):
+            log_a = np.log(self.transition)
+            log_b = np.log(self.emission)
+            log_pi = np.log(self.initial)
+        delta = np.zeros((steps, self.n_states))
+        back = np.zeros((steps, self.n_states), dtype=int)
+        delta[0] = log_pi + log_b[:, obs[0]]
+        for t in range(1, steps):
+            scores = delta[t - 1][:, None] + log_a
+            back[t] = np.argmax(scores, axis=0)
+            delta[t] = scores[back[t], np.arange(self.n_states)] + log_b[:, obs[t]]
+        path = np.zeros(steps, dtype=int)
+        path[-1] = int(np.argmax(delta[-1]))
+        for t in range(steps - 2, -1, -1):
+            path[t] = back[t + 1, path[t + 1]]
+        return [self.state_labels[i] for i in path]
+
+    # -- learning ------------------------------------------------------------
+
+    def baum_welch(
+        self,
+        traces: Sequence[Sequence[int]],
+        iterations: int = 50,
+        tolerance: float = 1e-6,
+    ) -> "HiddenMarkovModel":
+        """EM re-estimation from one or more observation traces.
+
+        Returns a *new* model; ``self`` is unchanged.  Iterates until the
+        total log-likelihood improves by less than ``tolerance`` or
+        ``iterations`` is reached.
+        """
+        if not traces:
+            raise MarkovError("baum_welch requires at least one trace")
+        model = self
+        previous = -np.inf
+        for _ in range(iterations):
+            pi_acc = np.zeros(model.n_states)
+            a_num = np.zeros((model.n_states, model.n_states))
+            a_den = np.zeros(model.n_states)
+            b_num = np.zeros((model.n_states, model.n_symbols))
+            b_den = np.zeros(model.n_states)
+            total_ll = 0.0
+            for trace in traces:
+                obs = model._check_trace(trace)
+                alpha, scale = model.forward(obs)
+                beta = model.backward(obs, scale)
+                total_ll += float(np.log(scale).sum())
+                gamma = alpha * beta * scale[:, None]
+                gamma = gamma / gamma.sum(axis=1, keepdims=True)
+                pi_acc += gamma[0]
+                for t in range(obs.size - 1):
+                    xi = (
+                        alpha[t][:, None]
+                        * model.transition
+                        * model.emission[:, obs[t + 1]][None, :]
+                        * beta[t + 1][None, :]
+                    )
+                    xi_sum = xi.sum()
+                    if xi_sum > 0.0:
+                        a_num += xi / xi_sum
+                    a_den += gamma[t]
+                for t in range(obs.size):
+                    b_num[:, obs[t]] += gamma[t]
+                    b_den += gamma[t]
+            new_pi = pi_acc / pi_acc.sum()
+            new_a = np.where(a_den[:, None] > 0.0, a_num / np.maximum(a_den[:, None], 1e-300), model.transition)
+            new_a = new_a / new_a.sum(axis=1, keepdims=True)
+            new_b = np.where(b_den[:, None] > 0.0, b_num / np.maximum(b_den[:, None], 1e-300), model.emission)
+            new_b = new_b / new_b.sum(axis=1, keepdims=True)
+            model = HiddenMarkovModel(new_pi, new_a, new_b, model.state_labels)
+            if abs(total_ll - previous) < tolerance:
+                break
+            previous = total_ll
+        return model
+
+    # -- export ---------------------------------------------------------------
+
+    def to_chain(self) -> DiscreteTimeMarkovChain:
+        """The hidden-state transition structure as a plain DTMC.
+
+        This is the estimated *usage profile*: feed its transition
+        probabilities into a :class:`~repro.model.flow.ServiceFlow`.
+        """
+        return DiscreteTimeMarkovChain(self.state_labels, self.transition)

@@ -1,0 +1,111 @@
+"""Long-run analysis of ergodic chains.
+
+The reliability evaluation itself only needs absorbing-chain analysis, but a
+usage-profile substrate is not complete without the long-run side: when a
+flow model is built from *monitoring* data (the paper's section 6 points at
+monitoring as the complementary activity to prediction), the observed
+request stream is a recurrent chain whose stationary distribution gives the
+per-state utilization used to calibrate transition probabilities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+import numpy as np
+
+from repro.errors import MarkovError, UnknownStateError
+from repro.markov.dtmc import DiscreteTimeMarkovChain
+
+__all__ = ["stationary_distribution", "mean_first_passage_time", "is_irreducible"]
+
+
+def is_irreducible(chain: DiscreteTimeMarkovChain) -> bool:
+    """True when every state can reach every other state."""
+    n = len(chain)
+    for state in chain.states:
+        if len(chain.reachable_from(state)) != n:
+            return False
+    return True
+
+
+def stationary_distribution(chain: DiscreteTimeMarkovChain) -> dict[Hashable, float]:
+    """The stationary distribution ``pi`` with ``pi P = pi``.
+
+    Solved as the null space of ``(P^T - I)`` augmented with the
+    normalization constraint.  Raises :class:`MarkovError` for reducible
+    chains (the distribution would not be unique).
+    """
+    if not is_irreducible(chain):
+        raise MarkovError(
+            "stationary distribution requires an irreducible chain"
+        )
+    n = len(chain)
+    system = np.vstack([chain.matrix.T - np.eye(n), np.ones((1, n))])
+    rhs = np.zeros(n + 1)
+    rhs[-1] = 1.0
+    solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+    solution = np.clip(solution, 0.0, None)
+    solution = solution / solution.sum()
+    return {s: float(solution[i]) for i, s in enumerate(chain.states)}
+
+
+def mean_first_passage_time(
+    chain: DiscreteTimeMarkovChain, source: Hashable, target: Hashable
+) -> float:
+    """Expected number of steps to first reach ``target`` from ``source``.
+
+    Computed by making ``target`` absorbing and reading the expected
+    steps-to-absorption; requires ``target`` to be reachable from
+    ``source``.
+    """
+    if source not in chain or target not in chain:
+        missing = source if source not in chain else target
+        raise UnknownStateError(missing)
+    if source == target:
+        return 0.0
+    if target not in chain.reachable_from(source):
+        raise MarkovError(f"{target!r} is not reachable from {source!r}")
+
+    from repro.markov.absorbing import AbsorbingChainAnalysis
+
+    matrix = chain.matrix.copy()
+    t = chain.index(target)
+    matrix[t, :] = 0.0
+    matrix[t, t] = 1.0
+    # Other states unable to reach the (now absorbing) target would make the
+    # analysis singular; restrict to the reachable sub-chain first.
+    modified = DiscreteTimeMarkovChain(chain.states, matrix)
+    reach_target = {
+        s for s in modified.states
+        if target in modified.reachable_from(s)
+    }
+    keep = [s for s in modified.states if s in reach_target]
+    keep_idx = [modified.index(s) for s in keep]
+    sub = modified.matrix[np.ix_(keep_idx, keep_idx)]
+    # Redirect lost mass (edges into unreachable states) to a fresh sink...
+    # by construction there is none: any state with an edge into a state that
+    # cannot reach the target also cannot be on a path to the target once
+    # that edge is taken, but the *state itself* may still reach the target
+    # through other edges.  Renormalizing would bias the answer, so instead
+    # route the lost mass to an explicit "lost" absorbing state and condition
+    # on absorption at the target.
+    lost = 1.0 - sub.sum(axis=1)
+    states: list[Hashable] = list(keep) + ["__lost__"]
+    n = len(states)
+    full = np.zeros((n, n))
+    full[: n - 1, : n - 1] = sub
+    full[: n - 1, n - 1] = np.clip(lost, 0.0, 1.0)
+    full[n - 1, n - 1] = 1.0
+    analysis = AbsorbingChainAnalysis(DiscreteTimeMarkovChain(states, full))
+    p_hit = analysis.absorption_probability(source, target)
+    if p_hit <= 0.0:
+        raise MarkovError(f"{target!r} is not reachable from {source!r}")
+    # E[steps | absorbed at target] via visit counts weighted by the
+    # probability of hitting the target from each visited state.
+    total = 0.0
+    for state in analysis.transient_states:
+        visits = analysis.expected_visits(source, state)
+        if visits > 0.0:
+            total += visits * analysis.absorption_probability(state, target)
+    return total / p_hit

@@ -1,0 +1,110 @@
+"""Architectural meta-model: services, flows, resources, connectors,
+assemblies.
+
+This subpackage implements the paper's unified service model (section 2):
+resources and connectors alike offer services described by analytic
+interfaces; composite services carry a parametric usage-profile flow; an
+assembly wires required slots to offered services through connectors.
+"""
+
+from repro.model.assembly import Assembly, Binding, ResolvedRequest
+from repro.model.completion import (
+    AND,
+    OR,
+    AndCompletion,
+    CompletionModel,
+    KOfNCompletion,
+    OrCompletion,
+)
+from repro.model.connector import (
+    CompositeConnector,
+    CustomConnector,
+    LocalCallConnector,
+    RemoteCallConnector,
+    SimpleConnector,
+    perfect_connector,
+)
+from repro.model.flow import (
+    END,
+    START,
+    FlowBuilder,
+    FlowState,
+    FlowTransition,
+    ServiceFlow,
+)
+from repro.model.parameters import (
+    Direction,
+    FiniteDomain,
+    FormalParameter,
+    IntegerDomain,
+    ParameterDomain,
+    RealDomain,
+)
+from repro.model.registry import (
+    AttributeConstraint,
+    PublishedService,
+    ServiceRegistry,
+)
+from repro.model.requests import ServiceRequest
+from repro.model.resource import (
+    CpuResource,
+    DeviceResource,
+    NetworkResource,
+    SoftwareComponent,
+)
+from repro.model.service import (
+    AnalyticInterface,
+    CompositeService,
+    Service,
+    SimpleService,
+)
+from repro.model.validation import (
+    ValidationIssue,
+    ValidationReport,
+    validate_assembly,
+)
+
+__all__ = [
+    "AND",
+    "END",
+    "OR",
+    "START",
+    "AnalyticInterface",
+    "AndCompletion",
+    "Assembly",
+    "AttributeConstraint",
+    "Binding",
+    "CompletionModel",
+    "CompositeConnector",
+    "CompositeService",
+    "CpuResource",
+    "CustomConnector",
+    "DeviceResource",
+    "Direction",
+    "FiniteDomain",
+    "FlowBuilder",
+    "FlowState",
+    "FlowTransition",
+    "FormalParameter",
+    "IntegerDomain",
+    "KOfNCompletion",
+    "LocalCallConnector",
+    "NetworkResource",
+    "OrCompletion",
+    "ParameterDomain",
+    "PublishedService",
+    "RealDomain",
+    "RemoteCallConnector",
+    "ResolvedRequest",
+    "Service",
+    "ServiceFlow",
+    "ServiceRegistry",
+    "ServiceRequest",
+    "SimpleConnector",
+    "SimpleService",
+    "SoftwareComponent",
+    "ValidationIssue",
+    "ValidationReport",
+    "perfect_connector",
+    "validate_assembly",
+]

@@ -1,0 +1,93 @@
+"""Completion models for the service requests inside a flow state.
+
+Section 3.2 of the paper: *"the requests in this set must be fulfilled
+according to some completion model before a transition to the next node can
+take place"*.  Two models are analyzed in the paper and a third is named as
+an obvious extension:
+
+- :class:`AndCompletion` — **all** requests must complete (eq. 4);
+- :class:`OrCompletion` — **at least one** request must complete (eq. 5;
+  the paper notes this models fault-tolerance features);
+- :class:`KOfNCompletion` — at least ``k`` of the ``n`` requests must
+  complete (mentioned in §3.2: *"Other completion models could be
+  considered as well (e.g. 'k out of n')"*).  AND and OR are the ``k = n``
+  and ``k = 1`` special cases, which is exactly how the evaluator treats
+  them — one Poisson-binomial implementation covers all three, and the
+  paper's closed forms (6)/(7)/(11)/(12) are recovered as identities (see
+  ``tests/property/test_sharing_identities.py``).
+
+A completion model only has to answer one structural question: *how many of
+the n requests must succeed* for the state to complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+__all__ = ["CompletionModel", "AndCompletion", "OrCompletion", "KOfNCompletion", "AND", "OR"]
+
+
+class CompletionModel:
+    """Base class for completion models."""
+
+    #: short tag used by ``repr`` and the DSL serialization
+    kind: str = ""
+
+    def required_successes(self, n: int) -> int:
+        """Number of requests (out of ``n``) that must succeed for the state
+        to complete successfully."""
+        raise NotImplementedError
+
+    def describe(self, n: int) -> str:
+        """Human-readable description for an ``n``-request state."""
+        return f"{self.required_successes(n)}-of-{n}"
+
+
+@dataclass(frozen=True)
+class AndCompletion(CompletionModel):
+    """All requests must be fulfilled (paper eq. 4)."""
+
+    kind: str = "and"
+
+    def required_successes(self, n: int) -> int:
+        if n < 0:
+            raise ModelError("request count must be non-negative")
+        return n
+
+
+@dataclass(frozen=True)
+class OrCompletion(CompletionModel):
+    """At least one request must be fulfilled (paper eq. 5)."""
+
+    kind: str = "or"
+
+    def required_successes(self, n: int) -> int:
+        if n < 1:
+            raise ModelError("OR completion requires at least one request")
+        return 1
+
+
+@dataclass(frozen=True)
+class KOfNCompletion(CompletionModel):
+    """At least ``k`` requests must be fulfilled (paper's named extension)."""
+
+    k: int
+    kind: str = "k_of_n"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.k, int) or self.k < 1:
+            raise ModelError(f"k must be a positive integer, got {self.k!r}")
+
+    def required_successes(self, n: int) -> int:
+        if self.k > n:
+            raise ModelError(
+                f"k-of-n completion with k={self.k} but only n={n} requests"
+            )
+        return self.k
+
+
+#: Singleton instances for the common cases.
+AND = AndCompletion()
+OR = OrCompletion()

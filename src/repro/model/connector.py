@@ -1,0 +1,297 @@
+"""Connectors — interaction services in the unified model.
+
+Section 2 of the paper gives connectors first-class status: a connector
+"offers a connection service implicitly invoked during the invocation of
+some remote service, and requires in its turn processing and communication
+services".  In this library a connector **is** a
+:class:`~repro.model.service.Service` (simple or composite) flagged with
+``is_connector = True``; the reliability math never special-cases it, which
+is exactly the paper's point.
+
+Provided connector kinds (Figure 2 plus the pure modeling artifacts of
+section 3.1):
+
+- :func:`perfect_connector` — the "local processing" association between a
+  software service and the node it is deployed on; no tangible artifact,
+  ``Pfail = 0`` (the ``loc1..loc5`` connectors of Figures 3/4);
+- :class:`LocalCallConnector` (LPC) — shared-memory local procedure call;
+  requires a processing service for the constant ``l`` control-transfer
+  operations (Figure 2, left);
+- :class:`RemoteCallConnector` (RPC) — marshal / transmit / unmarshal of the
+  input parameters, then of the output parameters, with processing and
+  communication costs linear in the transported sizes through constants
+  ``c`` and ``m`` (Figure 2, right).  Each transfer stage is an AND state:
+  all three requests must succeed;
+- :class:`CustomConnector` — escape hatch: wrap any flow as a connector
+  (e.g. a fault-tolerant replicated-messaging connector with an OR state).
+
+Both LPC and RPC expose the conventional formal parameters ``ip`` and
+``op`` — the sizes of the data transported from client to server and back —
+and accept a ``software_failure_rate`` for their own code (the paper's
+example sets it to zero, the default here).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.model.flow import FlowBuilder, ServiceFlow
+from repro.model.parameters import FormalParameter, IntegerDomain
+from repro.model.requests import ServiceRequest
+from repro.model.resource import CpuResource, NetworkResource
+from repro.model.service import (
+    AnalyticInterface,
+    CompositeService,
+    SimpleService,
+)
+from repro.symbolic import Constant, Expression, Parameter
+
+__all__ = [
+    "SimpleConnector",
+    "CompositeConnector",
+    "perfect_connector",
+    "LocalCallConnector",
+    "RemoteCallConnector",
+    "CustomConnector",
+]
+
+
+class SimpleConnector(SimpleService):
+    """A connector with a published closed-form (un)reliability."""
+
+    is_connector = True
+
+
+class CompositeConnector(CompositeService):
+    """A connector realized by a flow over other services."""
+
+    is_connector = True
+
+
+def perfect_connector(name: str) -> SimpleConnector:
+    """A pure modeling artifact with failure probability zero.
+
+    Section 3.1: connectors that model "a simple association between
+    required and offered services ... do not actually make use of any
+    resource and do not correspond to any tangible artifact; hence we assume
+    that their failure probability is equal to zero."
+    """
+    interface = AnalyticInterface(
+        description=f"perfect modeling connector {name!r} (deployment association)"
+    )
+    return SimpleConnector(name, interface, Constant(0.0), duration=Constant(0.0))
+
+
+def _transport_interface(description: str) -> AnalyticInterface:
+    """The conventional ``(ip, op)`` interface of call connectors."""
+    return AnalyticInterface(
+        formal_parameters=(
+            FormalParameter(
+                "ip",
+                domain=IntegerDomain(low=0),
+                description="size of data transported client -> server",
+            ),
+            FormalParameter(
+                "op",
+                domain=IntegerDomain(low=0),
+                description="size of data transported server -> client",
+            ),
+        ),
+        description=description,
+    )
+
+
+def _internal(phi: float, operations: Expression) -> Expression:
+    """Internal-failure expression for connector code of rate ``phi``
+    executing ``operations`` — eq. (14), constant-folded when ``phi = 0``."""
+    if phi == 0.0:
+        return Constant(0.0)
+    return Constant(1.0) - Constant(1.0 - phi) ** operations
+
+
+class LocalCallConnector:
+    """LPC connector: shared-memory local procedure call (Figure 2, left).
+
+    Requires one service slot:
+
+    - ``cpu`` — the processing service of the node both parties share.
+
+    Args:
+        name: connector/service name.
+        operations: the constant ``l`` of the paper — operations needed for
+            the control transfer, independent of ``ip``/``op`` under the
+            shared-memory assumption.
+        software_failure_rate: per-operation failure probability of the
+            connector's own code (paper example: 0).
+    """
+
+    CPU_SLOT = "cpu"
+
+    def __init__(
+        self,
+        name: str,
+        operations: float,
+        software_failure_rate: float = 0.0,
+    ):
+        if operations < 0:
+            raise ModelError(f"LPC operations must be non-negative, got {operations}")
+        if not 0.0 <= software_failure_rate <= 1.0:
+            raise ModelError("software_failure_rate must be a probability")
+        self.name = name
+        self.operations = float(operations)
+        self.software_failure_rate = float(software_failure_rate)
+
+    def service(self) -> CompositeConnector:
+        """The connection service with the Figure 2 (left) flow."""
+        ops = Constant(self.operations)
+        flow = (
+            FlowBuilder(formals=("ip", "op"))
+            .state(
+                "transfer",
+                requests=[
+                    ServiceRequest(
+                        self.CPU_SLOT,
+                        actuals={CpuResource.PARAM: ops},
+                        internal_failure=_internal(self.software_failure_rate, ops),
+                        label="control transfer",
+                    )
+                ],
+            )
+            .sequence("transfer")
+            .build()
+        )
+        return CompositeConnector(
+            self.name,
+            _transport_interface(f"local procedure call connector {self.name!r}"),
+            flow,
+        )
+
+
+class RemoteCallConnector:
+    """RPC connector: marshal/transmit/unmarshal (Figure 2, right).
+
+    Requires three service slots:
+
+    - ``client_cpu`` — processing service of the caller's node (marshals
+      ``ip``, unmarshals ``op``);
+    - ``net`` — communication service between the nodes;
+    - ``server_cpu`` — processing service of the callee's node (unmarshals
+      ``ip``, marshals ``op``).
+
+    Args:
+        name: connector/service name.
+        marshal_cost: the constant ``c`` — processing operations per
+            transported size unit for (un)marshaling.
+        transmit_cost: the constant ``m`` — bytes on the wire per
+            transported size unit.
+        software_failure_rate: per-operation failure probability of the
+            connector stubs (paper example: 0).
+    """
+
+    CLIENT_CPU_SLOT = "client_cpu"
+    NET_SLOT = "net"
+    SERVER_CPU_SLOT = "server_cpu"
+
+    def __init__(
+        self,
+        name: str,
+        marshal_cost: float,
+        transmit_cost: float,
+        software_failure_rate: float = 0.0,
+    ):
+        if marshal_cost < 0 or transmit_cost < 0:
+            raise ModelError("RPC cost constants must be non-negative")
+        if not 0.0 <= software_failure_rate <= 1.0:
+            raise ModelError("software_failure_rate must be a probability")
+        self.name = name
+        self.marshal_cost = float(marshal_cost)
+        self.transmit_cost = float(transmit_cost)
+        self.software_failure_rate = float(software_failure_rate)
+
+    def _transfer_state_requests(
+        self, size: Parameter, origin_slot: str, destination_slot: str
+    ) -> list[ServiceRequest]:
+        """The three AND-completed requests of one transfer stage."""
+        c, m = Constant(self.marshal_cost), Constant(self.transmit_cost)
+        phi = self.software_failure_rate
+        return [
+            ServiceRequest(
+                origin_slot,
+                actuals={CpuResource.PARAM: c * size},
+                internal_failure=_internal(phi, c * size),
+                label=f"marshal {size}",
+            ),
+            ServiceRequest(
+                self.NET_SLOT,
+                actuals={NetworkResource.PARAM: m * size},
+                internal_failure=_internal(phi, Constant(0.0)),
+                label=f"transmit {size}",
+            ),
+            ServiceRequest(
+                destination_slot,
+                actuals={CpuResource.PARAM: c * size},
+                internal_failure=_internal(phi, c * size),
+                label=f"unmarshal {size}",
+            ),
+        ]
+
+    def service(self) -> CompositeConnector:
+        """The connection service with the Figure 2 (right) flow."""
+        ip, op = Parameter("ip"), Parameter("op")
+        flow = (
+            FlowBuilder(formals=("ip", "op"))
+            .state(
+                "transfer_ip",
+                requests=self._transfer_state_requests(
+                    ip, self.CLIENT_CPU_SLOT, self.SERVER_CPU_SLOT
+                ),
+            )
+            .state(
+                "transfer_op",
+                requests=self._transfer_state_requests(
+                    op, self.SERVER_CPU_SLOT, self.CLIENT_CPU_SLOT
+                ),
+            )
+            .sequence("transfer_ip", "transfer_op")
+            .build()
+        )
+        return CompositeConnector(
+            self.name,
+            _transport_interface(f"remote procedure call connector {self.name!r}"),
+            flow,
+        )
+
+
+class CustomConnector:
+    """Wrap an arbitrary flow as a connector service.
+
+    Args:
+        name: connector/service name.
+        flow: the interaction flow; its formal parameters become the
+            connector's transport parameters.
+        attributes: interface attributes referenced by the flow expressions.
+        description: documentation string.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        flow: ServiceFlow,
+        attributes: dict[str, float] | None = None,
+        description: str = "",
+    ):
+        self.name = name
+        self.flow = flow
+        self.attributes = dict(attributes or {})
+        self.description = description or f"custom connector {name!r}"
+
+    def service(self) -> CompositeConnector:
+        """The connection service over the supplied flow."""
+        interface = AnalyticInterface(
+            formal_parameters=tuple(
+                FormalParameter(p, domain=IntegerDomain(low=0))
+                for p in self.flow.formal_parameters
+            ),
+            attributes=self.attributes,
+            description=self.description,
+        )
+        return CompositeConnector(self.name, interface, self.flow)

@@ -1,0 +1,155 @@
+"""Formal parameters and abstract domains of analytic interfaces.
+
+Section 2 of the paper: the abstraction in an analytic interface "should
+concern both the service itself and the domains where its formal parameters
+... can take value", achieved "by partitioning the real domain into a
+(possibly finite) set of disjoint subdomains, and then collapsing all the
+elements in each subdomain into a single representative element".
+
+A :class:`FormalParameter` couples a parameter name with such an abstract
+:class:`ParameterDomain`.  Domains are used to validate the environments
+supplied to the evaluator and to document interfaces in the DSL; they do not
+constrain symbolic manipulation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = [
+    "ParameterDomain",
+    "RealDomain",
+    "IntegerDomain",
+    "FiniteDomain",
+    "FormalParameter",
+    "Direction",
+]
+
+
+class ParameterDomain:
+    """Base class for abstract parameter domains."""
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` belongs to the domain."""
+        raise NotImplementedError
+
+    def contains_all(self, values: Iterable[float] | np.ndarray) -> bool:
+        """True when every element of ``values`` belongs to the domain."""
+        arr = np.atleast_1d(np.asarray(values, dtype=float))
+        return all(self.contains(float(v)) for v in arr.ravel())
+
+    def describe(self) -> str:
+        """Human-readable description of the domain."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RealDomain(ParameterDomain):
+    """A (possibly half-open) real interval ``[low, high]``."""
+
+    low: float = float("-inf")
+    high: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ModelError(f"empty real domain [{self.low}, {self.high}]")
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def describe(self) -> str:
+        return f"real in [{self.low}, {self.high}]"
+
+
+@dataclass(frozen=True)
+class IntegerDomain(ParameterDomain):
+    """Integer values in ``[low, high]``.
+
+    This is the domain of the paper's abstract workload parameters: ``N``
+    operations, ``B`` bytes, ``list`` sizes.
+    """
+
+    low: int = 0
+    high: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ModelError(f"empty integer domain [{self.low}, {self.high}]")
+
+    def contains(self, value: float) -> bool:
+        return (
+            self.low <= value <= self.high
+            and float(value) == float(int(value))
+        )
+
+    def describe(self) -> str:
+        return f"integer in [{self.low}, {self.high}]"
+
+
+@dataclass(frozen=True)
+class FiniteDomain(ParameterDomain):
+    """An explicit finite set of representative elements."""
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ModelError("FiniteDomain requires at least one value")
+        object.__setattr__(self, "values", tuple(float(v) for v in self.values))
+
+    def contains(self, value: float) -> bool:
+        return float(value) in self.values
+
+    def describe(self) -> str:
+        return f"one of {sorted(set(self.values))}"
+
+
+class Direction:
+    """Parameter directions as used in the paper's example signatures
+    (``in:elem, in:list, out:res``)."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+    _ALL = (IN, OUT, INOUT)
+
+
+#: Non-negative integers — the default domain for abstract workloads.
+_DEFAULT_DOMAIN = IntegerDomain(low=0)
+
+
+@dataclass(frozen=True)
+class FormalParameter:
+    """A named formal parameter of a service's analytic interface.
+
+    Attributes:
+        name: the identifier used inside expressions.
+        domain: the abstract domain of the parameter.
+        direction: ``in``/``out``/``inout`` (documentation + validation of
+            the DSL form; ``out`` parameters still have abstract sizes, e.g.
+            the ``res`` result size fed to the RPC connector's ``op``).
+        description: free-text documentation.
+    """
+
+    name: str
+    domain: ParameterDomain = field(default=_DEFAULT_DOMAIN)
+    direction: str = Direction.IN
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ModelError(f"invalid parameter name {self.name!r}")
+        if not self.name.isidentifier():
+            raise ModelError(
+                f"parameter name {self.name!r} must be a valid identifier"
+            )
+        if self.direction not in Direction._ALL:
+            raise ModelError(f"invalid parameter direction {self.direction!r}")
+        if not isinstance(self.domain, ParameterDomain):
+            raise ModelError(f"invalid domain {self.domain!r}")

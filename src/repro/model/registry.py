@@ -1,0 +1,135 @@
+"""Service registry — discovery and matching for the SOC workflow.
+
+Section 1 of the paper: prediction matters because it "drives the selection
+of the services to be assembled", in a setting where services are
+"discovered, selected and assembled in an automated way".  The registry is
+the discovery substrate: providers *publish* services under a category with
+free-form metadata; a broker *queries* by category and attribute
+constraints and receives candidates ordered by a caller-supplied criterion.
+
+:mod:`repro.analysis.selection` builds on this to pick the candidate that
+maximizes the *predicted assembly reliability* — the paper's motivating
+loop, closed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import DuplicateNameError, ModelError, UnknownServiceError
+from repro.model.service import Service
+
+__all__ = ["PublishedService", "AttributeConstraint", "ServiceRegistry"]
+
+
+@dataclass(frozen=True)
+class PublishedService:
+    """A registry entry: a service plus publication metadata.
+
+    Attributes:
+        service: the published service (its analytic interface travels with
+            it — the paper's key requirement for automatic prediction).
+        category: free-form category key used for discovery (e.g.
+            ``"sort"``, ``"payment"``).
+        provider: name of the publishing organization.
+        metadata: additional free-form key/value details.
+    """
+
+    service: Service
+    category: str
+    provider: str = ""
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.category, str) or not self.category:
+            raise ModelError("published service needs a non-empty category")
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+
+@dataclass(frozen=True)
+class AttributeConstraint:
+    """A bound on a published interface attribute.
+
+    Attributes:
+        attribute: interface attribute name (e.g. ``failure_rate``).
+        maximum: inclusive upper bound, or ``None``.
+        minimum: inclusive lower bound, or ``None``.
+    """
+
+    attribute: str
+    maximum: float | None = None
+    minimum: float | None = None
+
+    def admits(self, service: Service) -> bool:
+        """True when the service publishes the attribute within bounds."""
+        if self.attribute not in service.interface.attributes:
+            return False
+        value = service.interface.attributes[self.attribute]
+        if self.maximum is not None and value > self.maximum:
+            return False
+        if self.minimum is not None and value < self.minimum:
+            return False
+        return True
+
+
+class ServiceRegistry:
+    """An in-memory publish/discover registry."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, PublishedService] = {}
+
+    def publish(
+        self,
+        service: Service,
+        category: str,
+        provider: str = "",
+        metadata: Mapping[str, object] | None = None,
+    ) -> PublishedService:
+        """Publish a service under a category.  Names must be unique."""
+        if service.name in self._entries:
+            raise DuplicateNameError("published service", service.name)
+        entry = PublishedService(service, category, provider, metadata or {})
+        self._entries[service.name] = entry
+        return entry
+
+    def withdraw(self, name: str) -> None:
+        """Remove a published service."""
+        if name not in self._entries:
+            raise UnknownServiceError(name)
+        del self._entries[name]
+
+    def lookup(self, name: str) -> PublishedService:
+        """Fetch a registry entry by service name."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownServiceError(name) from None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def discover(
+        self,
+        category: str,
+        constraints: tuple[AttributeConstraint, ...] = (),
+        key: Callable[[PublishedService], float] | None = None,
+    ) -> list[PublishedService]:
+        """All published services in ``category`` satisfying every
+        constraint, optionally sorted ascending by ``key``."""
+        matches = [
+            entry
+            for entry in self._entries.values()
+            if entry.category == category
+            and all(c.admits(entry.service) for c in constraints)
+        ]
+        if key is not None:
+            matches.sort(key=key)
+        return matches
+
+    def categories(self) -> frozenset[str]:
+        """All categories with at least one published service."""
+        return frozenset(entry.category for entry in self._entries.values())

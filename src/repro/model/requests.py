@@ -1,0 +1,113 @@
+"""Service requests — the ``A_ij = call(S_j, ap_j)`` of the paper.
+
+A :class:`ServiceRequest` is one entry of a flow state's request set.  It
+names the *required-service slot* it targets (resolved to an offered service
+plus a connector by the enclosing :class:`~repro.model.assembly.Assembly`),
+and carries three families of expressions, all over the formal parameters of
+the **calling** service:
+
+- ``actuals`` — the actual parameters ``ap_j(fp)`` handed to the callee
+  (section 3's parametric dependency; e.g. the search service requests
+  ``sort(list)`` and ``cpu(log(list))``);
+- ``internal_failure`` — ``Pfail_int(A_ij)``, the probability that the
+  *internal* operations tied to issuing this request fail.  For a plain
+  method call the paper suggests zero; for a ``call(cpu, N)`` request it is
+  the caller's software-reliability function of ``N`` (eq. 14) — see
+  :func:`repro.reliability.internal.per_operation_internal`;
+- ``connector_actuals`` — optional per-request actual parameters for the
+  connector transporting the request (``[S_j, ap_j]`` in eq. 8 / eq. 13,
+  e.g. ``ip = elem + list`` and ``op = res`` in section 4).  When omitted,
+  the defaults declared on the assembly binding are used;
+- ``masking`` — the **error-propagation extension** (the paper's section 6
+  lists releasing the fail-stop assumption "to deal also with error
+  propagation aspects" as future work): the probability that a failure of
+  this request is *masked* at the caller's boundary (absorbed by retries,
+  defaults, stale caches, ...) and the request still counts as fulfilled
+  for the completion model.  The default 0 is exactly the paper's
+  fail-stop semantics; under the sharing model a masked external failure
+  still destroys the shared service (no repair) — masking only changes
+  whether *this caller's request* is considered fulfilled.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from types import MappingProxyType
+
+from repro.errors import ModelError
+from repro.symbolic import Constant, Expression, ExpressionLike, as_expression
+
+__all__ = ["ServiceRequest"]
+
+
+def _freeze_exprs(
+    what: str, mapping: Mapping[str, ExpressionLike] | None
+) -> Mapping[str, Expression]:
+    out: dict[str, Expression] = {}
+    for name, value in (mapping or {}).items():
+        if not isinstance(name, str) or not name.isidentifier():
+            raise ModelError(f"{what}: invalid parameter name {name!r}")
+        out[name] = as_expression(value)
+    return MappingProxyType(out)
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One service request inside a flow state.
+
+    Args:
+        target: name of the required-service slot this request calls.
+        actuals: actual-parameter expressions keyed by the callee's formal
+            parameter names (expressions over the caller's formals).
+        internal_failure: ``Pfail_int`` expression over the caller's formals
+            (default: the perfectly reliable call of §3.2 case (a)).
+        connector_actuals: optional connector actual-parameter expressions;
+            ``None`` defers to the assembly binding's defaults.
+        masking: probability expression that a failure of this request is
+            masked at the caller boundary (default 0 — the paper's
+            fail-stop semantics).
+        label: optional human-readable annotation (e.g. ``"marshal ip"`` as
+            in Figure 2).
+    """
+
+    target: str
+    actuals: Mapping[str, Expression] = field(default_factory=dict)
+    internal_failure: Expression = field(default_factory=lambda: Constant(0.0))
+    connector_actuals: Mapping[str, Expression] | None = None
+    masking: Expression = field(default_factory=lambda: Constant(0.0))
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.target, str) or not self.target:
+            raise ModelError(f"invalid request target {self.target!r}")
+        object.__setattr__(self, "actuals", _freeze_exprs("actuals", self.actuals))
+        object.__setattr__(
+            self, "internal_failure", as_expression(self.internal_failure)
+        )
+        object.__setattr__(self, "masking", as_expression(self.masking))
+        if self.connector_actuals is not None:
+            object.__setattr__(
+                self,
+                "connector_actuals",
+                _freeze_exprs("connector_actuals", self.connector_actuals),
+            )
+
+    def free_parameters(self) -> frozenset[str]:
+        """All caller-side parameters referenced by this request."""
+        names: frozenset[str] = self.internal_failure.free_parameters()
+        names |= self.masking.free_parameters()
+        for expr in self.actuals.values():
+            names |= expr.free_parameters()
+        for expr in (self.connector_actuals or {}).values():
+            names |= expr.free_parameters()
+        return names
+
+    def describe(self) -> str:
+        """Compact ``call(target, actuals...)`` rendering, as in Figure 1."""
+        args = ", ".join(f"{k}={v}" for k, v in sorted(self.actuals.items()))
+        note = f"  # {self.label}" if self.label else ""
+        return f"call({self.target}{', ' if args else ''}{args}){note}"
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,217 @@
+"""Resources — the entities that offer services.
+
+The paper (footnote 1) uses *resource* rather than *component* to encompass
+"both software components and physical resources, like processors,
+communication links, or other devices".  This module provides the concrete
+resource kinds of section 3.1, each a small factory for the
+:class:`~repro.model.service.SimpleService` it offers:
+
+- :class:`CpuResource` — processing service with abstract parameter ``N``
+  (operations), attributes speed ``s`` and failure rate ``lambda``;
+  ``Pfail(cpu, N) = 1 - exp(-lambda*N/s)``  (eq. 1);
+- :class:`NetworkResource` — communication service with abstract parameter
+  ``B`` (bytes), attributes bandwidth ``b`` and failure rate ``beta``;
+  ``Pfail(net, B) = 1 - exp(-beta*B/b)``  (eq. 2);
+- :class:`DeviceResource` — a generic simple resource with a caller-supplied
+  failure-probability expression (printers, sensors, black-box components
+  tied to a platform);
+- :class:`SoftwareComponent` — a named holder for a software failure rate
+  ``phi``, offering helpers to build the internal-failure expressions of
+  eq. (14) for the composite services it implements.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.model.parameters import FormalParameter, IntegerDomain
+from repro.model.service import AnalyticInterface, SimpleService
+from repro.symbolic import Call, Constant, Expression, Parameter, as_expression
+
+__all__ = [
+    "CpuResource",
+    "NetworkResource",
+    "DeviceResource",
+    "SoftwareComponent",
+]
+
+
+def _check_positive(what: str, value: float) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0.0:
+        raise ModelError(f"{what} must be a positive number, got {value!r}")
+    return float(value)
+
+
+def _check_rate(what: str, value: float) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value < 0.0:
+        raise ModelError(f"{what} must be a non-negative number, got {value!r}")
+    return float(value)
+
+
+class CpuResource:
+    """A processing resource (cpu-type) offering one processing service.
+
+    Args:
+        name: resource/service name (the paper names the service after the
+            resource, e.g. ``cpu1``).
+        speed: operations per time unit (``s`` in eq. 1).
+        failure_rate: failures per time unit (``lambda`` in eq. 1).
+    """
+
+    #: Formal-parameter name of the offered service.
+    PARAM = "N"
+
+    def __init__(self, name: str, speed: float, failure_rate: float):
+        self.name = name
+        self.speed = _check_positive(f"cpu {name!r} speed", speed)
+        self.failure_rate = _check_rate(f"cpu {name!r} failure rate", failure_rate)
+
+    def service(self) -> SimpleService:
+        """The offered processing service with ``Pfail`` from eq. (1)."""
+        n = Parameter(self.PARAM)
+        interface = AnalyticInterface(
+            formal_parameters=(
+                FormalParameter(
+                    self.PARAM,
+                    domain=IntegerDomain(low=0),
+                    description="number of average operations to execute",
+                ),
+            ),
+            attributes={"speed": self.speed, "failure_rate": self.failure_rate},
+            description=f"processing service of cpu resource {self.name!r}",
+        )
+        pfail = Constant(1.0) - Call(
+            "exp",
+            (-(Parameter("failure_rate") * n / Parameter("speed")),),
+        )
+        return SimpleService(
+            self.name, interface, pfail,
+            duration=n / Parameter("speed"),
+        )
+
+
+class NetworkResource:
+    """A communication resource (network-type) offering one transmission
+    service.
+
+    Args:
+        name: resource/service name (e.g. ``net12``).
+        bandwidth: bytes per time unit (``b`` in eq. 2).
+        failure_rate: failures per time unit (``beta``/``gamma`` in eq. 2).
+    """
+
+    #: Formal-parameter name of the offered service.
+    PARAM = "B"
+
+    def __init__(self, name: str, bandwidth: float, failure_rate: float):
+        self.name = name
+        self.bandwidth = _check_positive(f"network {name!r} bandwidth", bandwidth)
+        self.failure_rate = _check_rate(f"network {name!r} failure rate", failure_rate)
+
+    def service(self) -> SimpleService:
+        """The offered communication service with ``Pfail`` from eq. (2)."""
+        b = Parameter(self.PARAM)
+        interface = AnalyticInterface(
+            formal_parameters=(
+                FormalParameter(
+                    self.PARAM,
+                    domain=IntegerDomain(low=0),
+                    description="number of bytes to transmit",
+                ),
+            ),
+            attributes={"bandwidth": self.bandwidth, "failure_rate": self.failure_rate},
+            description=f"communication service of network resource {self.name!r}",
+        )
+        pfail = Constant(1.0) - Call(
+            "exp",
+            (-(Parameter("failure_rate") * b / Parameter("bandwidth")),),
+        )
+        return SimpleService(
+            self.name, interface, pfail,
+            duration=b / Parameter("bandwidth"),
+        )
+
+
+class DeviceResource:
+    """A generic simple resource with a caller-supplied failure model.
+
+    Covers the paper's "other devices (like printers and sensors)" and
+    black-box software components tied to a platform: anything that
+    publishes a closed-form unreliability over its abstract parameters.
+
+    Args:
+        name: resource/service name.
+        formal_parameters: abstract parameters of the offered service.
+        failure_probability: ``Pfail`` expression over those parameters (and
+            any supplied attributes).
+        attributes: named numeric attributes referenced by the expression.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        formal_parameters: tuple[FormalParameter, ...] = (),
+        failure_probability: Expression | float = 0.0,
+        attributes: dict[str, float] | None = None,
+        duration: Expression | float | None = None,
+    ):
+        self.name = name
+        self.formal_parameters = tuple(formal_parameters)
+        self.failure_probability = as_expression(failure_probability)
+        self.attributes = dict(attributes or {})
+        self.duration = duration
+
+    def service(self) -> SimpleService:
+        """The offered service."""
+        interface = AnalyticInterface(
+            formal_parameters=self.formal_parameters,
+            attributes=self.attributes,
+            description=f"service of device resource {self.name!r}",
+        )
+        return SimpleService(
+            self.name, interface, self.failure_probability,
+            duration=self.duration,
+        )
+
+
+class SoftwareComponent:
+    """A software component characterized by a software failure rate.
+
+    The paper's composite services are "typically offered by software
+    components"; the component's only directly published failure information
+    is its software failure rate ``phi`` — "the probability of a software
+    failure in an operation" (eq. 14 context).  This class carries that rate
+    and builds the corresponding internal-failure expressions.
+
+    Args:
+        name: component name.
+        software_failure_rate: per-operation failure probability ``phi``.
+    """
+
+    def __init__(self, name: str, software_failure_rate: float):
+        self.name = name
+        if (
+            isinstance(software_failure_rate, bool)
+            or not isinstance(software_failure_rate, (int, float))
+            or not 0.0 <= software_failure_rate <= 1.0
+        ):
+            raise ModelError(
+                f"software failure rate of {name!r} must be a probability, "
+                f"got {software_failure_rate!r}"
+            )
+        self.software_failure_rate = float(software_failure_rate)
+
+    def internal_failure(self, operations: Expression | float | str) -> Expression:
+        """``Pfail_int(call(cpu, N)) = 1 - (1 - phi) ** N``  (eq. 14).
+
+        Args:
+            operations: expression for the operation count ``N`` over the
+                calling service's formal parameters.
+        """
+        n = as_expression(operations)
+        return Constant(1.0) - Constant(1.0 - self.software_failure_rate) ** n
+
+    def __repr__(self) -> str:
+        return (
+            f"SoftwareComponent({self.name!r}, "
+            f"phi={self.software_failure_rate!r})"
+        )

@@ -1,0 +1,36 @@
+"""Failure-model library for simple services and internal failures.
+
+Implements the exponential models behind eqs. (1)–(2), the
+software-reliability internal model of eq. (14), and extension models
+(Weibull, constant, exponential-in-operations).
+"""
+
+from repro.reliability.availability import (
+    SteadyStateAvailability,
+    with_availability,
+)
+from repro.reliability.failure_models import (
+    ConstantFailureModel,
+    ExponentialFailureModel,
+    FailureModel,
+    WeibullFailureModel,
+)
+from repro.reliability.internal import (
+    constant_internal,
+    exponential_internal,
+    per_operation_internal,
+    reliable_call,
+)
+
+__all__ = [
+    "ConstantFailureModel",
+    "SteadyStateAvailability",
+    "ExponentialFailureModel",
+    "FailureModel",
+    "WeibullFailureModel",
+    "constant_internal",
+    "exponential_internal",
+    "per_operation_internal",
+    "reliable_call",
+    "with_availability",
+]

@@ -1,0 +1,134 @@
+"""Availability — releasing the paper's "no repair occurs" assumption.
+
+The paper's section 3 fixes two assumptions: fail-stop *and* no repair.
+The masking extension relaxes fail-stop; this module relaxes no-repair at
+the **resource level**: a physical resource that fails and gets repaired
+(rates ``lambda``/``mu``) is, at a random invocation instant, *down* with
+its steady-state unavailability — one more independent failure cause in
+front of the execution-time failure of eqs. (1)/(2):
+
+    ``Pfail_avail(S, fp) = (1 - A) + A * Pfail_exec(S, fp)``
+
+with ``A = mu / (lambda + mu)`` the steady-state availability of the
+working<->failed birth-death CTMC (derived, and property-tested, via
+:mod:`repro.markov.ctmc`).
+
+This composes with everything else because it stays inside the paper's
+interface contract: the wrapped resource is still a plain
+:class:`~repro.model.service.SimpleService` publishing a closed-form
+unreliability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.markov.ctmc import ContinuousTimeMarkovChain
+from repro.model.service import AnalyticInterface, SimpleService
+from repro.symbolic import Constant, Expression
+
+__all__ = ["SteadyStateAvailability", "with_availability"]
+
+#: CTMC state labels of the repair model.
+WORKING = "working"
+FAILED = "failed"
+
+
+class SteadyStateAvailability:
+    """The working<->failed repair model of one resource.
+
+    Args:
+        failure_rate: ``lambda`` — failures per time unit while working.
+        repair_rate: ``mu`` — repairs per time unit while failed.
+    """
+
+    def __init__(self, failure_rate: float, repair_rate: float):
+        if failure_rate < 0:
+            raise ModelError(f"failure rate must be non-negative, got {failure_rate}")
+        if repair_rate <= 0:
+            raise ModelError(
+                f"repair rate must be positive, got {repair_rate} "
+                f"(no repair is the paper's default — just don't wrap)"
+            )
+        self.failure_rate = float(failure_rate)
+        self.repair_rate = float(repair_rate)
+
+    def chain(self) -> ContinuousTimeMarkovChain:
+        """The underlying two-state birth-death CTMC."""
+        lam, mu = self.failure_rate, self.repair_rate
+        return ContinuousTimeMarkovChain(
+            (WORKING, FAILED),
+            np.array([[-lam, lam], [mu, -mu]]),
+        )
+
+    @property
+    def availability(self) -> float:
+        """``A = mu / (lambda + mu)`` — the long-run fraction of time up."""
+        return self.repair_rate / (self.failure_rate + self.repair_rate)
+
+    @property
+    def unavailability(self) -> float:
+        """``1 - A``."""
+        return self.failure_rate / (self.failure_rate + self.repair_rate)
+
+    @property
+    def mttf(self) -> float:
+        """Mean time to failure, ``1 / lambda`` (inf for a perfect resource)."""
+        if self.failure_rate == 0.0:
+            return float("inf")
+        return 1.0 / self.failure_rate
+
+    @property
+    def mttr(self) -> float:
+        """Mean time to repair, ``1 / mu``."""
+        return 1.0 / self.repair_rate
+
+
+def with_availability(
+    service: SimpleService,
+    availability: SteadyStateAvailability | float,
+    name: str | None = None,
+) -> SimpleService:
+    """Wrap a simple service with steady-state unavailability.
+
+    The wrapped service fails an invocation when the resource is down at
+    the invocation instant *or* the execution itself fails:
+
+        ``Pfail' = (1 - A) + A * Pfail``
+
+    Args:
+        service: the execution-time service (e.g. a
+            :class:`~repro.model.resource.CpuResource` service).
+        availability: a :class:`SteadyStateAvailability` model, or a bare
+            availability value in (0, 1].
+        name: name of the wrapped service (default: ``"<name>+avail"``).
+    """
+    if isinstance(availability, SteadyStateAvailability):
+        a = availability.availability
+        extra_attributes = {
+            "availability": a,
+            "repair_rate": availability.repair_rate,
+        }
+    else:
+        a = float(availability)
+        extra_attributes = {"availability": a}
+    if not 0.0 < a <= 1.0:
+        raise ModelError(f"availability must be in (0, 1], got {a}")
+
+    pfail: Expression = (
+        Constant(1.0 - a) + Constant(a) * service.failure_probability
+    )
+    interface = AnalyticInterface(
+        formal_parameters=service.interface.formal_parameters,
+        attributes={**dict(service.interface.attributes), **extra_attributes},
+        description=(
+            f"{service.interface.description} "
+            f"[with steady-state availability {a:.6g}]"
+        ).strip(),
+    )
+    cls = type(service)  # preserves SimpleConnector for connector services
+    return cls(
+        name or f"{service.name}+avail", interface, pfail,
+        duration=service.duration,
+    )

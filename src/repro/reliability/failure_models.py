@@ -1,0 +1,118 @@
+"""Time/workload-based failure models for simple services.
+
+Section 3.1 assumes the reliability of a simple service "is a known function
+of the service formal parameters" and demonstrates the exponential case
+(eqs. 1 and 2).  This module generalizes that into a small library of
+failure models.  Each model turns a *duration expression* (time spent, e.g.
+``N / s`` for a cpu executing ``N`` operations at speed ``s``) into a
+failure-probability :class:`~repro.symbolic.Expression`, so custom
+:class:`~repro.model.resource.DeviceResource` services can be built from any
+of them.
+
+All models satisfy the basic sanity properties (probability in ``[0, 1]``,
+monotone non-decreasing in the duration, zero failure probability for zero
+duration) — property-tested in ``tests/property/test_failure_models.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError, ProbabilityRangeError
+from repro.symbolic import Call, Constant, Expression, as_expression
+
+__all__ = [
+    "FailureModel",
+    "ExponentialFailureModel",
+    "WeibullFailureModel",
+    "ConstantFailureModel",
+]
+
+
+class FailureModel:
+    """Base class: maps a duration to a failure probability."""
+
+    def failure_probability(self, duration: Expression | float | str) -> Expression:
+        """``P(failure during 'duration')`` as a symbolic expression."""
+        raise NotImplementedError
+
+    def pfail(self, duration: float) -> float:
+        """Numeric convenience: evaluate the model at a concrete duration."""
+        if duration < 0:
+            raise ModelError(f"duration must be non-negative, got {duration}")
+        value = float(self.failure_probability(Constant(duration)).evaluate({}))
+        if not 0.0 <= value <= 1.0 + 1e-12:
+            raise ProbabilityRangeError("failure probability", value)
+        return min(value, 1.0)
+
+
+@dataclass(frozen=True)
+class ExponentialFailureModel(FailureModel):
+    """Constant-hazard model: ``P(fail in t) = 1 - exp(-rate * t)``.
+
+    The model behind eqs. (1) and (2) ("assuming an exponential failure
+    rate").
+
+    Attributes:
+        rate: failures per time unit (must be non-negative).
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ModelError(f"exponential rate must be non-negative, got {self.rate}")
+
+    def failure_probability(self, duration: Expression | float | str) -> Expression:
+        t = as_expression(duration)
+        return Constant(1.0) - Call("exp", (-(Constant(self.rate) * t),))
+
+
+@dataclass(frozen=True)
+class WeibullFailureModel(FailureModel):
+    """Weibull model: ``P(fail in t) = 1 - exp(-(t / scale) ** shape)``.
+
+    Captures wear-out (``shape > 1``) or infant mortality (``shape < 1``)
+    for physical resources whose hazard is not constant; reduces to the
+    exponential model at ``shape = 1`` with ``rate = 1/scale``.
+
+    Attributes:
+        scale: characteristic life (time units, positive).
+        shape: Weibull shape parameter (positive).
+    """
+
+    scale: float
+    shape: float
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ModelError(f"Weibull scale must be positive, got {self.scale}")
+        if self.shape <= 0:
+            raise ModelError(f"Weibull shape must be positive, got {self.shape}")
+
+    def failure_probability(self, duration: Expression | float | str) -> Expression:
+        t = as_expression(duration)
+        hazard = (t / Constant(self.scale)) ** Constant(self.shape)
+        return Constant(1.0) - Call("exp", (-hazard,))
+
+
+@dataclass(frozen=True)
+class ConstantFailureModel(FailureModel):
+    """Duration-independent failure probability.
+
+    Models per-invocation failure chances with no workload dependence (e.g.
+    a flaky actuator that fails one invocation in a thousand regardless of
+    the command size).
+
+    Attributes:
+        probability: the fixed per-invocation failure probability.
+    """
+
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ProbabilityRangeError("constant failure probability", self.probability)
+
+    def failure_probability(self, duration: Expression | float | str) -> Expression:
+        return Constant(self.probability)

@@ -1,0 +1,95 @@
+"""Internal-failure models: ``Pfail_int(A_ij)`` of section 3.2.
+
+The paper distinguishes two cases for a request's internal failure
+probability:
+
+(a) the request is a method call on a software service — the internal
+    operations are "the call of such service" only, which "could also be
+    set equal to zero, if we assume that a method call is a reliable
+    operation" → :func:`reliable_call` / :func:`constant_internal`;
+
+(b) the request is ``call(cpu, N)`` — the execution of the caller's own
+    code, whose failure probability must be "some function of N, according
+    to some suitable software reliability model"; eq. (14) proposes
+    ``1 - (1 - phi) ** N`` → :func:`per_operation_internal`.
+
+All helpers return :class:`~repro.symbolic.Expression`\\ s over the calling
+service's formal parameters, ready to be attached to a
+:class:`~repro.model.requests.ServiceRequest`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProbabilityRangeError
+from repro.symbolic import Call, Constant, Expression, ExpressionLike, as_expression
+
+__all__ = [
+    "reliable_call",
+    "constant_internal",
+    "per_operation_internal",
+    "exponential_internal",
+]
+
+
+def reliable_call() -> Expression:
+    """``Pfail_int = 0``: a method call assumed perfectly reliable
+    (the paper's suggestion for case (a), used in section 4 for the
+    ``call(sort_x, list)`` request)."""
+    return Constant(0.0)
+
+
+def constant_internal(probability: float) -> Expression:
+    """A fixed internal failure probability per request issue.
+
+    For case (a) when the call operation itself is *not* assumed perfect
+    (e.g. a dynamic-dispatch layer with a measured defect rate).
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ProbabilityRangeError("internal failure probability", probability)
+    return Constant(float(probability))
+
+
+def per_operation_internal(
+    software_failure_rate: float | Expression | str, operations: ExpressionLike
+) -> Expression:
+    """Equation (14): ``Pfail_int(call(cpu, N)) = 1 - (1 - phi) ** N``.
+
+    Args:
+        software_failure_rate: ``phi``, the probability of a software
+            failure in one operation — a number, or an expression/parameter
+            name referencing an interface attribute (e.g.
+            ``"software_failure_rate"``), which keeps ``phi`` visible to
+            symbolic attribute-sensitivity analysis.
+        operations: expression for ``N`` over the caller's formals.
+    """
+    if isinstance(software_failure_rate, (int, float)) and not isinstance(
+        software_failure_rate, bool
+    ):
+        if not 0.0 <= software_failure_rate <= 1.0:
+            raise ProbabilityRangeError(
+                "software failure rate", software_failure_rate
+            )
+    phi = as_expression(software_failure_rate)
+    n = as_expression(operations)
+    return Constant(1.0) - (Constant(1.0) - phi) ** n
+
+
+def exponential_internal(
+    software_failure_rate: float | Expression | str, operations: ExpressionLike
+) -> Expression:
+    """Alternative software-reliability model: ``1 - exp(-phi * N)``.
+
+    The continuous-hazard counterpart of eq. (14); for small ``phi`` the two
+    agree to first order (``(1-phi)^N ~= e^(-phi*N)``), making this a useful
+    cross-check model (see the MODELFORM ablation bench).
+    """
+    if isinstance(software_failure_rate, (int, float)) and not isinstance(
+        software_failure_rate, bool
+    ):
+        if software_failure_rate < 0.0:
+            raise ProbabilityRangeError(
+                "software failure rate", software_failure_rate
+            )
+    phi = as_expression(software_failure_rate)
+    n = as_expression(operations)
+    return Constant(1.0) - Call("exp", (-(phi * n),))

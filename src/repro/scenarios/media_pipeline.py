@@ -1,0 +1,212 @@
+"""Media-processing pipeline: deep composition with AND and k-of-n states.
+
+A video platform's publish pipeline, used by the scalability and k-of-n
+benchmarks:
+
+- ``publish`` orchestrates ``ingest -> transcode -> package -> deliver``;
+- ``transcode`` runs audio and video encoders as an **AND** state (both
+  streams must encode) on a worker node;
+- ``deliver`` uploads to three CDN endpoints under **2-of-3 completion**
+  (the paper's named "k out of n" extension — the pipeline succeeds when a
+  quorum of CDNs holds the content);
+- all cross-node hops are RPC connectors, so every stage's reliability is
+  parametric in the media size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import (
+    AnalyticInterface,
+    Assembly,
+    CompositeService,
+    CpuResource,
+    FlowBuilder,
+    FormalParameter,
+    IntegerDomain,
+    KOfNCompletion,
+    NetworkResource,
+    RemoteCallConnector,
+    ServiceRequest,
+    perfect_connector,
+)
+from repro.reliability import per_operation_internal
+from repro.symbolic import Constant, Parameter
+
+__all__ = ["PipelineParameters", "pipeline_assembly"]
+
+
+@dataclass(frozen=True)
+class PipelineParameters:
+    """Constants of the media-pipeline scenario."""
+
+    # per-operation software failure rates; encode workloads run millions
+    # of operations per request, so these sit three orders of magnitude
+    # below the search/sort example's rates
+    phi_publish: float = 2e-10
+    phi_ingest: float = 5e-10
+    phi_transcode: float = 1e-9
+    phi_package: float = 5e-10
+    phi_cdn: float = 1e-9
+    cpu_speed: float = 1e7
+    cpu_failure_rate: float = 1e-7
+    net_bandwidth: float = 1e5
+    net_failure_rate: float = 1e-4
+    marshal_cost: float = 2.0
+    transmit_cost: float = 1.0
+    #: operations per megabyte for the encode stages.
+    encode_work: float = 5e4
+    #: quorum of CDN uploads required (of 3).
+    cdn_quorum: int = 2
+
+
+def _stage(name: str, phi: float, work_per_mb: float,
+           cpu_speed: float) -> CompositeService:
+    """One pipeline stage: a flow spending ``work * mb`` operations."""
+    mb = Parameter("mb")
+    operations = Constant(work_per_mb) * mb
+    flow = (
+        FlowBuilder(formals=("mb",))
+        .state(
+            "process",
+            requests=[
+                ServiceRequest(
+                    "cpu",
+                    actuals={CpuResource.PARAM: operations},
+                    internal_failure=per_operation_internal("software_failure_rate", operations),
+                )
+            ],
+        )
+        .sequence("process")
+        .build()
+    )
+    interface = AnalyticInterface(
+        formal_parameters=(FormalParameter("mb", domain=IntegerDomain(low=0)),),
+        attributes={"software_failure_rate": phi},
+        description=f"pipeline stage {name!r}",
+    )
+    return CompositeService(name, interface, flow)
+
+
+def _transcoder(params: PipelineParameters) -> CompositeService:
+    """The transcode stage: audio and video encode as an AND state."""
+    mb = Parameter("mb")
+    video_ops = Constant(params.encode_work) * mb
+    audio_ops = Constant(params.encode_work / 10.0) * mb
+    flow = (
+        FlowBuilder(formals=("mb",))
+        .state(
+            "encode",
+            requests=[
+                ServiceRequest(
+                    "cpu",
+                    actuals={CpuResource.PARAM: video_ops},
+                    internal_failure=per_operation_internal(
+                        "software_failure_rate", video_ops
+                    ),
+                    label="video encode",
+                ),
+                ServiceRequest(
+                    "cpu",
+                    actuals={CpuResource.PARAM: audio_ops},
+                    internal_failure=per_operation_internal(
+                        "software_failure_rate", audio_ops
+                    ),
+                    label="audio encode",
+                ),
+            ],
+            # both requests hit the same worker cpu through the same
+            # connector: the honest model declares the sharing (for AND it
+            # is provably neutral — the paper's eq. 11 == eq. 6 identity)
+            shared=True,
+        )
+        .sequence("encode")
+        .build()
+    )
+    interface = AnalyticInterface(
+        formal_parameters=(FormalParameter("mb", domain=IntegerDomain(low=0)),),
+        attributes={"software_failure_rate": params.phi_transcode},
+        description="audio+video transcoding stage",
+    )
+    return CompositeService("transcode", interface, flow)
+
+
+def _publisher(params: PipelineParameters) -> CompositeService:
+    """The orchestrator: sequential stages, then a 2-of-3 CDN fan-out."""
+    mb = Parameter("mb")
+    flow = (
+        FlowBuilder(formals=("mb",))
+        .state("ingest", requests=[ServiceRequest("ingest", actuals={"mb": mb})])
+        .state("transcode", requests=[ServiceRequest("transcode", actuals={"mb": mb})])
+        .state("package", requests=[ServiceRequest("package", actuals={"mb": mb})])
+        .state(
+            "deliver",
+            requests=[
+                ServiceRequest(f"cdn_{i}", actuals={"mb": mb}, label=f"upload to CDN {i}")
+                for i in range(3)
+            ],
+            completion=KOfNCompletion(params.cdn_quorum),
+        )
+        .sequence("ingest", "transcode", "package", "deliver")
+        .build()
+    )
+    interface = AnalyticInterface(
+        formal_parameters=(
+            FormalParameter(
+                "mb",
+                domain=IntegerDomain(low=0),
+                description="media size in megabytes",
+            ),
+        ),
+        attributes={"software_failure_rate": params.phi_publish},
+        description="video publish orchestration",
+    )
+    return CompositeService("publish", interface, flow)
+
+
+def pipeline_assembly(params: PipelineParameters | None = None) -> Assembly:
+    """The full media pipeline over per-stage nodes and RPC hops."""
+    p = params or PipelineParameters()
+    assembly = Assembly("media-pipeline")
+
+    orchestrator_cpu = CpuResource("cpu_orch", p.cpu_speed, p.cpu_failure_rate).service()
+    net = NetworkResource("dc_net", p.net_bandwidth, p.net_failure_rate).service()
+    assembly.add_services(orchestrator_cpu, net, _publisher(p))
+
+    stages: list[CompositeService] = [
+        _stage("ingest", p.phi_ingest, p.encode_work / 20.0, p.cpu_speed),
+        _transcoder(p),
+        _stage("package", p.phi_package, p.encode_work / 50.0, p.cpu_speed),
+        _stage("cdn_0", p.phi_cdn, p.encode_work / 100.0, p.cpu_speed),
+        _stage("cdn_1", p.phi_cdn, p.encode_work / 100.0, p.cpu_speed),
+        _stage("cdn_2", p.phi_cdn, p.encode_work / 100.0, p.cpu_speed),
+    ]
+    for stage in stages:
+        node = CpuResource(f"cpu_{stage.name}", p.cpu_speed, p.cpu_failure_rate)
+        rpc = RemoteCallConnector(f"rpc_{stage.name}", p.marshal_cost, p.transmit_cost)
+        assembly.add_services(stage, node.service(), rpc.service())
+        assembly.add_services(
+            perfect_connector(f"loc_{stage.name}"),
+            perfect_connector(f"loc_rpc_c_{stage.name}"),
+            perfect_connector(f"loc_rpc_s_{stage.name}"),
+            perfect_connector(f"loc_rpc_n_{stage.name}"),
+        )
+        assembly.bind(stage.name, "cpu", node.name, connector=f"loc_{stage.name}")
+        assembly.bind(
+            f"rpc_{stage.name}", "client_cpu", "cpu_orch",
+            connector=f"loc_rpc_c_{stage.name}",
+        )
+        assembly.bind(
+            f"rpc_{stage.name}", "server_cpu", node.name,
+            connector=f"loc_rpc_s_{stage.name}",
+        )
+        assembly.bind(
+            f"rpc_{stage.name}", "net", "dc_net",
+            connector=f"loc_rpc_n_{stage.name}",
+        )
+        assembly.bind(
+            "publish", stage.name, stage.name, connector=f"rpc_{stage.name}",
+            connector_actuals={"ip": Parameter("mb"), "op": Parameter("mb")},
+        )
+    return assembly

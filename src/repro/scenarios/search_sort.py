@@ -1,0 +1,296 @@
+"""The section 4 example: a search service using a sort service.
+
+The paper's worked example (Figures 1–6): a ``search`` component offers a
+search service with formal parameters ``(in: elem, in: list, out: res)``;
+with probability ``q`` the list must first be sorted, requiring a ``sort``
+service, and the search itself costs ``log(list)`` processing operations
+(the sort costs ``list * log(list)``).  Two assemblies are compared:
+
+- **local** (Figure 3): search and ``sort1`` deployed on the same node
+  ``cpu1``, connected by an LPC connector;
+- **remote** (Figure 4): ``sort2`` deployed on a second node ``cpu2``,
+  reached through an RPC connector over network ``net12``.
+
+Numeric attribute values.  The paper publishes only the values swept in
+Figure 6 (``phi1`` in {1e-6, 5e-6}, ``phi2 = 1e-7``, ``gamma`` in {1e-1,
+5e-2, 2.5e-2, 5e-3}); every other constant (speeds, hardware failure
+rates, ``q``, the LPC/RPC cost constants, ``elem``/``res`` sizes) is left
+unspecified.  :class:`SearchSortParameters` defaults are calibrated so
+that — as in the paper — software failure rates and the network failure
+rate dominate, hardware failure rates are second-order, and the Figure 6
+qualitative claims are reproduced on ``list`` in ``[1, 1000]``.  The
+``log`` in the workloads is taken as ``log2`` (binary search / comparison
+sort); the paper leaves the base unspecified and the comparison's shape is
+base-independent.  See EXPERIMENTS.md for the full calibration note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.model import (
+    AnalyticInterface,
+    Assembly,
+    CompositeService,
+    CpuResource,
+    Direction,
+    FlowBuilder,
+    FormalParameter,
+    IntegerDomain,
+    LocalCallConnector,
+    NetworkResource,
+    RemoteCallConnector,
+    ServiceRequest,
+    perfect_connector,
+)
+from repro.reliability import per_operation_internal, reliable_call
+from repro.symbolic import Call, Parameter
+
+__all__ = [
+    "SearchSortParameters",
+    "build_search_component",
+    "build_sort_component",
+    "local_assembly",
+    "remote_assembly",
+    "PAPER_PHI1_VALUES",
+    "PAPER_GAMMA_VALUES",
+    "PAPER_PHI2",
+]
+
+#: The sort1 software failure rates swept in Figure 6.
+PAPER_PHI1_VALUES = (1e-6, 5e-6)
+#: The net12 failure rates swept in Figure 6.
+PAPER_GAMMA_VALUES = (1e-1, 5e-2, 2.5e-2, 5e-3)
+#: The sort2 software failure rate of Figure 6 ("one order of magnitude
+#: smaller than phi1").
+PAPER_PHI2 = 1e-7
+
+
+@dataclass(frozen=True)
+class SearchSortParameters:
+    """All constants of the section 4 example.
+
+    Attributes published by the paper carry its Figure 6 defaults; the
+    remaining attributes carry the calibration documented in EXPERIMENTS.md.
+    """
+
+    #: software failure rate of the search component (paper: ``phi``).
+    phi_search: float = 1e-6
+    #: software failure rate of the local sort1 component (paper: ``phi1``).
+    phi_sort1: float = 1e-6
+    #: software failure rate of the remote sort2 component (paper: ``phi2``).
+    phi_sort2: float = PAPER_PHI2
+    #: failure rate of cpu1 (paper: ``lambda1``).
+    lambda1: float = 1e-7
+    #: failure rate of cpu2 (paper: ``lambda2``).
+    lambda2: float = 1e-7
+    #: speed of cpu1, operations per time unit (paper: ``s1``).
+    s1: float = 1e6
+    #: speed of cpu2, operations per time unit (paper: ``s2``).
+    s2: float = 1e6
+    #: failure rate of net12 (paper: ``gamma``).
+    gamma: float = 5e-3
+    #: bandwidth of net12, bytes per time unit (paper: ``b``).
+    bandwidth: float = 1e3
+    #: probability that the list is not already sorted (paper: ``q``).
+    q: float = 0.9
+    #: LPC control-transfer operation count (paper: ``l``).
+    lpc_operations: float = 100.0
+    #: RPC (un)marshal operations per transported size unit (paper: ``c``).
+    marshal_cost: float = 10.0
+    #: RPC bytes on the wire per transported size unit (paper: ``m``).
+    transmit_cost: float = 1.0
+
+    def with_figure6_point(self, phi1: float, gamma: float) -> "SearchSortParameters":
+        """The parameter set for one Figure 6 curve."""
+        return replace(self, phi_sort1=phi1, gamma=gamma)
+
+
+def _search_interface(phi: float) -> AnalyticInterface:
+    return AnalyticInterface(
+        formal_parameters=(
+            FormalParameter(
+                "elem",
+                domain=IntegerDomain(low=0),
+                direction=Direction.IN,
+                description="size of the element to be searched",
+            ),
+            FormalParameter(
+                "list",
+                domain=IntegerDomain(low=1),
+                direction=Direction.IN,
+                description="size of the list",
+            ),
+            FormalParameter(
+                "res",
+                domain=IntegerDomain(low=0),
+                direction=Direction.OUT,
+                description="size of the returned result",
+            ),
+        ),
+        attributes={"software_failure_rate": phi},
+        description="search for an item in a (possibly unsorted) list",
+    )
+
+
+def build_search_component(phi: float, q: float) -> CompositeService:
+    """The search service with the Figure 1 (left) flow.
+
+    State ``sort`` (reached with probability ``q``) issues
+    ``call(sort, list)`` — internal failure zero, a reliable method call;
+    state ``search`` issues ``call(cpu, log2(list))`` with the eq. (14)
+    internal failure for the component's own code.
+    """
+    list_ = Parameter("list")
+    log_list = Call("log2", (list_,))
+    flow = (
+        FlowBuilder(formals=("elem", "list", "res"))
+        .state(
+            "sort",
+            requests=[
+                ServiceRequest(
+                    "sort",
+                    actuals={"list": list_},
+                    internal_failure=reliable_call(),
+                    label="sort the list first",
+                )
+            ],
+        )
+        .state(
+            "search",
+            requests=[
+                ServiceRequest(
+                    "cpu",
+                    actuals={CpuResource.PARAM: log_list},
+                    internal_failure=per_operation_internal("software_failure_rate", log_list),
+                    label="binary search",
+                )
+            ],
+        )
+        .transition("Start", "sort", q)
+        .transition("Start", "search", 1.0 - q)
+        .transition("sort", "search", 1)
+        .transition("search", "End", 1)
+        .build()
+    )
+    return CompositeService("search", _search_interface(phi), flow)
+
+
+def build_sort_component(name: str, phi: float) -> CompositeService:
+    """A sort service (``sort1`` or ``sort2``) with the Figure 1 (right)
+    flow: one state issuing ``call(cpu, list * log2(list))``."""
+    list_ = Parameter("list")
+    work = list_ * Call("log2", (list_,))
+    interface = AnalyticInterface(
+        formal_parameters=(
+            FormalParameter(
+                "list",
+                domain=IntegerDomain(low=1),
+                direction=Direction.INOUT,
+                description="the list to sort (size abstraction)",
+            ),
+        ),
+        attributes={"software_failure_rate": phi},
+        description=f"comparison sort service {name!r}",
+    )
+    flow = (
+        FlowBuilder(formals=("list",))
+        .state(
+            "work",
+            requests=[
+                ServiceRequest(
+                    "cpu",
+                    actuals={CpuResource.PARAM: work},
+                    internal_failure=per_operation_internal("software_failure_rate", work),
+                    label="comparison sort",
+                )
+            ],
+        )
+        .sequence("work")
+        .build()
+    )
+    return CompositeService(name, interface, flow)
+
+
+def _connector_actuals() -> dict[str, object]:
+    """``ip = elem + list``, ``op = res`` — the transported sizes used for
+    the search -> sort binding in both assemblies (section 4's
+    ``Pfail(connect, elem + list, res)``)."""
+    return {"ip": Parameter("elem") + Parameter("list"), "op": Parameter("res")}
+
+
+def local_assembly(params: SearchSortParameters | None = None) -> Assembly:
+    """The Figure 3 assembly: search and sort1 on cpu1, LPC-connected.
+
+    Recursion levels (section 4): level 0 — ``cpu1`` and the perfect
+    ``loc1..loc3`` connectors; level 1 — ``lpc`` and ``sort1``;
+    level 2 — ``search``.
+    """
+    p = params or SearchSortParameters()
+    cpu1 = CpuResource("cpu1", speed=p.s1, failure_rate=p.lambda1).service()
+    search = build_search_component(p.phi_search, p.q)
+    sort1 = build_sort_component("sort1", p.phi_sort1)
+    lpc = LocalCallConnector("lpc", operations=p.lpc_operations).service()
+
+    assembly = Assembly("local")
+    assembly.add_services(
+        cpu1,
+        search,
+        sort1,
+        lpc,
+        perfect_connector("loc1"),
+        perfect_connector("loc2"),
+        perfect_connector("loc3"),
+    )
+    assembly.bind("search", "cpu", "cpu1", connector="loc1")
+    assembly.bind(
+        "search", "sort", "sort1", connector="lpc",
+        connector_actuals=_connector_actuals(),
+    )
+    assembly.bind("sort1", "cpu", "cpu1", connector="loc2")
+    assembly.bind("lpc", "cpu", "cpu1", connector="loc3")
+    return assembly
+
+
+def remote_assembly(params: SearchSortParameters | None = None) -> Assembly:
+    """The Figure 4 assembly: search on cpu1, sort2 on cpu2, RPC-connected
+    over net12.
+
+    Recursion levels (section 4): level 0 — ``cpu1``, ``cpu2``, ``net12``
+    and the perfect ``loc1..loc5`` connectors; level 1 — ``rpc`` and
+    ``sort2``; level 2 — ``search``.
+    """
+    p = params or SearchSortParameters()
+    cpu1 = CpuResource("cpu1", speed=p.s1, failure_rate=p.lambda1).service()
+    cpu2 = CpuResource("cpu2", speed=p.s2, failure_rate=p.lambda2).service()
+    net12 = NetworkResource("net12", bandwidth=p.bandwidth, failure_rate=p.gamma).service()
+    search = build_search_component(p.phi_search, p.q)
+    sort2 = build_sort_component("sort2", p.phi_sort2)
+    rpc = RemoteCallConnector(
+        "rpc", marshal_cost=p.marshal_cost, transmit_cost=p.transmit_cost
+    ).service()
+
+    assembly = Assembly("remote")
+    assembly.add_services(
+        cpu1,
+        cpu2,
+        net12,
+        search,
+        sort2,
+        rpc,
+        perfect_connector("loc1"),
+        perfect_connector("loc2"),
+        perfect_connector("loc3"),
+        perfect_connector("loc4"),
+        perfect_connector("loc5"),
+    )
+    assembly.bind("search", "cpu", "cpu1", connector="loc1")
+    assembly.bind(
+        "search", "sort", "sort2", connector="rpc",
+        connector_actuals=_connector_actuals(),
+    )
+    assembly.bind("sort2", "cpu", "cpu2", connector="loc2")
+    assembly.bind("rpc", "client_cpu", "cpu1", connector="loc3")
+    assembly.bind("rpc", "server_cpu", "cpu2", connector="loc4")
+    assembly.bind("rpc", "net", "net12", connector="loc5")
+    return assembly

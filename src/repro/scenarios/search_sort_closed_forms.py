@@ -1,0 +1,135 @@
+"""Hand-transcribed closed forms (15)–(22) of the paper's section 4.
+
+These are the formulas the paper derives *by hand* for the search/sort
+example.  They are deliberately written here as direct numpy translations
+of the printed equations — independently of the library's evaluators — so
+the test suite can assert that
+
+1. the **numeric** evaluator (recursive ``Pfail_Alg`` + absorbing-chain
+   solves) and
+2. the **symbolic** evaluator (mechanical closed-form derivation)
+
+both reproduce the paper's algebra exactly (``tests/integration/
+test_section4_closed_forms.py``), and so the Figure 6 benchmark can
+regenerate the curves from the same expressions the paper plotted.
+
+All functions are vectorized over ``list_size``.  ``log`` is ``log2``
+(see the calibration note in :mod:`repro.scenarios.search_sort`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scenarios.search_sort import SearchSortParameters
+
+__all__ = [
+    "pfail_cpu",
+    "pfail_net",
+    "pfail_sort",
+    "pfail_lpc",
+    "pfail_rpc",
+    "pfail_search_local",
+    "pfail_search_remote",
+    "reliability_search_local",
+    "reliability_search_remote",
+]
+
+
+def pfail_cpu(n, speed: float, failure_rate: float):
+    """Eq. (15)/(16): ``Pfail(cpu, N) = 1 - exp(-lambda * N / s)``."""
+    n = np.asarray(n, dtype=float)
+    return 1.0 - np.exp(-failure_rate * n / speed)
+
+
+def pfail_net(b, bandwidth: float, failure_rate: float):
+    """Eq. (17): ``Pfail(net, B) = 1 - exp(-gamma * B / b)``."""
+    b = np.asarray(b, dtype=float)
+    return 1.0 - np.exp(-failure_rate * b / bandwidth)
+
+
+def _log(list_size):
+    return np.log2(np.asarray(list_size, dtype=float))
+
+
+def pfail_sort(list_size, phi: float, speed: float, failure_rate: float):
+    """Eq. (18): ``Pfail(sort_x, list) = 1 - (1 - phi_x) ** (list * log list)
+    * exp(-lambda_x * list * log(list) / s_x)``."""
+    work = np.asarray(list_size, dtype=float) * _log(list_size)
+    return 1.0 - np.power(1.0 - phi, work) * np.exp(-failure_rate * work / speed)
+
+
+def pfail_lpc(params: SearchSortParameters):
+    """Eq. (19): ``Pfail(lpc, ip, op) = 1 - exp(-lambda1 * l / s1)``
+    (independent of ``ip``/``op`` under the shared-memory assumption)."""
+    return 1.0 - np.exp(-params.lambda1 * params.lpc_operations / params.s1)
+
+
+def pfail_rpc(ip, op, params: SearchSortParameters):
+    """Eq. (20): the product of the six marshal/transmit/unmarshal survival
+    factors, collapsed into three exponentials::
+
+        1 - exp(-l1*c*(ip+op)/s1) * exp(-g*m*(ip+op)/b) * exp(-l2*c*(ip+op)/s2)
+    """
+    total = np.asarray(ip, dtype=float) + np.asarray(op, dtype=float)
+    c, m = params.marshal_cost, params.transmit_cost
+    return 1.0 - (
+        np.exp(-params.lambda1 * c * total / params.s1)
+        * np.exp(-params.gamma * m * total / params.bandwidth)
+        * np.exp(-params.lambda2 * c * total / params.s2)
+    )
+
+
+def _search_own_survival(list_size, params: SearchSortParameters):
+    """``(1 - phi) ** log(list) * exp(-lambda1 * log(list) / s1)`` — the
+    survival factor of search's own ``call(cpu1, log(list))`` request,
+    common to both branches of eq. (22)."""
+    log_list = _log(list_size)
+    return np.power(1.0 - params.phi_search, log_list) * np.exp(
+        -params.lambda1 * log_list / params.s1
+    )
+
+
+def _pfail_search(list_size, elem, res, params: SearchSortParameters,
+                  pfail_connect, pfail_sort_value):
+    """Eq. (22) with ``connect``/``sort_x`` supplied by the assembly kind."""
+    a = _search_own_survival(list_size, params)
+    q = params.q
+    return (1.0 - q) * (1.0 - a) + q * (
+        1.0 - a * (1.0 - pfail_connect) * (1.0 - pfail_sort_value)
+    )
+
+
+def pfail_search_local(list_size, params: SearchSortParameters | None = None,
+                       elem=1, res=1):
+    """Eq. (22) instantiated for the local assembly (connect = lpc, x = 1)."""
+    p = params or SearchSortParameters()
+    return _pfail_search(
+        list_size, elem, res, p,
+        pfail_connect=pfail_lpc(p),
+        pfail_sort_value=pfail_sort(list_size, p.phi_sort1, p.s1, p.lambda1),
+    )
+
+
+def pfail_search_remote(list_size, params: SearchSortParameters | None = None,
+                        elem=1, res=1):
+    """Eq. (22) instantiated for the remote assembly (connect = rpc, x = 2)."""
+    p = params or SearchSortParameters()
+    ip = np.asarray(elem, dtype=float) + np.asarray(list_size, dtype=float)
+    return _pfail_search(
+        list_size, elem, res, p,
+        pfail_connect=pfail_rpc(ip, res, p),
+        pfail_sort_value=pfail_sort(list_size, p.phi_sort2, p.s2, p.lambda2),
+    )
+
+
+def reliability_search_local(list_size, params: SearchSortParameters | None = None,
+                             elem=1, res=1):
+    """``1 - Pfail`` for the local assembly — a Figure 6 solid curve."""
+    return 1.0 - pfail_search_local(list_size, params, elem, res)
+
+
+def reliability_search_remote(list_size, params: SearchSortParameters | None = None,
+                              elem=1, res=1):
+    """``1 - Pfail`` for the remote assembly — a Figure 6 dashed curve."""
+    return 1.0 - pfail_search_remote(list_size, params, elem, res)

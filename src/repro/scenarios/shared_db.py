@@ -1,0 +1,155 @@
+"""Sharing-ablation scenario: replicated queries against one database vs
+independent replicas.
+
+Section 3.2's headline result is that the **OR** completion model — the one
+that models fault tolerance — loses its redundancy benefit when the
+"replicas" secretly share a service: eq. (12) vs eq. (7).  This scenario
+makes the effect concrete and parameterizable:
+
+- :func:`replicated_assembly(n, shared=True)` — a ``report`` service whose
+  single flow state issues ``n`` OR-completed queries **to the same
+  database through the same connector** (the paper's sharing model);
+- :func:`replicated_assembly(n, shared=False)` — the same architecture with
+  ``n`` *independent* database replicas (distinct services, one per
+  request), the configuration naive redundancy reasoning assumes.
+
+With AND completion the two configurations are provably identical
+(eq. 11 == eq. 6); the ORSHARE benchmark sweeps ``n`` and reports the gap.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.model import (
+    OR,
+    AnalyticInterface,
+    Assembly,
+    CompletionModel,
+    CompositeService,
+    FlowBuilder,
+    FormalParameter,
+    IntegerDomain,
+    ServiceRequest,
+    perfect_connector,
+)
+from repro.model.resource import DeviceResource
+from repro.reliability import per_operation_internal
+from repro.symbolic import Call, Constant, Parameter
+
+__all__ = ["DatabaseParameters", "replicated_assembly"]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DatabaseParameters:
+    """Constants of the replicated-query scenario.
+
+    Attributes:
+        db_failure_rate: failure rate of a database query per row touched.
+        db_speed: rows per time unit a database scans.
+        phi_report: software failure rate of the reporting component.
+        query_selectivity: rows touched per row of the report size.
+    """
+
+    db_failure_rate: float = 1e-4
+    db_speed: float = 1e4
+    phi_report: float = 1e-7
+    query_selectivity: float = 3.0
+
+
+def _database_service(name: str, params: DatabaseParameters):
+    """A database offering a query service: abstract parameter ``rows``,
+    exponential failure in the scanned rows (an eq. (1)-shaped model)."""
+    rows = Parameter("rows")
+    pfail = Constant(1.0) - Call(
+        "exp",
+        (-(Parameter("failure_rate") * rows / Parameter("speed")),),
+    )
+    return DeviceResource(
+        name,
+        formal_parameters=(
+            FormalParameter(
+                "rows",
+                domain=IntegerDomain(low=0),
+                description="rows touched by the query",
+            ),
+        ),
+        failure_probability=pfail,
+        attributes={
+            "failure_rate": params.db_failure_rate,
+            "speed": params.db_speed,
+        },
+    ).service()
+
+
+def replicated_assembly(
+    replicas: int,
+    shared: bool,
+    params: DatabaseParameters | None = None,
+    completion: CompletionModel = OR,
+) -> Assembly:
+    """The ``report`` service with ``replicas`` redundant queries.
+
+    Args:
+        replicas: number of redundant query requests (>= 2).
+        shared: ``True`` — all requests hit one database ``db`` through one
+            connector (the paper's sharing model); ``False`` — request ``j``
+            hits its own independent replica ``db_j``.
+        params: scenario constants.
+        completion: OR (default; fault tolerance) or AND/k-of-n for the
+            ablation benchmarks.
+
+    The report's formal parameter ``size`` drives the per-query workload
+    ``rows = selectivity * size`` and the component's internal failure
+    (eq. 14), identically in both configurations — the *only* difference is
+    the dependency structure.
+    """
+    if replicas < 2:
+        raise ModelError("the sharing comparison needs at least two replicas")
+    p = params or DatabaseParameters()
+    size = Parameter("size")
+    rows = Constant(p.query_selectivity) * size
+
+    requests = []
+    for j in range(replicas):
+        slot = "db" if shared else f"db_{j}"
+        requests.append(
+            ServiceRequest(
+                slot,
+                actuals={"rows": rows},
+                internal_failure=per_operation_internal("software_failure_rate", rows),
+                label=f"redundant query {j}",
+            )
+        )
+    flow = (
+        FlowBuilder(formals=("size",))
+        .state("query", requests=requests, completion=completion, shared=shared)
+        .sequence("query")
+        .build()
+    )
+    interface = AnalyticInterface(
+        formal_parameters=(
+            FormalParameter(
+                "size",
+                domain=IntegerDomain(low=0),
+                description="report size driving the query workload",
+            ),
+        ),
+        attributes={"software_failure_rate": p.phi_report},
+        description="reporting service with redundant database queries",
+    )
+    report = CompositeService("report", interface, flow)
+
+    assembly = Assembly("shared-db" if shared else "replicated-db")
+    assembly.add_service(report)
+    if shared:
+        assembly.add_service(_database_service("db", p))
+        assembly.add_service(perfect_connector("loc_db"))
+        assembly.bind("report", "db", "db", connector="loc_db")
+    else:
+        for j in range(replicas):
+            assembly.add_service(_database_service(f"db_{j}", p))
+            assembly.add_service(perfect_connector(f"loc_db_{j}"))
+            assembly.bind("report", f"db_{j}", f"db_{j}", connector=f"loc_db_{j}")
+    return assembly

@@ -1,0 +1,234 @@
+"""Travel-booking scenario: a realistic SOC composition.
+
+The paper's introduction motivates SOC with applications assembled from
+independently provided services; this scenario is such an application,
+exercising every modeling feature at once:
+
+- a three-level composition (``booking`` -> flight/hotel/payment services
+  -> cpu/net resources), like section 4's level structure but wider;
+- an **OR state** with two *independent* flight-search providers — genuine
+  fault tolerance (eq. 7);
+- a variant (:func:`booking_assembly(shared_gds=True)`) where both flight
+  searches are secretly routed to the **same** GDS backend — the paper's
+  sharing trap (eq. 12): the published architecture looks redundant but the
+  dependency model says otherwise;
+- RPC connectors with parametric transported sizes, so the predicted
+  reliability depends on the itinerary size end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import (
+    OR,
+    AnalyticInterface,
+    Assembly,
+    CompositeService,
+    CpuResource,
+    FlowBuilder,
+    FormalParameter,
+    IntegerDomain,
+    NetworkResource,
+    RemoteCallConnector,
+    ServiceRequest,
+    perfect_connector,
+)
+from repro.reliability import per_operation_internal
+from repro.symbolic import Constant, Parameter
+
+__all__ = ["BookingParameters", "booking_assembly"]
+
+
+@dataclass(frozen=True)
+class BookingParameters:
+    """Constants of the travel-booking scenario."""
+
+    #: software failure rate of the orchestrating booking component.
+    phi_booking: float = 5e-7
+    #: software failure rates of the two flight-search services.
+    phi_flights_a: float = 2e-6
+    phi_flights_b: float = 3e-6
+    #: software failure rate of the hotel service.
+    phi_hotel: float = 1e-6
+    #: software failure rate of the payment service.
+    phi_payment: float = 5e-7
+    #: cpu attributes (one node per provider organization).
+    cpu_speed: float = 1e6
+    cpu_failure_rate: float = 1e-7
+    #: wide-area network between the orchestrator and the providers.
+    net_bandwidth: float = 2e3
+    net_failure_rate: float = 2e-3
+    #: RPC cost constants.
+    marshal_cost: float = 8.0
+    transmit_cost: float = 1.0
+    #: search work per itinerary item (operations = work * itinerary).
+    search_work: float = 200.0
+    #: probability that the customer also books a hotel.
+    hotel_probability: float = 0.7
+
+
+def _leaf_service(name: str, phi: float, work_per_item: float) -> CompositeService:
+    """A provider service: one flow state spending ``work * items``
+    operations on its own node."""
+    items = Parameter("items")
+    operations = Constant(work_per_item) * items
+    flow = (
+        FlowBuilder(formals=("items",))
+        .state(
+            "work",
+            requests=[
+                ServiceRequest(
+                    "cpu",
+                    actuals={CpuResource.PARAM: operations},
+                    internal_failure=per_operation_internal("software_failure_rate", operations),
+                    label=f"{name} business logic",
+                )
+            ],
+        )
+        .sequence("work")
+        .build()
+    )
+    interface = AnalyticInterface(
+        formal_parameters=(
+            FormalParameter("items", domain=IntegerDomain(low=0)),
+        ),
+        attributes={"software_failure_rate": phi},
+        description=f"{name} provider service",
+    )
+    return CompositeService(name, interface, flow)
+
+
+def _booking_component(params: BookingParameters, shared_gds: bool) -> CompositeService:
+    """The orchestrator: flights (OR-redundant) -> hotel (probabilistic) ->
+    payment."""
+    itinerary = Parameter("itinerary")
+    own_work = Constant(50.0) * itinerary
+    flight_slots = ("gds", "gds") if shared_gds else ("flights_a", "flights_b")
+    flow = (
+        FlowBuilder(formals=("itinerary",))
+        .state(
+            "flights",
+            requests=[
+                ServiceRequest(
+                    slot,
+                    actuals={"items": itinerary},
+                    label=f"flight search {tag}",
+                )
+                for tag, slot in zip("ab", flight_slots)
+            ],
+            completion=OR,
+            shared=shared_gds,
+        )
+        .state(
+            "hotel",
+            requests=[
+                ServiceRequest("hotel", actuals={"items": itinerary}),
+            ],
+        )
+        .state(
+            "payment",
+            requests=[
+                ServiceRequest(
+                    "payment",
+                    actuals={"items": itinerary},
+                    internal_failure=per_operation_internal(
+                        "software_failure_rate", own_work
+                    ),
+                    label="charge and confirm",
+                ),
+            ],
+        )
+        .transition("Start", "flights", 1)
+        .transition("flights", "hotel", params.hotel_probability)
+        .transition("flights", "payment", 1.0 - params.hotel_probability)
+        .transition("hotel", "payment", 1)
+        .transition("payment", "End", 1)
+        .build()
+    )
+    interface = AnalyticInterface(
+        formal_parameters=(
+            FormalParameter(
+                "itinerary",
+                domain=IntegerDomain(low=1),
+                description="number of itinerary items to book",
+            ),
+        ),
+        attributes={"software_failure_rate": params.phi_booking},
+        description="travel-booking orchestration service",
+    )
+    return CompositeService("booking", interface, flow)
+
+
+def booking_assembly(
+    params: BookingParameters | None = None, shared_gds: bool = False
+) -> Assembly:
+    """The full travel-booking assembly.
+
+    Args:
+        params: scenario constants.
+        shared_gds: ``False`` — two independent flight-search providers on
+            separate nodes (true OR redundancy); ``True`` — both flight
+            requests route to a single GDS backend through a single RPC
+            connector (the sharing model: one backend failure defeats the
+            redundancy).
+    """
+    p = params or BookingParameters()
+    assembly = Assembly("booking-shared-gds" if shared_gds else "booking")
+
+    orchestrator_cpu = CpuResource("cpu_orch", p.cpu_speed, p.cpu_failure_rate).service()
+    net = NetworkResource("wan", p.net_bandwidth, p.net_failure_rate).service()
+    hotel = _leaf_service("hotel", p.phi_hotel, p.search_work)
+    payment = _leaf_service("payment", p.phi_payment, p.search_work / 2)
+    booking = _booking_component(p, shared_gds)
+    assembly.add_services(orchestrator_cpu, net, hotel, payment, booking)
+
+    def wire_provider(provider: CompositeService, phi_unused: float, tag: str) -> None:
+        """Give a provider its own node and an RPC path from the
+        orchestrator."""
+        node = CpuResource(f"cpu_{provider.name}", p.cpu_speed, p.cpu_failure_rate)
+        rpc = RemoteCallConnector(
+            f"rpc_{provider.name}", p.marshal_cost, p.transmit_cost
+        )
+        assembly.add_services(node.service(), rpc.service())
+        assembly.add_services(
+            perfect_connector(f"loc_{provider.name}"),
+            perfect_connector(f"loc_rpc_client_{provider.name}"),
+            perfect_connector(f"loc_rpc_server_{provider.name}"),
+            perfect_connector(f"loc_rpc_net_{provider.name}"),
+        )
+        assembly.bind(provider.name, "cpu", node.name, connector=f"loc_{provider.name}")
+        assembly.bind(
+            f"rpc_{provider.name}", "client_cpu", "cpu_orch",
+            connector=f"loc_rpc_client_{provider.name}",
+        )
+        assembly.bind(
+            f"rpc_{provider.name}", "server_cpu", node.name,
+            connector=f"loc_rpc_server_{provider.name}",
+        )
+        assembly.bind(
+            f"rpc_{provider.name}", "net", "wan",
+            connector=f"loc_rpc_net_{provider.name}",
+        )
+        assembly.bind(
+            "booking", tag, provider.name, connector=f"rpc_{provider.name}",
+            connector_actuals={
+                "ip": Parameter("itinerary"),
+                "op": Parameter("itinerary"),
+            },
+        )
+
+    if shared_gds:
+        gds = _leaf_service("gds_backend", p.phi_flights_a, p.search_work)
+        assembly.add_service(gds)
+        wire_provider(gds, p.phi_flights_a, "gds")
+    else:
+        flights_a = _leaf_service("flights_a", p.phi_flights_a, p.search_work)
+        flights_b = _leaf_service("flights_b", p.phi_flights_b, p.search_work)
+        assembly.add_services(flights_a, flights_b)
+        wire_provider(flights_a, p.phi_flights_a, "flights_a")
+        wire_provider(flights_b, p.phi_flights_b, "flights_b")
+
+    wire_provider(hotel, p.phi_hotel, "hotel")
+    wire_provider(payment, p.phi_payment, "payment")
+    return assembly

@@ -1,0 +1,6 @@
+"""Monte Carlo fault-injection simulation — the analytic model's
+independent cross-check."""
+
+from repro.simulation.engine import MonteCarloSimulator, SimulationResult
+
+__all__ = ["MonteCarloSimulator", "SimulationResult"]

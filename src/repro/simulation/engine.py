@@ -1,0 +1,331 @@
+"""Monte Carlo fault-injection simulation of a service assembly.
+
+The paper is purely analytical; this simulator is the reproduction's
+independent cross-check.  It executes the *operational* semantics that the
+analytic model abstracts — walking each composite service's flow, sampling
+transitions, recursively invoking providers and connectors per request, and
+injecting failures — under exactly the paper's assumptions:
+
+- **fail-stop, no repair**: any failure aborts the whole invocation;
+- **internal failures** are independent Bernoulli draws per request;
+- **external failures** follow from recursively simulated provider and
+  connector invocations (a request's external invocation fails if *either*
+  fails — the operational form of eq. 13);
+- **completion models**: a state succeeds when at least ``k`` of its
+  requests succeed (AND: all, OR: one);
+- **sharing**: if any request in a shared state suffers an external
+  failure, the shared service is dead and *every* request in the state
+  fails (the conditioning step of eqs. 9/10); otherwise requests fail only
+  through their internal draws.
+
+Because every probability in the model is a deterministic function of the
+top-level actual parameters, the simulator first *compiles* the invocation
+into a plan tree (all expressions evaluated once), then samples the plan —
+so per-trial cost is pure random drawing.
+
+Agreement between the estimated and analytic ``Pfail`` (within Monte Carlo
+error) is asserted by ``tests/integration/test_monte_carlo_validation.py``
+for every scenario in the repository.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvaluationError, ModelError
+from repro.model.assembly import Assembly
+from repro.model.flow import END, START
+from repro.model.service import CompositeService, Service, SimpleService
+from repro.model.validation import validate_assembly
+
+__all__ = ["SimulationResult", "MonteCarloSimulator"]
+
+#: Recursion-depth cap: the simulator supports the acyclic assemblies the
+#: recursive evaluator supports; runaway recursion indicates a cycle.
+_MAX_DEPTH = 512
+
+
+class SimulationResult:
+    """Outcome of a Monte Carlo unreliability estimation.
+
+    Attributes:
+        trials: number of simulated invocations.
+        failures: number that ended in failure.
+    """
+
+    def __init__(self, trials: int, failures: int):
+        if trials <= 0:
+            raise ModelError("a simulation needs at least one trial")
+        if not 0 <= failures <= trials:
+            raise ModelError(f"failures {failures} out of range for {trials} trials")
+        self.trials = trials
+        self.failures = failures
+
+    @property
+    def pfail(self) -> float:
+        """Point estimate of the unreliability."""
+        return self.failures / self.trials
+
+    @property
+    def reliability(self) -> float:
+        """Point estimate of the reliability."""
+        return 1.0 - self.pfail
+
+    @property
+    def standard_error(self) -> float:
+        """Binomial standard error of the ``pfail`` estimate."""
+        p = self.pfail
+        return math.sqrt(p * (1.0 - p) / self.trials)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Wilson score interval for ``pfail`` (robust near 0 and 1)."""
+        n, p = self.trials, self.pfail
+        denominator = 1.0 + z * z / n
+        center = (p + z * z / (2 * n)) / denominator
+        half = (z / denominator) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+        return (max(0.0, center - half), min(1.0, center + half))
+
+    def consistent_with(self, analytic_pfail: float, z: float = 4.0) -> bool:
+        """True when the analytic value lies within ``z`` standard errors
+        (or within the z-Wilson interval when the estimate touches 0/1)."""
+        if self.failures in (0, self.trials):
+            low, high = self.confidence_interval(z)
+            return low <= analytic_pfail <= high
+        return abs(analytic_pfail - self.pfail) <= z * self.standard_error
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(trials={self.trials}, failures={self.failures}, "
+            f"pfail={self.pfail:.6e} +/- {self.standard_error:.2e})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# compiled invocation plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SimplePlan:
+    """A simple-service invocation: one Bernoulli draw."""
+
+    pfail: float
+
+
+@dataclass(frozen=True)
+class _RequestPlan:
+    """One request of a state: internal draw + recursive sub-invocations,
+    plus the error-masking probability of the extension (0 = fail-stop)."""
+
+    p_internal: float
+    provider: "_SimplePlan | _CompositePlan"
+    connector: "_SimplePlan | _CompositePlan | None"
+    masking: float = 0.0
+
+
+@dataclass(frozen=True)
+class _StatePlan:
+    """One internal state: its requests under a completion model and the
+    normalized dependency partition (singletons = independent; a
+    multi-request group = one shared external service)."""
+
+    name: str
+    required_successes: int
+    groups: tuple[tuple[int, ...], ...]
+    requests: tuple[_RequestPlan, ...]
+
+
+@dataclass(frozen=True)
+class _CompositePlan:
+    """A composite-service invocation: states plus concrete transitions."""
+
+    service: str
+    states: dict[str, _StatePlan]
+    # state name -> (target names, cumulative probabilities)
+    transitions: dict[str, tuple[tuple[str, ...], np.ndarray]]
+
+
+class MonteCarloSimulator:
+    """Fault-injection simulator over one (acyclic) assembly.
+
+    Args:
+        assembly: the assembly to simulate.
+        seed: seed for the numpy PCG64 generator (reproducible runs).
+        validate: run structural validation up front.
+    """
+
+    def __init__(
+        self,
+        assembly: Assembly,
+        seed: int | None = None,
+        validate: bool = True,
+    ):
+        self.assembly = assembly
+        if validate:
+            validate_assembly(assembly).raise_if_invalid()
+        self.rng = np.random.default_rng(seed)
+
+    # -- public API ----------------------------------------------------------
+
+    def simulate_once(self, service: str | Service, **actuals: float) -> bool:
+        """Simulate one invocation; returns True on success."""
+        plan = self.compile(service, **actuals)
+        return self._run(plan)
+
+    def estimate_pfail(
+        self, service: str | Service, trials: int, **actuals: float
+    ) -> SimulationResult:
+        """Estimate ``Pfail(service, actuals)`` over ``trials`` invocations."""
+        plan = self.compile(service, **actuals)
+        failures = 0
+        for _ in range(trials):
+            if not self._run(plan):
+                failures += 1
+        return SimulationResult(trials, failures)
+
+    def compile(self, service: str | Service, **actuals: float):
+        """Compile the invocation of ``service`` with ``actuals`` into a
+        plan tree (all model expressions evaluated once)."""
+        svc = service if isinstance(service, Service) else self.assembly.service(service)
+        memo: dict[tuple, _SimplePlan | _CompositePlan] = {}
+        return self._compile(svc, tuple(sorted(
+            (k, float(v)) for k, v in actuals.items()
+        )), memo, depth=0)
+
+    # -- compilation -----------------------------------------------------------
+
+    def _compile(self, service: Service, actuals: tuple, memo: dict, depth: int):
+        if depth > _MAX_DEPTH:
+            raise EvaluationError(
+                "simulation recursion too deep; the simulator supports "
+                "acyclic assemblies only (evaluate cyclic ones with "
+                "FixedPointEvaluator)"
+            )
+        key = (service.name, actuals)
+        if key in memo:
+            return memo[key]
+        env = service.evaluation_environment(dict(actuals), check=False)
+
+        if isinstance(service, SimpleService):
+            plan = _SimplePlan(float(service.failure_probability.evaluate(env)))
+            memo[key] = plan
+            return plan
+        if not isinstance(service, CompositeService):
+            raise ModelError(f"cannot simulate service type {type(service)!r}")
+
+        states: dict[str, _StatePlan] = {}
+        for state in service.flow.states:
+            request_plans = []
+            for request in state.requests:
+                resolved = self.assembly.resolve_request(service.name, request)
+                p_int = float(request.internal_failure.evaluate(env))
+                callee_actuals = tuple(sorted(
+                    (name, float(request.actuals[name].evaluate(env)))
+                    for name in resolved.provider.formal_parameters
+                ))
+                provider_plan = self._compile(
+                    resolved.provider, callee_actuals, memo, depth + 1
+                )
+                connector_plan = None
+                if resolved.connector is not None:
+                    connector_actuals = tuple(sorted(
+                        (name, float(resolved.connector_actuals[name].evaluate(env)))
+                        for name in resolved.connector.formal_parameters
+                    ))
+                    connector_plan = self._compile(
+                        resolved.connector, connector_actuals, memo, depth + 1
+                    )
+                request_plans.append(
+                    _RequestPlan(
+                        p_int, provider_plan, connector_plan,
+                        masking=float(request.masking.evaluate(env)),
+                    )
+                )
+            states[state.name] = _StatePlan(
+                state.name,
+                state.completion.required_successes(len(state.requests))
+                if state.requests else 0,
+                state.effective_groups(),
+                tuple(request_plans),
+            )
+
+        transitions: dict[str, tuple[tuple[str, ...], np.ndarray]] = {}
+        for source in [START, *(s.name for s in service.flow.states)]:
+            outgoing = service.flow.outgoing(source)
+            targets = tuple(t.target for t in outgoing)
+            probabilities = np.array(
+                [float(t.probability.evaluate(env)) for t in outgoing]
+            )
+            if np.any(probabilities < -1e-12) or not math.isclose(
+                probabilities.sum(), 1.0, abs_tol=1e-9
+            ):
+                raise EvaluationError(
+                    f"transition probabilities out of {source!r} in "
+                    f"{service.name!r} do not form a distribution: {probabilities}"
+                )
+            cumulative = np.cumsum(np.clip(probabilities, 0.0, 1.0))
+            cumulative[-1] = 1.0
+            transitions[source] = (targets, cumulative)
+
+        plan = _CompositePlan(service.name, states, transitions)
+        memo[key] = plan
+        return plan
+
+    # -- sampling -----------------------------------------------------------
+
+    def _run(self, plan) -> bool:
+        if isinstance(plan, _SimplePlan):
+            return bool(self.rng.random() >= plan.pfail)
+        current = self._next(plan, START)
+        while current != END:
+            if not self._execute_state(plan.states[current]):
+                return False
+            current = self._next(plan, current)
+        return True
+
+    def _next(self, plan: _CompositePlan, current: str) -> str:
+        targets, cumulative = plan.transitions[current]
+        if len(targets) == 1:
+            return targets[0]
+        draw = self.rng.random()
+        index = int(np.searchsorted(cumulative, draw, side="right"))
+        return targets[min(index, len(targets) - 1)]
+
+    def _execute_state(self, state: _StatePlan) -> bool:
+        if not state.requests:
+            return True
+
+        external_ok = []
+        internal_ok = []
+        for request in state.requests:
+            internal_ok.append(self.rng.random() >= request.p_internal)
+            ok = self._run(request.provider)
+            if request.connector is not None:
+                ok = self._run(request.connector) and ok
+            external_ok.append(ok)
+
+        def masked(request: _RequestPlan) -> bool:
+            """A failed request still counts as fulfilled when masked
+            (the error-propagation extension; masking = 0 never fires)."""
+            return request.masking > 0.0 and self.rng.random() < request.masking
+
+        # one external failure inside a multi-request group destroys that
+        # group's shared service (no repair) and with it every member
+        # request — masking aside; distinct groups are independent
+        dead: set[int] = set()
+        for group in state.groups:
+            if len(group) >= 2 and any(not external_ok[j] for j in group):
+                dead.update(group)
+
+        successes = 0
+        for j, request in enumerate(state.requests):
+            if j in dead:
+                fulfilled = masked(request)
+            else:
+                fulfilled = (internal_ok[j] and external_ok[j]) or masked(request)
+            if fulfilled:
+                successes += 1
+        return successes >= state.required_successes

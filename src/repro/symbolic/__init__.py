@@ -1,0 +1,59 @@
+"""Symbolic expression engine.
+
+This subpackage implements the parametric-dependency machinery of the paper
+(section 2): actual parameters of cascading service requests, transition
+probabilities, and simple-service failure probabilities are all expressions
+over the formal parameters of the offered service.
+
+Public surface:
+
+- :class:`Expression` and node classes (:class:`Constant`,
+  :class:`Parameter`, :class:`Binary`, :class:`Unary`, :class:`Call`);
+- :func:`as_expression` coercion;
+- :class:`Environment` for evaluation;
+- :func:`parse_expression` for textual forms;
+- :func:`simplify` and :func:`differentiate` passes;
+- :func:`register_function` to extend the function library.
+"""
+
+from repro.symbolic.derivative import differentiate
+from repro.symbolic.environment import Environment
+from repro.symbolic.expr import (
+    Binary,
+    Call,
+    Constant,
+    Expression,
+    ExpressionLike,
+    Parameter,
+    Unary,
+    Value,
+    as_expression,
+)
+from repro.symbolic.functions import (
+    FunctionSpec,
+    function_names,
+    get_function,
+    register_function,
+)
+from repro.symbolic.parser import parse_expression
+from repro.symbolic.simplify import simplify
+
+__all__ = [
+    "Binary",
+    "Call",
+    "Constant",
+    "Environment",
+    "Expression",
+    "ExpressionLike",
+    "FunctionSpec",
+    "Parameter",
+    "Unary",
+    "Value",
+    "as_expression",
+    "differentiate",
+    "function_names",
+    "get_function",
+    "parse_expression",
+    "register_function",
+    "simplify",
+]

@@ -1,0 +1,96 @@
+"""Symbolic differentiation of expressions.
+
+Used by :mod:`repro.core.sensitivity` to rank which analytic-interface
+attribute (a failure rate, a speed, a bandwidth) the predicted assembly
+reliability is most sensitive to — the information a SOC broker needs when
+negotiating which published service to swap for a more reliable one.
+
+Only the standard rules are needed; functions with no registered derivative
+rule (``ceil``, ``floor``, ...) raise :class:`SymbolicError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SymbolicError
+from repro.symbolic.expr import (
+    Binary,
+    Call,
+    Constant,
+    Expression,
+    Parameter,
+    Unary,
+)
+from repro.symbolic.functions import get_function
+from repro.symbolic.simplify import simplify
+
+__all__ = ["differentiate"]
+
+
+def differentiate(expr: Expression, name: str) -> Expression:
+    """Partial derivative of ``expr`` with respect to parameter ``name``.
+
+    The result is simplified before being returned.
+    """
+    return simplify(_diff(expr, name))
+
+
+def _diff(expr: Expression, name: str) -> Expression:
+    if isinstance(expr, Constant):
+        return Constant(0.0)
+
+    if isinstance(expr, Parameter):
+        return Constant(1.0 if expr.name == name else 0.0)
+
+    if isinstance(expr, Unary):
+        return Unary(_diff(expr.operand, name))
+
+    if isinstance(expr, Binary):
+        u, v = expr.left, expr.right
+        du, dv = _diff(u, name), _diff(v, name)
+        if expr.op == "+":
+            return Binary("+", du, dv)
+        if expr.op == "-":
+            return Binary("-", du, dv)
+        if expr.op == "*":
+            return Binary("+", Binary("*", du, v), Binary("*", u, dv))
+        if expr.op == "/":
+            numerator = Binary("-", Binary("*", du, v), Binary("*", u, dv))
+            return Binary("/", numerator, Binary("**", v, Constant(2.0)))
+        if expr.op == "**":
+            if name not in v.free_parameters():
+                # d/dx u^c = c * u^(c-1) * u'
+                return Binary(
+                    "*",
+                    Binary("*", v, Binary("**", u, Binary("-", v, Constant(1.0)))),
+                    du,
+                )
+            if name not in u.free_parameters():
+                # d/dx c^v = c^v * ln(c) * v'
+                return Binary(
+                    "*",
+                    Binary("*", expr, Call("log", (u,))),
+                    dv,
+                )
+            # general u^v = exp(v*log u)
+            inner = Binary(
+                "+",
+                Binary("*", dv, Call("log", (u,))),
+                Binary("/", Binary("*", v, du), u),
+            )
+            return Binary("*", expr, inner)
+        raise SymbolicError(f"cannot differentiate operator {expr.op!r}")
+
+    if isinstance(expr, Call):
+        spec = get_function(expr.name)
+        if spec.derivative is None:
+            raise SymbolicError(
+                f"function {expr.name!r} has no registered derivative rule"
+            )
+        total: Expression = Constant(0.0)
+        for k, arg in enumerate(expr.args):
+            darg = _diff(arg, name)
+            partial = spec.derivative(k, *expr.args)
+            total = Binary("+", total, Binary("*", partial, darg))
+        return total
+
+    raise SymbolicError(f"cannot differentiate {expr!r}")

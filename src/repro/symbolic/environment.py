@@ -1,0 +1,98 @@
+"""Evaluation environments binding formal parameters to values.
+
+An :class:`Environment` is an immutable mapping from parameter names to
+scalar or numpy-array values, with helpers for the binding pattern the
+evaluator uses constantly: evaluating the *actual-parameter* expressions of
+a request under the caller's environment to produce the *callee's*
+environment (the ``ap_j = ap_j(fp)`` composition of section 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import SymbolicError, UnboundParameterError
+from repro.symbolic.expr import Expression, Value
+
+__all__ = ["Environment"]
+
+
+class Environment(Mapping[str, Value]):
+    """An immutable mapping of parameter names to numeric values.
+
+    Values may be Python numbers or numpy arrays; arrays let one environment
+    stand for a whole parameter sweep (all bound arrays must broadcast
+    together, which numpy enforces at evaluation time).
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[str, Value] | None = None, **kwargs: Value):
+        merged: dict[str, Value] = {}
+        for source in (bindings or {}), kwargs:
+            for name, value in source.items():
+                merged[name] = self._check_value(name, value)
+        self._bindings = merged
+
+    @staticmethod
+    def _check_value(name: str, value: Value) -> Value:
+        if isinstance(value, bool):
+            raise SymbolicError(f"binding {name!r}: booleans are not numeric values")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, np.ndarray):
+            return value.astype(float, copy=False)
+        raise SymbolicError(
+            f"binding {name!r}: expected a number or numpy array, got {value!r}"
+        )
+
+    # Mapping protocol ------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Value:
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise UnboundParameterError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._bindings
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._bindings.items()))
+        return f"Environment({inner})"
+
+    # helpers ----------------------------------------------------------------
+
+    def extend(self, **kwargs: Value) -> "Environment":
+        """A new environment with additional/overriding bindings."""
+        merged = dict(self._bindings)
+        merged.update({k: self._check_value(k, v) for k, v in kwargs.items()})
+        return Environment(merged)
+
+    def bind_actuals(
+        self, formals: tuple[str, ...], actuals: Mapping[str, Expression]
+    ) -> "Environment":
+        """Build the callee's environment from actual-parameter expressions.
+
+        Each expression in ``actuals`` is evaluated under *this* environment
+        (the caller's formal parameters), producing the value bound to the
+        callee's formal parameter of the same name.  ``formals`` lists the
+        callee's declared formal parameters; every one of them must be
+        supplied.
+        """
+        missing = [f for f in formals if f not in actuals]
+        if missing:
+            raise SymbolicError(
+                f"actual parameters missing for formals {missing!r}"
+            )
+        return Environment(
+            {name: actuals[name].evaluate(self) for name in formals}
+        )

@@ -1,0 +1,127 @@
+"""Registry of named functions usable inside symbolic expressions.
+
+The paper's analytic interfaces express actual parameters of cascading
+requests as functions of the caller's formal parameters — e.g. the search
+service of section 4 requests ``cpu(log(list))`` and its sort service
+requests ``cpu(list * log(list))``.  The expression engine therefore needs a
+small library of named scalar functions.  Keeping them in a registry (rather
+than raw callables inside the AST) keeps expressions serializable, which the
+:mod:`repro.dsl` layer relies on.
+
+Every function is implemented with :mod:`numpy` so that evaluating an
+expression over an array of parameter values (as the Figure 6 sweep does)
+broadcasts for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import UnknownFunctionError
+
+__all__ = ["FunctionSpec", "get_function", "register_function", "function_names"]
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A named scalar function with optional symbolic derivative rule.
+
+    Attributes:
+        name: registry key used in expression text and serialized form.
+        arity: number of arguments the function accepts.
+        impl: numpy-compatible implementation.
+        derivative: optional rule mapping the argument expressions to the
+            derivative expression *of the function body with respect to its
+            k-th argument* (chain rule is applied by the differentiator).
+            ``None`` means the function is not differentiable symbolically.
+    """
+
+    name: str
+    arity: int
+    impl: Callable[..., object]
+    derivative: Callable[..., object] | None = None
+
+
+_REGISTRY: dict[str, FunctionSpec] = {}
+
+
+def register_function(spec: FunctionSpec) -> None:
+    """Add (or replace) a function in the global registry."""
+    _REGISTRY[spec.name] = spec
+
+
+def get_function(name: str) -> FunctionSpec:
+    """Look up a function by name, raising :class:`UnknownFunctionError`."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownFunctionError(name) from None
+
+
+def function_names() -> tuple[str, ...]:
+    """Names of all registered functions, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _safe_log(x):
+    """Natural log guarded against the x == 0 boundary of abstract domains.
+
+    Abstract parameters are sizes/counts; a log of a zero-size workload is
+    conventionally 0 work, so we clamp to the limit instead of returning
+    ``-inf`` (which would poison downstream probabilities).
+    """
+    x = np.asarray(x, dtype=float)
+    out = np.where(x > 0.0, np.log(np.where(x > 0.0, x, 1.0)), 0.0)
+    return out if out.shape else float(out)
+
+
+def _safe_log2(x):
+    """Base-2 log with the same zero-guard as :func:`_safe_log`."""
+    x = np.asarray(x, dtype=float)
+    out = np.where(x > 0.0, np.log2(np.where(x > 0.0, x, 1.0)), 0.0)
+    return out if out.shape else float(out)
+
+
+def _install_defaults() -> None:
+    """Register the built-in function library.
+
+    Derivative rules return *expressions*; they import lazily from
+    :mod:`repro.symbolic.expr` to avoid a circular import at module load.
+    """
+    from repro.symbolic import expr as E
+
+    register_function(
+        FunctionSpec(
+            "log", 1, _safe_log,
+            derivative=lambda k, a: E.Constant(1.0) / a,
+        )
+    )
+    register_function(
+        FunctionSpec(
+            "log2", 1, _safe_log2,
+            derivative=lambda k, a: E.Constant(1.0 / float(np.log(2.0))) / a,
+        )
+    )
+    register_function(
+        FunctionSpec(
+            "exp", 1, np.exp,
+            derivative=lambda k, a: E.Call("exp", (a,)),
+        )
+    )
+    register_function(
+        FunctionSpec(
+            "sqrt", 1, np.sqrt,
+            derivative=lambda k, a: E.Constant(0.5) / E.Call("sqrt", (a,)),
+        )
+    )
+    register_function(FunctionSpec("ceil", 1, np.ceil))
+    register_function(FunctionSpec("floor", 1, np.floor))
+    register_function(FunctionSpec("abs", 1, np.abs))
+    register_function(FunctionSpec("min", 2, np.minimum))
+    register_function(FunctionSpec("max", 2, np.maximum))
+
+
+_install_defaults()

@@ -1,0 +1,152 @@
+"""A small recursive-descent parser for expression text.
+
+The :mod:`repro.dsl` layer lets analytic interfaces be written as plain data
+files; actual-parameter dependencies appear there as strings such as
+``"list * log2(list)"`` (the sort-service workload of section 4).  This
+parser turns those strings into :class:`~repro.symbolic.expr.Expression`
+trees.
+
+Grammar (standard precedence, ``**`` right-associative, unary minus binds
+tighter than ``*`` but looser than ``**``):
+
+.. code-block:: text
+
+    expr     := term (('+'|'-') term)*
+    term     := factor (('*'|'/') factor)*
+    factor   := '-' factor | power
+    power    := atom ('**' factor)?
+    atom     := NUMBER | NAME '(' expr (',' expr)* ')' | NAME | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ExpressionParseError
+from repro.symbolic.expr import Binary, Call, Constant, Expression, Parameter, Unary
+
+__all__ = ["parse_expression"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+(\.\d*)?([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>\*\*|[+\-*/(),])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ExpressionParseError(
+                f"unexpected character {text[pos]!r} at position {pos} in {text!r}"
+            )
+        if match.lastgroup != "ws":
+            tokens.append(match.group())
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ExpressionParseError(f"unexpected end of input in {self.text!r}")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ExpressionParseError(
+                f"expected {token!r} but found {got!r} in {self.text!r}"
+            )
+
+    # grammar rules ------------------------------------------------------
+
+    def parse(self) -> Expression:
+        expr = self.expr()
+        if self.peek() is not None:
+            raise ExpressionParseError(
+                f"trailing input starting at {self.peek()!r} in {self.text!r}"
+            )
+        return expr
+
+    def expr(self) -> Expression:
+        node = self.term()
+        while self.peek() in ("+", "-"):
+            op = self.next()
+            node = Binary(op, node, self.term())
+        return node
+
+    def term(self) -> Expression:
+        node = self.factor()
+        while self.peek() in ("*", "/"):
+            op = self.next()
+            node = Binary(op, node, self.factor())
+        return node
+
+    def factor(self) -> Expression:
+        if self.peek() == "-":
+            self.next()
+            return Unary(self.factor())
+        return self.power()
+
+    def power(self) -> Expression:
+        base = self.atom()
+        if self.peek() == "**":
+            self.next()
+            return Binary("**", base, self.factor())
+        return base
+
+    def atom(self) -> Expression:
+        token = self.next()
+        if token == "(":
+            node = self.expr()
+            self.expect(")")
+            return node
+        if re.fullmatch(r"\d.*|\..*", token):
+            try:
+                return Constant(float(token))
+            except ValueError:
+                raise ExpressionParseError(f"bad number {token!r}") from None
+        if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token):
+            if self.peek() == "(":
+                self.next()
+                args = [self.expr()]
+                while self.peek() == ",":
+                    self.next()
+                    args.append(self.expr())
+                self.expect(")")
+                return Call(token, tuple(args))
+            return Parameter(token)
+        raise ExpressionParseError(f"unexpected token {token!r} in {self.text!r}")
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse ``text`` into an :class:`Expression`.
+
+    >>> parse_expression("list * log2(list)")
+    Binary(op='*', left=Parameter(name='list'), right=Call(name='log2', args=(Parameter(name='list'),)))
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ExpressionParseError(f"cannot parse empty expression {text!r}")
+    return _Parser(text).parse()

@@ -1,0 +1,143 @@
+"""Algebraic simplification of symbolic expressions.
+
+Simplification keeps the closed forms produced by the symbolic evaluator
+(:mod:`repro.core.symbolic_evaluator`) readable — e.g. it collapses the many
+``(1 - 0)`` reliability factors contributed by perfect connectors, matching
+how the paper drops the ``loc*`` connectors from equations (18)–(22).
+
+The pass is a bottom-up rewrite applying:
+
+- constant folding (any operator/function over constants);
+- additive identities: ``x + 0``, ``x - 0``, ``0 - x -> -x``, ``x - x -> 0``;
+- multiplicative identities: ``x * 1``, ``x * 0``, ``x / 1``, ``0 / x``;
+- power identities: ``x ** 1``, ``x ** 0``, ``1 ** x``;
+- double negation; negation folding into constants;
+- ``exp(log(x)) -> x`` and ``log(exp(x)) -> x`` (the domains used by the
+  reliability models keep these safe: workloads are non-negative);
+- ``exp(a) * exp(b) -> exp(a + b)``, which is what turns the product of
+  exponential survival factors into the single-exponent closed forms of
+  equations (20) and (22).
+
+Simplification is *semantics-preserving on the evaluated domain*: a
+simplified expression evaluates to the same value (up to floating-point
+round-off) for every environment that binds its parameters to finite values
+inside the model's abstract domains.
+"""
+
+from __future__ import annotations
+
+from repro.symbolic.expr import (
+    Binary,
+    Call,
+    Constant,
+    Expression,
+    Parameter,
+    Unary,
+)
+
+__all__ = ["simplify"]
+
+
+def simplify(expr: Expression) -> Expression:
+    """Return an algebraically simplified expression equivalent to ``expr``."""
+    if isinstance(expr, (Constant, Parameter)):
+        return expr
+    if isinstance(expr, Unary):
+        return _simplify_unary(simplify(expr.operand))
+    if isinstance(expr, Binary):
+        return _simplify_binary(expr.op, simplify(expr.left), simplify(expr.right))
+    if isinstance(expr, Call):
+        return _simplify_call(expr.name, tuple(simplify(a) for a in expr.args))
+    return expr
+
+
+def _const(expr: Expression) -> float | None:
+    """The value of a Constant node, else None."""
+    if isinstance(expr, Constant):
+        return expr.value
+    return None
+
+
+def _simplify_unary(operand: Expression) -> Expression:
+    if isinstance(operand, Constant):
+        return Constant(-operand.value)
+    if isinstance(operand, Unary):
+        return operand.operand
+    return Unary(operand)
+
+
+def _simplify_binary(op: str, left: Expression, right: Expression) -> Expression:
+    lval, rval = _const(left), _const(right)
+
+    # full constant folding
+    if lval is not None and rval is not None:
+        folded = Binary(op, left, right).evaluate({})
+        return Constant(float(folded))
+
+    if op == "+":
+        if lval == 0.0:
+            return right
+        if rval == 0.0:
+            return left
+    elif op == "-":
+        if rval == 0.0:
+            return left
+        if lval == 0.0:
+            return _simplify_unary(right)
+        if left == right:
+            return Constant(0.0)
+        # c1 - (c2 -/+ x): fold the constants so the ubiquitous
+        # reliability pattern 1 - (1 - x) collapses to x.
+        if lval is not None and isinstance(right, Binary):
+            inner = _const(right.left)
+            if inner is not None and right.op == "-":
+                return _simplify_binary("+", Constant(lval - inner), right.right)
+            if inner is not None and right.op == "+":
+                return _simplify_binary("-", Constant(lval - inner), right.right)
+    elif op == "*":
+        if lval == 0.0 or rval == 0.0:
+            return Constant(0.0)
+        if lval == 1.0:
+            return right
+        if rval == 1.0:
+            return left
+        # c1 * (c2 * x): fold constant coefficients together.
+        if lval is not None and isinstance(right, Binary) and right.op == "*":
+            inner = _const(right.left)
+            if inner is not None:
+                return _simplify_binary("*", Constant(lval * inner), right.right)
+        # exp(a) * exp(b) -> exp(a + b): merges survival factors into the
+        # single-exponent closed forms of eqs. (20) and (22).
+        if (
+            isinstance(left, Call)
+            and left.name == "exp"
+            and isinstance(right, Call)
+            and right.name == "exp"
+        ):
+            return Call("exp", (_simplify_binary("+", left.args[0], right.args[0]),))
+    elif op == "/":
+        if rval == 1.0:
+            return left
+        if lval == 0.0:
+            return Constant(0.0)
+        if left == right:
+            return Constant(1.0)
+    elif op == "**":
+        if rval == 1.0:
+            return left
+        if rval == 0.0:
+            return Constant(1.0)
+        if lval == 1.0:
+            return Constant(1.0)
+
+    return Binary(op, left, right)
+
+
+def _simplify_call(name: str, args: tuple[Expression, ...]) -> Expression:
+    if all(isinstance(a, Constant) for a in args):
+        return Constant(float(Call(name, args).evaluate({})))
+    if name == "exp" and isinstance(args[0], Call) and args[0].name == "log":
+        return args[0].args[0]
+    if name == "log" and isinstance(args[0], Call) and args[0].name == "exp":
+        return args[0].args[0]
+    return Call(name, args)

@@ -1,0 +1,69 @@
+"""Shared fixtures: the paper's scenarios at their default design points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    SearchSortParameters,
+    booking_assembly,
+    local_assembly,
+    pipeline_assembly,
+    recursive_assembly,
+    remote_assembly,
+    replicated_assembly,
+)
+
+
+@pytest.fixture
+def params() -> SearchSortParameters:
+    """The section 4 constants at their calibrated defaults."""
+    return SearchSortParameters()
+
+
+@pytest.fixture
+def local(params):
+    """The Figure 3 (local) assembly."""
+    return local_assembly(params)
+
+
+@pytest.fixture
+def remote(params):
+    """The Figure 4 (remote) assembly."""
+    return remote_assembly(params)
+
+
+@pytest.fixture
+def booking():
+    """The travel-booking assembly (independent flight providers)."""
+    return booking_assembly()
+
+
+@pytest.fixture
+def booking_shared():
+    """The travel-booking assembly with the shared GDS backend."""
+    return booking_assembly(shared_gds=True)
+
+
+@pytest.fixture
+def pipeline():
+    """The media-pipeline assembly."""
+    return pipeline_assembly()
+
+
+@pytest.fixture
+def recursive():
+    """The mutually recursive A <-> B assembly."""
+    return recursive_assembly()
+
+
+@pytest.fixture
+def shared_db():
+    """Three replicated queries against one shared database."""
+    return replicated_assembly(3, shared=True)
+
+
+@pytest.fixture
+def replicated_db():
+    """Three queries against three independent database replicas."""
+    return replicated_assembly(3, shared=False)

@@ -1,0 +1,100 @@
+"""Integration: the full SOC loop — publish, discover, predict, select.
+
+Section 1 of the paper: prediction exists to drive automated selection.
+This test wires the whole pipeline together: providers publish sort
+services (with analytic interfaces) into a registry; a broker discovers
+candidates, builds the corresponding assemblies (local vs remote — the
+Figure 6 alternatives), predicts reliability, and selects — and the
+selection must flip with the network failure rate exactly as Figure 6
+says.  The winning assembly is serialized through the DSL and re-evaluated
+to close the automation loop.
+"""
+
+import pytest
+
+from repro.analysis import select_assembly
+from repro.core import ReliabilityEvaluator
+from repro.dsl import dump_assembly, load_assembly
+from repro.model import AttributeConstraint, ServiceRegistry
+from repro.scenarios import (
+    SearchSortParameters,
+    local_assembly,
+    remote_assembly,
+)
+
+USAGE_POINT = {"elem": 1, "list": 1000, "res": 1}
+
+
+def make_registry(params: SearchSortParameters) -> ServiceRegistry:
+    registry = ServiceRegistry()
+    local = local_assembly(params)
+    remote = remote_assembly(params)
+    registry.publish(local.service("sort1"), "sort", provider="local-vendor",
+                     metadata={"deployment": "local"})
+    registry.publish(remote.service("sort2"), "sort", provider="remote-vendor",
+                     metadata={"deployment": "remote"})
+    return registry
+
+
+def broker_select(params: SearchSortParameters):
+    """Discover sort candidates and pick the best full assembly."""
+    registry = make_registry(params)
+    candidates = registry.discover("sort")
+    assert len(candidates) == 2
+
+    def build(entry):
+        if entry.metadata["deployment"] == "local":
+            return local_assembly(params)
+        return remote_assembly(params)
+
+    return select_assembly(
+        candidates, build, "search", USAGE_POINT,
+        label=lambda e: e.metadata["deployment"],
+    )
+
+
+class TestSelectionFollowsFigure6:
+    def test_reliable_network_selects_remote(self):
+        params = SearchSortParameters().with_figure6_point(1e-6, 5e-3)
+        ranked = broker_select(params)
+        assert ranked[0].candidate == "remote"
+
+    def test_unreliable_network_selects_local(self):
+        params = SearchSortParameters().with_figure6_point(1e-6, 1e-1)
+        ranked = broker_select(params)
+        assert ranked[0].candidate == "local"
+
+    def test_published_reliability_alone_would_mislead(self):
+        """The remote sort's own phi2 is 10x better than phi1 — ranking by
+        the published attribute picks remote even when the assembled
+        prediction says local (the paper's core argument)."""
+        params = SearchSortParameters().with_figure6_point(1e-6, 1e-1)
+        registry = make_registry(params)
+        by_attribute = registry.discover(
+            "sort",
+            key=lambda e: e.service.interface.attributes["software_failure_rate"],
+        )
+        naive_winner = by_attribute[0].metadata["deployment"]
+        assert naive_winner == "remote"
+        informed_winner = broker_select(params)[0].candidate
+        assert informed_winner == "local"
+
+    def test_constraint_filtering_composes_with_selection(self):
+        params = SearchSortParameters().with_figure6_point(1e-6, 5e-3)
+        registry = make_registry(params)
+        only_good_phi = registry.discover(
+            "sort",
+            constraints=(AttributeConstraint("software_failure_rate", maximum=5e-7),),
+        )
+        assert [e.metadata["deployment"] for e in only_good_phi] == ["remote"]
+
+
+class TestSelectionThenSerialization:
+    def test_winner_round_trips_through_dsl(self):
+        params = SearchSortParameters().with_figure6_point(1e-6, 5e-3)
+        ranked = broker_select(params)
+        winner = ranked[0]
+        text = dump_assembly(winner.assembly)
+        rebuilt = load_assembly(text)
+        replayed = ReliabilityEvaluator(rebuilt).pfail("search", **USAGE_POINT)
+        assert replayed == pytest.approx(winner.pfail, rel=1e-12)

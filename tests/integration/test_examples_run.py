@@ -1,0 +1,50 @@
+"""Integration: every shipped example runs cleanly and prints its headline.
+
+The examples are documentation; broken documentation is worse than none.
+Each script is executed as a subprocess (the user's entry path) and its
+output checked for the load-bearing lines.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["R(thumbnails", "closed form", "sensitivity ranking"]),
+    ("search_sort.py", ["Figure 1", "Equations (15)-(22)", "ranking flips"]),
+    ("travel_booking.py", ["sharing penalty", "consistent = True"]),
+    ("service_selection.py", ["selected: remote", "selected: local",
+                              "matches: True"]),
+    ("usage_profile_estimation.py", ["fitted P(browse -> checkout)",
+                                     "under the estimated profile"]),
+    ("fault_tolerance_design.py", ["failure domains", "quorum",
+                                   "masking"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    for needle in expected:
+        assert needle in result.stdout, (
+            f"{script}: expected {needle!r} in output; got:\n"
+            f"{result.stdout[:2000]}"
+        )
+
+
+def test_all_examples_are_covered():
+    """Adding an example without a smoke test should fail loudly."""
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {script for script, _ in CASES}
+    assert shipped == covered, f"uncovered examples: {shipped - covered}"

@@ -1,0 +1,137 @@
+"""Integration: the qualitative claims of Figure 6.
+
+The paper's reading of Figure 6 (end of section 4):
+
+1. "the remote assembly is actually more reliable only when the net12
+   failure rate is gamma = 5e-3" — for phi1 = 1e-6, of the four swept
+   gamma values, only the smallest lets the remote assembly win (at large
+   list sizes);
+2. "For the higher values of gamma considered in this example, the local
+   assembly is always more reliable when the sort1 failure rate is
+   phi1 = 1e-6";
+3. "Only if we assume a still higher sort1 unreliability (phi1 = 5e-6)
+   the remote assembly is more reliable for gamma values greater than
+   5e-3 and less than 5e-2" — i.e. gamma = 2.5e-2 also flips to remote.
+
+Absolute curve positions depend on the constants the paper does not
+publish (see EXPERIMENTS.md); these tests pin the *shape*: who wins where,
+and that the crossover structure matches the paper's narrative.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_assemblies
+from repro.scenarios import (
+    PAPER_GAMMA_VALUES,
+    SearchSortParameters,
+    local_assembly,
+    remote_assembly,
+)
+
+GRID = np.linspace(1, 1000, 120)
+FIXED = {"elem": 1, "res": 1}
+LARGE_LIST = 1000.0
+
+
+def winner_at_large_list(phi1: float, gamma: float) -> str:
+    p = SearchSortParameters().with_figure6_point(phi1, gamma)
+    comparison = compare_assemblies(
+        local_assembly(p), remote_assembly(p), "search", "list", GRID, FIXED,
+        refine_crossovers=False,
+    )
+    return comparison.winner_at(LARGE_LIST)
+
+
+class TestClaim1And2_Phi1Low:
+    """phi1 = 1e-6: remote wins only at gamma = 5e-3."""
+
+    def test_remote_wins_only_at_smallest_gamma(self):
+        winners = {
+            gamma: winner_at_large_list(1e-6, gamma) for gamma in PAPER_GAMMA_VALUES
+        }
+        assert winners[5e-3] == "remote"
+        assert winners[2.5e-2] == "local"
+        assert winners[5e-2] == "local"
+        assert winners[1e-1] == "local"
+
+    @pytest.mark.parametrize("gamma", [1e-1, 5e-2, 2.5e-2])
+    def test_local_dominates_entire_range_at_high_gamma(self, gamma):
+        p = SearchSortParameters().with_figure6_point(1e-6, gamma)
+        comparison = compare_assemblies(
+            local_assembly(p), remote_assembly(p), "search", "list", GRID, FIXED,
+            refine_crossovers=False,
+        )
+        assert comparison.dominant() == "local"
+
+
+class TestClaim3_Phi1High:
+    """phi1 = 5e-6: remote additionally wins at gamma = 2.5e-2, but still
+    not at gamma >= 5e-2."""
+
+    def test_remote_wins_at_gamma_between_bounds(self):
+        winners = {
+            gamma: winner_at_large_list(5e-6, gamma) for gamma in PAPER_GAMMA_VALUES
+        }
+        assert winners[5e-3] == "remote"
+        assert winners[2.5e-2] == "remote"
+        assert winners[5e-2] == "local"
+        assert winners[1e-1] == "local"
+
+
+class TestCrossoverStructure:
+    def test_low_gamma_has_single_crossover(self):
+        """Local wins small lists (RPC overhead), remote wins large lists
+        (better sort software): exactly one flip."""
+        p = SearchSortParameters().with_figure6_point(1e-6, 5e-3)
+        comparison = compare_assemblies(
+            local_assembly(p), remote_assembly(p), "search", "list", GRID, FIXED
+        )
+        assert len(comparison.crossovers) == 1
+        assert comparison.winner_at(1.0) == "local"
+        assert comparison.winner_at(LARGE_LIST) == "remote"
+
+    def test_crossover_moves_right_as_gamma_grows(self):
+        """A less reliable network postpones the remote advantage."""
+        def crossover_at(gamma):
+            p = SearchSortParameters().with_figure6_point(5e-6, gamma)
+            comparison = compare_assemblies(
+                local_assembly(p), remote_assembly(p), "search", "list", GRID, FIXED
+            )
+            assert comparison.crossovers, f"no crossover at gamma={gamma}"
+            return comparison.crossovers[0].location
+
+        assert crossover_at(5e-3) < crossover_at(2.5e-2)
+
+    def test_reliability_curves_decrease_with_list(self):
+        """Both Figure 6 curve families decay monotonically in the list
+        size."""
+        from repro.analysis import sweep_parameter
+
+        for build in (local_assembly, remote_assembly):
+            sweep = sweep_parameter(build(), "search", "list", GRID, FIXED)
+            assert np.all(np.diff(sweep.reliability) < 0)
+
+    def test_higher_phi1_lowers_local_curve_only(self):
+        from repro.analysis import sweep_parameter
+
+        low = SearchSortParameters().with_figure6_point(1e-6, 5e-3)
+        high = SearchSortParameters().with_figure6_point(5e-6, 5e-3)
+        local_low = sweep_parameter(local_assembly(low), "search", "list", GRID, FIXED)
+        local_high = sweep_parameter(local_assembly(high), "search", "list", GRID, FIXED)
+        assert np.all(local_high.pfail[1:] > local_low.pfail[1:])
+        remote_low = sweep_parameter(remote_assembly(low), "search", "list", GRID, FIXED)
+        remote_high = sweep_parameter(remote_assembly(high), "search", "list", GRID, FIXED)
+        np.testing.assert_allclose(remote_low.pfail, remote_high.pfail)
+
+    def test_higher_gamma_lowers_remote_curve_only(self):
+        from repro.analysis import sweep_parameter
+
+        low = SearchSortParameters().with_figure6_point(1e-6, 5e-3)
+        high = SearchSortParameters().with_figure6_point(1e-6, 1e-1)
+        remote_low = sweep_parameter(remote_assembly(low), "search", "list", GRID, FIXED)
+        remote_high = sweep_parameter(remote_assembly(high), "search", "list", GRID, FIXED)
+        assert np.all(remote_high.pfail > remote_low.pfail)
+        local_low = sweep_parameter(local_assembly(low), "search", "list", GRID, FIXED)
+        local_high = sweep_parameter(local_assembly(high), "search", "list", GRID, FIXED)
+        np.testing.assert_allclose(local_low.pfail, local_high.pfail)

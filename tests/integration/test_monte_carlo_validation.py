@@ -1,0 +1,126 @@
+"""Integration: Monte Carlo cross-validation of the analytic engine.
+
+Every scenario in the repository is simulated operationally (fault
+injection under the paper's assumptions) and the estimated unreliability
+must be statistically consistent with the analytic prediction.  Failure
+rates are inflated relative to the paper's design points so that failures
+are observable within test-budget trial counts.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import ReliabilityEvaluator
+from repro.scenarios import (
+    BookingParameters,
+    DatabaseParameters,
+    PipelineParameters,
+    SearchSortParameters,
+    booking_assembly,
+    local_assembly,
+    pipeline_assembly,
+    remote_assembly,
+    replicated_assembly,
+)
+from repro.simulation import MonteCarloSimulator
+
+TRIALS = 40_000
+
+
+def check(assembly, service, seed=1234, trials=TRIALS, **actuals):
+    analytic = ReliabilityEvaluator(assembly).pfail(service, **actuals)
+    result = MonteCarloSimulator(assembly, seed=seed).estimate_pfail(
+        service, trials, **actuals
+    )
+    assert result.consistent_with(analytic), (
+        f"analytic {analytic} vs simulated {result}"
+    )
+    return analytic, result
+
+
+class TestSearchSort:
+    def test_local_assembly(self):
+        params = replace(
+            SearchSortParameters(), phi_search=1e-4, phi_sort1=1e-4, gamma=0.2
+        )
+        analytic, _ = check(local_assembly(params), "search", elem=1, list=200, res=1)
+        assert analytic > 1e-3  # the inflated point is actually observable
+
+    def test_remote_assembly(self):
+        params = replace(
+            SearchSortParameters(), phi_search=1e-4, phi_sort2=1e-5, gamma=0.3
+        )
+        check(remote_assembly(params), "search", elem=1, list=200, res=1)
+
+    def test_branch_probability_respected(self):
+        """With q = 0 the sort state is never entered: analytic and
+        simulation must both see only the search state's failures."""
+        params = replace(SearchSortParameters(), q=0.0, phi_search=1e-3)
+        check(local_assembly(params), "search", elem=1, list=200, res=1)
+
+
+class TestSharingScenarios:
+    def test_shared_db(self):
+        params = DatabaseParameters(db_failure_rate=5e-3, phi_report=1e-5)
+        check(
+            replicated_assembly(3, shared=True, params=params),
+            "report", size=300,
+        )
+
+    def test_replicated_db(self):
+        params = DatabaseParameters(db_failure_rate=5e-3, phi_report=1e-4)
+        check(
+            replicated_assembly(3, shared=False, params=params),
+            "report", size=300,
+        )
+
+    def test_simulated_sharing_gap_matches_analytic_gap(self):
+        """The sharing penalty itself (not just each endpoint) must
+        reproduce: simulate both configurations and compare the gap."""
+        params = DatabaseParameters(db_failure_rate=2e-2, phi_report=1e-4)
+        shared = replicated_assembly(3, shared=True, params=params)
+        independent = replicated_assembly(3, shared=False, params=params)
+        analytic_gap = (
+            ReliabilityEvaluator(shared).pfail("report", size=300)
+            - ReliabilityEvaluator(independent).pfail("report", size=300)
+        )
+        sim_shared = MonteCarloSimulator(shared, seed=7).estimate_pfail(
+            "report", TRIALS, size=300
+        )
+        sim_independent = MonteCarloSimulator(independent, seed=8).estimate_pfail(
+            "report", TRIALS, size=300
+        )
+        sim_gap = sim_shared.pfail - sim_independent.pfail
+        tolerance = 4 * (
+            sim_shared.standard_error + sim_independent.standard_error
+        )
+        assert abs(sim_gap - analytic_gap) <= tolerance
+        assert sim_gap > 0  # sharing is worse, operationally too
+
+
+class TestBookingAndPipeline:
+    def test_booking_independent(self):
+        params = BookingParameters(
+            phi_flights_a=2e-4, phi_flights_b=3e-4, phi_hotel=1e-4,
+            net_failure_rate=5e-2,
+        )
+        check(booking_assembly(params), "booking", itinerary=5)
+
+    def test_booking_shared_gds(self):
+        params = BookingParameters(
+            phi_flights_a=2e-4, net_failure_rate=5e-2
+        )
+        check(
+            booking_assembly(params, shared_gds=True), "booking", itinerary=5
+        )
+
+    def test_pipeline_with_quorum(self):
+        params = PipelineParameters(
+            phi_cdn=1e-7, phi_transcode=2e-8, net_failure_rate=5e-3
+        )
+        check(pipeline_assembly(params), "publish", mb=200, trials=20_000)
+
+    def test_pipeline_strict_quorum(self):
+        params = PipelineParameters(cdn_quorum=3, phi_cdn=1e-7, net_failure_rate=5e-3)
+        check(pipeline_assembly(params), "publish", mb=200, trials=20_000)

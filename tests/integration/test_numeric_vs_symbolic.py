@@ -1,0 +1,85 @@
+"""Integration: the two evaluation back-ends agree on every scenario.
+
+The numeric evaluator solves concrete absorbing chains per point; the
+symbolic evaluator eliminates the Markov structure once and evaluates the
+closed form.  They share no code path beyond the model itself, so their
+agreement across all scenarios is a strong internal-consistency check of
+eqs. (3)-(13).
+"""
+
+import pytest
+
+from repro.core import ReliabilityEvaluator, SymbolicEvaluator
+from repro.scenarios import (
+    booking_assembly,
+    local_assembly,
+    pipeline_assembly,
+    remote_assembly,
+    replicated_assembly,
+)
+
+CASES = [
+    (local_assembly, "search", [
+        {"elem": 1, "list": 10, "res": 1},
+        {"elem": 5, "list": 500, "res": 2},
+    ]),
+    (remote_assembly, "search", [
+        {"elem": 1, "list": 10, "res": 1},
+        {"elem": 5, "list": 900, "res": 2},
+    ]),
+    (booking_assembly, "booking", [
+        {"itinerary": 1}, {"itinerary": 12},
+    ]),
+    (lambda: booking_assembly(shared_gds=True), "booking", [
+        {"itinerary": 3},
+    ]),
+    (pipeline_assembly, "publish", [
+        {"mb": 10}, {"mb": 750},
+    ]),
+    (lambda: replicated_assembly(4, shared=True), "report", [
+        {"size": 100}, {"size": 2000},
+    ]),
+    (lambda: replicated_assembly(4, shared=False), "report", [
+        {"size": 100},
+    ]),
+]
+
+
+@pytest.mark.parametrize(
+    "build,service,points", CASES,
+    ids=[
+        "local", "remote", "booking", "booking-shared", "pipeline",
+        "shared-db", "replicated-db",
+    ],
+)
+def test_backends_agree(build, service, points):
+    assembly = build()
+    numeric = ReliabilityEvaluator(assembly)
+    expression = SymbolicEvaluator(assembly).pfail_expression(service)
+    for actuals in points:
+        env = {k: float(v) for k, v in actuals.items()}
+        assert expression.evaluate(env) == pytest.approx(
+            numeric.pfail(service, **actuals), rel=1e-9, abs=1e-14
+        )
+
+
+@pytest.mark.parametrize(
+    "build,service,points", CASES,
+    ids=[
+        "local", "remote", "booking", "booking-shared", "pipeline",
+        "shared-db", "replicated-db",
+    ],
+)
+def test_every_intermediate_service_agrees(build, service, points):
+    """Not only the top service: every composite in the assembly."""
+    assembly = build()
+    numeric = ReliabilityEvaluator(assembly, check_domains=False)
+    symbolic = SymbolicEvaluator(assembly)
+    for svc in assembly.services:
+        if svc.is_simple:
+            continue
+        expression = symbolic.pfail_expression(svc.name)
+        actuals = {name: 7.0 for name in svc.formal_parameters}
+        assert expression.evaluate(actuals) == pytest.approx(
+            numeric.pfail(svc.name, **actuals), rel=1e-9, abs=1e-14
+        )

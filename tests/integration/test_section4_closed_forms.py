@@ -1,0 +1,153 @@
+"""Integration: equations (15)–(22) of the paper vs both evaluators.
+
+The strongest correctness statement the reproduction can make: the paper
+derives Pfail(search, ...) for both assemblies *by hand* (eqs. 15–22); our
+hand transcriptions of those printed formulas live in
+``repro.scenarios.search_sort_closed_forms``; both the numeric Markov
+engine and the mechanically derived symbolic closed forms must agree with
+them to near machine precision, across the full Figure 6 parameter grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ReliabilityEvaluator, SymbolicEvaluator
+from repro.scenarios import (
+    PAPER_GAMMA_VALUES,
+    PAPER_PHI1_VALUES,
+    SearchSortParameters,
+    local_assembly,
+    remote_assembly,
+)
+from repro.scenarios.search_sort_closed_forms import (
+    pfail_cpu,
+    pfail_lpc,
+    pfail_net,
+    pfail_rpc,
+    pfail_search_local,
+    pfail_search_remote,
+    pfail_sort,
+)
+
+LIST_SIZES = (1, 2, 5, 17, 50, 123, 400, 1000)
+
+
+class TestLevel0ClosedForms:
+    """Equations (15)-(17): the simple services."""
+
+    def test_eq15_cpu1(self):
+        p = SearchSortParameters()
+        evaluator = ReliabilityEvaluator(local_assembly(p))
+        for n in (0, 1, 100, 1e6):
+            assert evaluator.pfail("cpu1", N=n) == pytest.approx(
+                float(pfail_cpu(n, p.s1, p.lambda1)), abs=1e-15
+            )
+
+    def test_eq17_net12(self):
+        p = SearchSortParameters()
+        evaluator = ReliabilityEvaluator(remote_assembly(p))
+        for b in (0, 10, 500, 1e5):
+            assert evaluator.pfail("net12", B=b) == pytest.approx(
+                float(pfail_net(b, p.bandwidth, p.gamma)), abs=1e-15
+            )
+
+    def test_perfect_connectors_level_0(self):
+        evaluator = ReliabilityEvaluator(local_assembly())
+        for name in ("loc1", "loc2", "loc3"):
+            assert evaluator.pfail(name) == 0.0
+
+
+class TestLevel1ClosedForms:
+    """Equations (18)-(20): sort, lpc, rpc."""
+
+    def test_eq18_sort1(self):
+        p = SearchSortParameters()
+        evaluator = ReliabilityEvaluator(local_assembly(p), check_domains=False)
+        for n in LIST_SIZES:
+            assert evaluator.pfail("sort1", list=n) == pytest.approx(
+                float(pfail_sort(n, p.phi_sort1, p.s1, p.lambda1)), rel=1e-12
+            )
+
+    def test_eq18_sort2(self):
+        p = SearchSortParameters()
+        evaluator = ReliabilityEvaluator(remote_assembly(p), check_domains=False)
+        for n in LIST_SIZES:
+            assert evaluator.pfail("sort2", list=n) == pytest.approx(
+                float(pfail_sort(n, p.phi_sort2, p.s2, p.lambda2)), rel=1e-12
+            )
+
+    def test_eq19_lpc_independent_of_sizes(self):
+        p = SearchSortParameters()
+        evaluator = ReliabilityEvaluator(local_assembly(p))
+        values = {
+            evaluator.pfail("lpc", ip=ip, op=op)
+            for ip, op in ((0, 0), (10, 5), (1000, 1000))
+        }
+        assert len(values) == 1  # shared-memory assumption
+        assert values.pop() == pytest.approx(float(pfail_lpc(p)), rel=1e-12)
+
+    def test_eq20_rpc(self):
+        p = SearchSortParameters()
+        evaluator = ReliabilityEvaluator(remote_assembly(p))
+        for ip, op in ((1, 1), (101, 1), (500, 250)):
+            assert evaluator.pfail("rpc", ip=ip, op=op) == pytest.approx(
+                float(pfail_rpc(ip, op, p)), rel=1e-12
+            )
+
+    def test_eq20_symmetry_in_ip_op(self):
+        """Eq. (20) depends on ip + op only."""
+        evaluator = ReliabilityEvaluator(remote_assembly())
+        assert evaluator.pfail("rpc", ip=300, op=100) == pytest.approx(
+            evaluator.pfail("rpc", ip=100, op=300), rel=1e-14
+        )
+
+
+class TestLevel2ClosedForm:
+    """Equation (22): the search service, both assemblies, full grid."""
+
+    @pytest.mark.parametrize("phi1", PAPER_PHI1_VALUES)
+    @pytest.mark.parametrize("gamma", PAPER_GAMMA_VALUES)
+    def test_eq22_local_numeric(self, phi1, gamma):
+        p = SearchSortParameters().with_figure6_point(phi1, gamma)
+        evaluator = ReliabilityEvaluator(local_assembly(p))
+        for n in LIST_SIZES:
+            # the absorbing-chain solve computes p ~ 1 and returns 1 - p,
+            # losing ~5 digits to cancellation at Pfail ~ 1e-5: rel 1e-9
+            assert evaluator.pfail("search", elem=1, list=n, res=1) == pytest.approx(
+                float(pfail_search_local(n, p)), rel=1e-9, abs=1e-14
+            )
+
+    @pytest.mark.parametrize("phi1", PAPER_PHI1_VALUES)
+    @pytest.mark.parametrize("gamma", PAPER_GAMMA_VALUES)
+    def test_eq22_remote_numeric(self, phi1, gamma):
+        p = SearchSortParameters().with_figure6_point(phi1, gamma)
+        evaluator = ReliabilityEvaluator(remote_assembly(p))
+        for n in LIST_SIZES:
+            assert evaluator.pfail("search", elem=1, list=n, res=1) == pytest.approx(
+                float(pfail_search_remote(n, p)), rel=1e-9, abs=1e-14
+            )
+
+    def test_eq22_symbolic_vectorized(self):
+        p = SearchSortParameters()
+        grid = np.asarray(LIST_SIZES, dtype=float)
+        env = {"elem": 1.0, "list": grid, "res": 1.0}
+        local_expr = SymbolicEvaluator(local_assembly(p)).pfail_expression("search")
+        np.testing.assert_allclose(
+            local_expr.evaluate(env), pfail_search_local(grid, p), rtol=1e-9, atol=1e-15
+        )
+        remote_expr = SymbolicEvaluator(remote_assembly(p)).pfail_expression("search")
+        np.testing.assert_allclose(
+            remote_expr.evaluate(env), pfail_search_remote(grid, p), rtol=1e-9, atol=1e-15
+        )
+
+    def test_recursion_levels_are_the_papers(self):
+        """Section 4 enumerates levels 0/1/2 — structural cross-check."""
+        levels = remote_assembly().recursion_levels()
+        level_sets = {}
+        for name, level in levels.items():
+            level_sets.setdefault(level, set()).add(name)
+        assert level_sets[0] == {
+            "cpu1", "cpu2", "net12", "loc1", "loc2", "loc3", "loc4", "loc5"
+        }
+        assert level_sets[1] == {"rpc", "sort2"}
+        assert level_sets[2] == {"search"}

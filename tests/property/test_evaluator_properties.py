@@ -1,0 +1,176 @@
+"""Property tests for the evaluators over randomized assemblies.
+
+Random sequential assemblies admit a by-hand oracle: the service survives
+iff every state survives, so ``Pfail = 1 - prod_i (1 - p(i, Fail))`` with
+the state terms given by the (independently property-tested) state-failure
+algebra.  Invariants:
+
+- the numeric evaluator matches the oracle;
+- the symbolic evaluator matches the numeric one (also on branching
+  flows);
+- the Monte Carlo simulator is statistically consistent;
+- degrading any provider never improves the assembly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ReliabilityEvaluator,
+    SymbolicEvaluator,
+    state_failure_probability,
+)
+from repro.model import (
+    AND,
+    OR,
+    AnalyticInterface,
+    Assembly,
+    CompositeService,
+    FlowBuilder,
+    KOfNCompletion,
+    ServiceRequest,
+    SimpleService,
+    perfect_connector,
+)
+from repro.model.parameters import FormalParameter
+from repro.symbolic import Constant
+
+provider_pfails = st.floats(min_value=0.0, max_value=0.3)
+internal_pfails = st.floats(min_value=0.0, max_value=0.2)
+
+
+@st.composite
+def sequential_assemblies(draw, max_states=4, max_requests=3):
+    """A random composite over random constant-unreliability providers,
+    with a purely sequential flow (the oracle-friendly shape)."""
+    n_states = draw(st.integers(min_value=1, max_value=max_states))
+    assembly = Assembly("random")
+    builder = FlowBuilder(formals=())
+    state_specs = []
+    provider_index = 0
+    state_names = []
+    for s in range(n_states):
+        n_requests = draw(st.integers(min_value=1, max_value=max_requests))
+        shared = n_requests >= 2 and draw(st.booleans())
+        if n_requests == 1:
+            completion = AND
+        else:
+            completion = draw(
+                st.sampled_from(
+                    [AND, OR, KOfNCompletion(draw(st.integers(1, n_requests)))]
+                )
+            )
+        requests = []
+        spec = []
+        if shared:
+            slot = f"p{provider_index}"
+            pfail = draw(provider_pfails)
+            provider_index += 1
+            assembly.add_service(
+                SimpleService(slot, AnalyticInterface(), Constant(pfail))
+            )
+            assembly.add_service(perfect_connector(f"loc_{slot}"))
+        for r in range(n_requests):
+            if not shared:
+                slot = f"p{provider_index}"
+                pfail = draw(provider_pfails)
+                provider_index += 1
+                assembly.add_service(
+                    SimpleService(slot, AnalyticInterface(), Constant(pfail))
+                )
+                assembly.add_service(perfect_connector(f"loc_{slot}"))
+            internal = draw(internal_pfails)
+            requests.append(
+                ServiceRequest(
+                    slot, actuals={}, internal_failure=Constant(internal)
+                )
+            )
+            spec.append((internal, pfail))
+        name = f"s{s}"
+        state_names.append(name)
+        builder.state(name, requests, completion=completion, shared=shared)
+        state_specs.append((completion, shared, spec))
+    builder.sequence(*state_names)
+    app = CompositeService("app", AnalyticInterface(), builder.build())
+    assembly.add_service(app)
+    for i in range(provider_index):
+        assembly.bind("app", f"p{i}", f"p{i}", connector=f"loc_p{i}")
+    return assembly, state_specs
+
+
+def oracle_pfail(state_specs) -> float:
+    survive = 1.0
+    for completion, shared, spec in state_specs:
+        internal = [i for i, _ in spec]
+        external = [e for _, e in spec]
+        survive *= 1.0 - state_failure_probability(
+            completion, shared, internal, external
+        )
+    return 1.0 - survive
+
+
+class TestAgainstOracle:
+    @given(sequential_assemblies())
+    @settings(max_examples=200, deadline=None)
+    def test_numeric_matches_hand_computation(self, data):
+        assembly, specs = data
+        evaluator = ReliabilityEvaluator(assembly)
+        assert evaluator.pfail("app") == pytest.approx(
+            oracle_pfail(specs), abs=1e-10
+        )
+
+    @given(sequential_assemblies())
+    @settings(max_examples=100, deadline=None)
+    def test_symbolic_matches_numeric(self, data):
+        assembly, _ = data
+        numeric = ReliabilityEvaluator(assembly).pfail("app")
+        expression = SymbolicEvaluator(assembly).pfail_expression("app")
+        assert float(expression.evaluate({})) == pytest.approx(numeric, abs=1e-10)
+
+    @given(sequential_assemblies())
+    @settings(max_examples=200, deadline=None)
+    def test_result_is_probability(self, data):
+        assembly, _ = data
+        assert 0.0 <= ReliabilityEvaluator(assembly).pfail("app") <= 1.0
+
+
+class TestMonotonicity:
+    @given(sequential_assemblies(), st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=150, deadline=None)
+    def test_degrading_a_provider_never_helps(self, data, degraded):
+        assembly, _ = data
+        before = ReliabilityEvaluator(assembly).pfail("app")
+
+        worse = Assembly("worse")
+        for service in assembly.services:
+            if service.name == "p0":
+                old = service.failure_probability.constant_value()
+                worse.add_service(
+                    SimpleService(
+                        "p0", AnalyticInterface(),
+                        Constant(max(old, degraded)),
+                    )
+                )
+            else:
+                worse.add_service(service)
+        for binding in assembly.bindings:
+            worse.bind(
+                binding.consumer, binding.slot, binding.provider,
+                connector=binding.connector,
+                connector_actuals=dict(binding.connector_actuals),
+            )
+        after = ReliabilityEvaluator(worse).pfail("app")
+        assert after >= before - 1e-12
+
+
+class TestSimulatorConsistency:
+    @given(sequential_assemblies(max_states=2, max_requests=2))
+    @settings(max_examples=15, deadline=None)
+    def test_monte_carlo_consistent(self, data):
+        from repro.simulation import MonteCarloSimulator
+
+        assembly, _ = data
+        analytic = ReliabilityEvaluator(assembly).pfail("app")
+        result = MonteCarloSimulator(assembly, seed=5).estimate_pfail("app", 4000)
+        assert result.consistent_with(analytic, z=5.0)

@@ -1,0 +1,230 @@
+"""Property tests for the expression engine.
+
+Random expression trees over a bounded-value domain; key invariants:
+simplification and serialization preserve semantics, substitution respects
+composition, differentiation matches finite differences.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import (
+    Binary,
+    Call,
+    Constant,
+    Expression,
+    Parameter,
+    simplify,
+)
+
+#: Parameter names used by generated trees.
+NAMES = ("x", "y", "z")
+
+#: Value domain kept in a range where all generated operations are finite
+#: and well-conditioned.
+values = st.floats(min_value=0.1, max_value=4.0)
+
+
+def expressions(max_depth: int = 4) -> st.SearchStrategy[Expression]:
+    """Strategy for random, numerically tame expression trees."""
+    leaves = st.one_of(
+        st.floats(min_value=0.1, max_value=4.0).map(Constant),
+        st.sampled_from(NAMES).map(Parameter),
+    )
+
+    def extend(children):
+        binary = st.builds(
+            Binary,
+            st.sampled_from(["+", "-", "*", "/"]),
+            children,
+            children,
+        )
+        call = st.builds(
+            lambda name, arg: Call(name, (arg,)),
+            st.sampled_from(["log", "log2", "exp", "sqrt"]),
+            children,
+        )
+        return st.one_of(binary, call)
+
+    return st.recursive(leaves, extend, max_leaves=2**max_depth)
+
+
+def tame(value) -> bool:
+    return np.all(np.isfinite(value)) and np.all(np.abs(value) < 1e12)
+
+
+def subvalues_tame(expr: Expression, env) -> bool:
+    """True when every sub-expression evaluates to a finite, moderately
+    scaled value and no log sits on its clamp boundary — the domain on
+    which simplification rewrites (e.g. ``log(exp(u)) -> u``,
+    ``exp(log(u)) -> u``) are contractually semantics-preserving."""
+    with np.errstate(all="ignore"):
+        if not tame(expr.evaluate(env)):
+            return False
+        if isinstance(expr, Call) and expr.name in ("log", "log2"):
+            argument = expr.args[0].evaluate(env)
+            if not (np.all(np.isfinite(argument)) and np.all(argument > 1e-9)):
+                return False
+    return all(subvalues_tame(child, env) for child in expr.children())
+
+
+@st.composite
+def expression_and_env(draw):
+    expr = draw(expressions())
+    env = {name: draw(values) for name in NAMES}
+    # discard pathologically scaled samples (overflow from exp chains,
+    # division blow-ups) anywhere in the tree, not only at the root
+    if not subvalues_tame(expr, env):
+        raise_unsatisfied()
+    return expr, env, expr.evaluate(env)
+
+
+def raise_unsatisfied():
+    from hypothesis import assume
+
+    assume(False)
+
+
+class TestSimplification:
+    @given(expression_and_env())
+    @settings(max_examples=200)
+    def test_simplify_preserves_value(self, data):
+        expr, env, expected = data
+        simplified = simplify(expr)
+        got = simplified.evaluate(env)
+        assert got == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @given(expression_and_env())
+    @settings(max_examples=100)
+    def test_simplify_is_idempotent(self, data):
+        expr, _, _ = data
+        once = simplify(expr)
+        assert simplify(once) == once
+
+    @given(expression_and_env())
+    @settings(max_examples=100)
+    def test_simplify_never_adds_parameters(self, data):
+        expr, _, _ = data
+        assert simplify(expr).free_parameters() <= expr.free_parameters()
+
+
+class TestSerialization:
+    @given(expressions())
+    @settings(max_examples=200)
+    def test_dict_round_trip_is_identity(self, expr):
+        assert Expression.from_dict(expr.to_dict()) == expr
+
+    @given(expression_and_env())
+    @settings(max_examples=100)
+    def test_str_reparse_preserves_value(self, data):
+        from repro.symbolic import parse_expression
+
+        expr, env, expected = data
+        reparsed = parse_expression(str(expr))
+        assert reparsed.evaluate(env) == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+
+class TestSubstitution:
+    @given(expression_and_env(), st.sampled_from(NAMES))
+    @settings(max_examples=100)
+    def test_substitute_then_evaluate_equals_evaluate_extended(self, data, name):
+        """expr[name := c].evaluate(env) == expr.evaluate(env | {name: c})."""
+        from hypothesis import assume
+
+        expr, env, _ = data
+        constant = 1.7
+        substituted = expr.substitute({name: Constant(constant)})
+        with np.errstate(all="ignore"):
+            direct = expr.evaluate({**env, name: constant})
+            indirect = substituted.evaluate(env)
+        assume(tame(direct))
+        assert indirect == pytest.approx(direct, rel=1e-12, abs=1e-12)
+
+    @given(expression_and_env())
+    @settings(max_examples=100)
+    def test_identity_substitution_is_noop(self, data):
+        expr, env, expected = data
+        same = expr.substitute({n: Parameter(n) for n in NAMES})
+        assert same.evaluate(env) == pytest.approx(expected, rel=0, abs=0)
+
+
+class TestVectorization:
+    @given(expression_and_env())
+    @settings(max_examples=100)
+    def test_array_evaluation_matches_pointwise(self, data):
+        expr, env, _ = data
+        grid = np.array([0.3, 1.1, 2.7])
+        array_env = {**env, "x": grid}
+        with np.errstate(all="ignore"):
+            vectorized = expr.evaluate(array_env)
+            for i, x in enumerate(grid):
+                pointwise = expr.evaluate({**env, "x": float(x)})
+                got = (
+                    vectorized[i]
+                    if isinstance(vectorized, np.ndarray)
+                    else vectorized
+                )
+                if np.isnan(pointwise):
+                    # e.g. sqrt(log(x)) off the sampled domain: both routes
+                    # must agree that the point is undefined
+                    assert np.isnan(got)
+                else:
+                    assert got == pytest.approx(pointwise, rel=1e-12, abs=1e-12)
+
+
+class TestDifferentiation:
+    @given(expression_and_env())
+    @settings(max_examples=150)
+    def test_derivative_matches_finite_difference(self, data):
+        from hypothesis import assume
+
+        expr, env, value = data
+        assume("x" in expr.free_parameters())
+
+        def clear_of_log_clamp(node, at_env) -> bool:
+            """The library clamps log/log2 to 0 at non-positive arguments;
+            derivative rules describe the unclamped function, so only test
+            points where every log argument is safely positive."""
+            if isinstance(node, Call) and node.name in ("log", "log2"):
+                with np.errstate(all="ignore"):
+                    argument = node.args[0].evaluate(at_env)
+                if not (np.isfinite(argument) and argument > 0.05):
+                    return False
+            return all(clear_of_log_clamp(c, at_env) for c in node.children())
+
+        probe = 2e-6 * max(abs(env["x"]), 1.0)
+        assume(all(
+            clear_of_log_clamp(expr, {**env, "x": env["x"] + delta})
+            for delta in (-probe, 0.0, probe)
+        ))
+        try:
+            with np.errstate(all="ignore"):
+                # simplification inside differentiate constant-folds, which
+                # may transiently divide by folded zeros
+                derivative = expr.differentiate("x")
+        except Exception:
+            assume(False)
+        x = env["x"]
+        h = 1e-6 * max(abs(x), 1.0)
+        with np.errstate(all="ignore"):
+            f_plus = expr.evaluate({**env, "x": x + h})
+            f_minus = expr.evaluate({**env, "x": x - h})
+            f_plus_half = expr.evaluate({**env, "x": x + h / 2})
+            f_minus_half = expr.evaluate({**env, "x": x - h / 2})
+            symbolic = derivative.evaluate(env)
+        assume(tame(f_plus) and tame(f_minus) and tame(symbolic))
+        numeric = (f_plus - f_minus) / (2 * h)
+        numeric_half = (f_plus_half - f_minus_half) / h
+        assume(abs(numeric) < 1e8)
+        # Richardson consistency filter: the clamped log/sqrt boundaries
+        # make some sample points non-smooth; only test where the two
+        # step sizes agree (i.e. the function is locally differentiable).
+        assume(
+            abs(numeric - numeric_half)
+            <= 1e-4 * max(1.0, abs(numeric))
+        )
+        assert symbolic == pytest.approx(numeric, rel=2e-3, abs=2e-3)

@@ -1,0 +1,103 @@
+"""Property tests for the failure-model library."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability import (
+    ConstantFailureModel,
+    ExponentialFailureModel,
+    WeibullFailureModel,
+    exponential_internal,
+    per_operation_internal,
+)
+from repro.symbolic import Constant
+
+rates = st.floats(min_value=0.0, max_value=10.0)
+positive = st.floats(min_value=1e-3, max_value=1e3)
+durations = st.floats(min_value=0.0, max_value=1e3)
+phis = st.floats(min_value=0.0, max_value=1.0)
+operations = st.floats(min_value=0.0, max_value=1e6)
+
+
+class TestTimeModels:
+    @given(rates, durations)
+    @settings(max_examples=300)
+    def test_exponential_is_probability(self, rate, duration):
+        assert 0.0 <= ExponentialFailureModel(rate).pfail(duration) <= 1.0
+
+    @given(rates, durations, durations)
+    @settings(max_examples=300)
+    def test_exponential_monotone(self, rate, d1, d2):
+        model = ExponentialFailureModel(rate)
+        low, high = sorted((d1, d2))
+        assert model.pfail(low) <= model.pfail(high) + 1e-15
+
+    @given(rates)
+    @settings(max_examples=100)
+    def test_exponential_zero_duration(self, rate):
+        assert ExponentialFailureModel(rate).pfail(0.0) == 0.0
+
+    @given(rates, durations, durations)
+    @settings(max_examples=200)
+    def test_exponential_memoryless_composition(self, rate, d1, d2):
+        """Survival over d1+d2 equals the product of survivals — the
+        property eq. (20) exploits when collapsing the six RPC factors."""
+        model = ExponentialFailureModel(rate)
+        survive = lambda d: 1.0 - model.pfail(d)
+        assert survive(d1 + d2) == pytest.approx(
+            survive(d1) * survive(d2), rel=1e-9, abs=1e-12
+        )
+
+    @given(positive, st.floats(min_value=0.2, max_value=5.0), durations)
+    @settings(max_examples=300)
+    def test_weibull_is_probability_and_monotone(self, scale, shape, duration):
+        model = WeibullFailureModel(scale, shape)
+        value = model.pfail(duration)
+        assert 0.0 <= value <= 1.0
+        assert model.pfail(duration * 2.0) >= value - 1e-15
+
+    @given(st.floats(min_value=0.0, max_value=1.0), durations)
+    @settings(max_examples=100)
+    def test_constant_is_flat(self, p, duration):
+        assert ConstantFailureModel(p).pfail(duration) == pytest.approx(p)
+
+
+class TestInternalModels:
+    @given(phis, operations)
+    @settings(max_examples=300)
+    def test_equation_14_is_probability(self, phi, n):
+        value = float(per_operation_internal(phi, Constant(n)).evaluate({}))
+        assert -1e-12 <= value <= 1.0 + 1e-12
+
+    @given(phis, operations, operations)
+    @settings(max_examples=300)
+    def test_equation_14_monotone_in_operations(self, phi, n1, n2):
+        low, high = sorted((n1, n2))
+        expr_low = float(per_operation_internal(phi, Constant(low)).evaluate({}))
+        expr_high = float(per_operation_internal(phi, Constant(high)).evaluate({}))
+        assert expr_low <= expr_high + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1e-4),
+           st.floats(min_value=0.0, max_value=1e3))
+    @settings(max_examples=200)
+    def test_models_agree_to_first_order(self, phi, n):
+        """(1-phi)^N ~= e^(-phi N) for small phi*N."""
+        discrete = float(per_operation_internal(phi, Constant(n)).evaluate({}))
+        continuous = float(exponential_internal(phi, Constant(n)).evaluate({}))
+        assert discrete == pytest.approx(continuous, rel=5e-2, abs=1e-9)
+
+    @given(phis, operations)
+    @settings(max_examples=200)
+    def test_discrete_model_is_pessimistic_bound(self, phi, n):
+        """ln(1-phi) <= -phi gives (1-phi)^N <= e^(-phi N): the eq. (14)
+        model never predicts FEWER failures than the exponential one.
+
+        Floating-point caveat: for phi below the representation step of
+        1 - phi (~1.1e-16), ``1 - phi`` rounds to exactly 1 and the
+        discrete model under-reports by up to ``n * eps/2`` — the slack
+        term below.
+        """
+        discrete = float(per_operation_internal(phi, Constant(n)).evaluate({}))
+        continuous = float(exponential_internal(phi, Constant(n)).evaluate({}))
+        assert discrete >= continuous - 1e-12 - n * 1.2e-16

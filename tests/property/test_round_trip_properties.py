@@ -1,0 +1,139 @@
+"""Property tests: DSL round-trips and branching-flow agreement over
+randomized assemblies.
+
+Complements ``test_evaluator_properties`` (sequential flows with a by-hand
+oracle) with two broader invariants:
+
+- serializing any generated assembly through the ``repro/1`` schema and
+  loading it back preserves the predicted unreliability exactly;
+- on *branching* flows (no oracle), the numeric and symbolic evaluators
+  and the Monte Carlo simulator still agree.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReliabilityEvaluator, SymbolicEvaluator
+from repro.dsl import dump_assembly, load_assembly
+from repro.model import (
+    AND,
+    OR,
+    AnalyticInterface,
+    Assembly,
+    CompositeService,
+    FlowBuilder,
+    ServiceRequest,
+    SimpleService,
+    perfect_connector,
+)
+from repro.symbolic import Constant
+
+probabilities = st.floats(min_value=0.0, max_value=0.4)
+branch = st.floats(min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def branching_assemblies(draw):
+    """app with a diamond flow:
+
+        Start -q-> left -> join -> End
+        Start -(1-q)-> right -r-> join ; right -(1-r)-> End
+
+    Each state holds 1-2 requests to fresh constant-unreliability
+    providers; left/join may use OR and sharing.
+    """
+    assembly = Assembly("random-branching")
+    q = draw(branch)
+    r = draw(branch)
+    provider_index = 0
+
+    def make_state_requests(n_requests, shared):
+        nonlocal provider_index
+        requests = []
+        if shared:
+            slot = f"p{provider_index}"
+            provider_index += 1
+            assembly.add_service(
+                SimpleService(slot, AnalyticInterface(),
+                              Constant(draw(probabilities)))
+            )
+            assembly.add_service(perfect_connector(f"loc_{slot}"))
+        for _ in range(n_requests):
+            if not shared:
+                slot = f"p{provider_index}"
+                provider_index += 1
+                assembly.add_service(
+                    SimpleService(slot, AnalyticInterface(),
+                                  Constant(draw(probabilities)))
+                )
+                assembly.add_service(perfect_connector(f"loc_{slot}"))
+            requests.append(
+                ServiceRequest(
+                    slot, actuals={},
+                    internal_failure=Constant(draw(probabilities)),
+                    masking=Constant(draw(st.floats(0.0, 0.5))),
+                )
+            )
+        return requests
+
+    builder = FlowBuilder(formals=())
+    for name in ("left", "right", "join"):
+        n_requests = draw(st.integers(1, 2))
+        shared = n_requests == 2 and draw(st.booleans())
+        completion = OR if (n_requests == 2 and draw(st.booleans())) else AND
+        builder.state(
+            name, make_state_requests(n_requests, shared),
+            completion=completion, shared=shared,
+        )
+    builder.transition("Start", "left", q)
+    builder.transition("Start", "right", 1.0 - q)
+    builder.transition("left", "join", 1)
+    builder.transition("right", "join", r)
+    builder.transition("right", "End", 1.0 - r)
+    builder.transition("join", "End", 1)
+    app = CompositeService("app", AnalyticInterface(), builder.build())
+    assembly.add_service(app)
+    for i in range(provider_index):
+        assembly.bind("app", f"p{i}", f"p{i}", connector=f"loc_p{i}")
+    return assembly
+
+
+class TestDslRoundTrip:
+    @given(branching_assemblies())
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_preserves_pfail_exactly(self, assembly):
+        original = ReliabilityEvaluator(assembly).pfail("app")
+        rebuilt = load_assembly(dump_assembly(assembly))
+        assert ReliabilityEvaluator(rebuilt).pfail("app") == original
+
+    @given(branching_assemblies())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_is_stable(self, assembly):
+        """Serialize twice: the texts must be identical (canonical form)."""
+        once = dump_assembly(assembly)
+        twice = dump_assembly(load_assembly(once))
+        assert once == twice
+
+
+class TestBranchingAgreement:
+    @given(branching_assemblies())
+    @settings(max_examples=100, deadline=None)
+    def test_numeric_matches_symbolic(self, assembly):
+        numeric = ReliabilityEvaluator(assembly).pfail("app")
+        expression = SymbolicEvaluator(assembly).pfail_expression("app")
+        assert float(expression.evaluate({})) == pytest.approx(numeric, abs=1e-10)
+
+    @given(branching_assemblies())
+    @settings(max_examples=100, deadline=None)
+    def test_pfail_is_probability(self, assembly):
+        assert 0.0 <= ReliabilityEvaluator(assembly).pfail("app") <= 1.0
+
+    @given(branching_assemblies())
+    @settings(max_examples=10, deadline=None)
+    def test_simulator_consistent(self, assembly):
+        from repro.simulation import MonteCarloSimulator
+
+        analytic = ReliabilityEvaluator(assembly).pfail("app")
+        result = MonteCarloSimulator(assembly, seed=3).estimate_pfail("app", 4000)
+        assert result.consistent_with(analytic, z=5.0)

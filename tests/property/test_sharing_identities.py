@@ -1,0 +1,174 @@
+"""Property tests for the sharing/completion algebra (eqs. 4-13).
+
+The paper's analytic findings, verified over randomized request sets:
+
+- the general Poisson-binomial engine reproduces every printed closed form;
+- **AND is sharing-insensitive** (eq. 11 == eq. 6) — always;
+- **OR sharing never helps** (eq. 12 >= eq. 7) — always, with strictness
+  exactly when redundancy had something to lose;
+- monotonicity: any increase of any internal/external failure probability
+  never decreases the state failure probability;
+- k-of-n interpolates monotonically between OR and AND.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    and_no_sharing,
+    and_sharing,
+    or_no_sharing,
+    or_sharing,
+    state_failure_probability,
+)
+from repro.model import AND, OR, KOfNCompletion
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+open_probabilities = st.floats(min_value=1e-6, max_value=1.0 - 1e-6)
+
+
+@st.composite
+def request_sets(draw, min_size=1, max_size=6, strict=False):
+    source = open_probabilities if strict else probabilities
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    internal = [draw(source) for _ in range(n)]
+    external = [draw(source) for _ in range(n)]
+    return internal, external
+
+
+class TestEngineReproducesClosedForms:
+    @given(request_sets())
+    @settings(max_examples=300)
+    def test_and_no_sharing(self, requests):
+        internal, external = requests
+        assert state_failure_probability(AND, False, internal, external) == (
+            pytest.approx(and_no_sharing(internal, external), abs=1e-12)
+        )
+
+    @given(request_sets())
+    @settings(max_examples=300)
+    def test_or_no_sharing(self, requests):
+        internal, external = requests
+        assert state_failure_probability(OR, False, internal, external) == (
+            pytest.approx(or_no_sharing(internal, external), abs=1e-12)
+        )
+
+    @given(request_sets(min_size=2))
+    @settings(max_examples=300)
+    def test_and_sharing(self, requests):
+        internal, external = requests
+        assert state_failure_probability(AND, True, internal, external) == (
+            pytest.approx(and_sharing(internal, external), abs=1e-12)
+        )
+
+    @given(request_sets(min_size=2))
+    @settings(max_examples=300)
+    def test_or_sharing(self, requests):
+        internal, external = requests
+        assert state_failure_probability(OR, True, internal, external) == (
+            pytest.approx(or_sharing(internal, external), abs=1e-12)
+        )
+
+
+class TestPaperIdentities:
+    @given(request_sets())
+    @settings(max_examples=500)
+    def test_and_insensitive_to_sharing(self, requests):
+        """Equation (11) == equation (6), for every request set."""
+        internal, external = requests
+        assert and_sharing(internal, external) == pytest.approx(
+            and_no_sharing(internal, external), abs=1e-12
+        )
+
+    @given(request_sets())
+    @settings(max_examples=500)
+    def test_or_sharing_never_helps(self, requests):
+        """Equation (12) >= equation (7), for every request set."""
+        internal, external = requests
+        assert or_sharing(internal, external) >= (
+            or_no_sharing(internal, external) - 1e-12
+        )
+
+    @given(request_sets(min_size=2, strict=True))
+    @settings(max_examples=300)
+    def test_or_sharing_strictly_worse_in_the_interior(self, requests):
+        """With every probability strictly inside (0, 1) and at least two
+        requests, sharing strictly destroys redundancy value."""
+        internal, external = requests
+        assert or_sharing(internal, external) > or_no_sharing(internal, external)
+
+    @given(request_sets())
+    @settings(max_examples=200)
+    def test_single_request_state_models_coincide(self, requests):
+        """With n = 1 there is nothing to share and nothing to vote on:
+        all four combinations agree."""
+        internal, external = requests[0][:1], requests[1][:1]
+        values = {
+            and_no_sharing(internal, external),
+            or_no_sharing(internal, external),
+        }
+        reference = values.pop()
+        assert all(v == pytest.approx(reference, abs=1e-12) for v in values)
+
+
+class TestMonotonicity:
+    @given(request_sets(min_size=2), st.integers(0, 5), st.floats(0.0, 1.0),
+           st.booleans(), st.booleans())
+    @settings(max_examples=400)
+    def test_raising_any_probability_never_helps(
+        self, requests, index, bump_to, shared, use_or
+    ):
+        internal, external = requests
+        index = index % len(internal)
+        completion = OR if use_or else AND
+        before = state_failure_probability(completion, shared, internal, external)
+        bumped_internal = list(internal)
+        bumped_internal[index] = max(internal[index], bump_to)
+        after = state_failure_probability(
+            completion, shared, bumped_internal, external
+        )
+        assert after >= before - 1e-12
+
+        bumped_external = list(external)
+        bumped_external[index] = max(external[index], bump_to)
+        after_ext = state_failure_probability(
+            completion, shared, internal, bumped_external
+        )
+        assert after_ext >= before - 1e-12
+
+
+class TestKOfN:
+    @given(request_sets(min_size=3, max_size=6), st.booleans())
+    @settings(max_examples=300)
+    def test_monotone_in_k(self, requests, shared):
+        """Requiring more successes can only increase failure probability;
+        the extremes are OR (k=1) and AND (k=n)."""
+        internal, external = requests
+        n = len(internal)
+        values = [
+            state_failure_probability(
+                KOfNCompletion(k), shared, internal, external
+            )
+            for k in range(1, n + 1)
+        ]
+        for lower, higher in zip(values, values[1:]):
+            assert higher >= lower - 1e-12
+        assert values[0] == pytest.approx(
+            state_failure_probability(OR, shared, internal, external), abs=1e-12
+        )
+        assert values[-1] == pytest.approx(
+            state_failure_probability(AND, shared, internal, external), abs=1e-12
+        )
+
+    @given(request_sets(min_size=2, max_size=6))
+    @settings(max_examples=200)
+    def test_all_values_are_probabilities(self, requests):
+        internal, external = requests
+        n = len(internal)
+        for shared in (False, True):
+            for k in range(1, n + 1):
+                value = state_failure_probability(
+                    KOfNCompletion(k), shared, internal, external
+                )
+                assert 0.0 <= value <= 1.0

@@ -1,0 +1,103 @@
+"""Unit tests for uncertainty propagation over published attributes."""
+
+import pytest
+
+from repro.analysis import delta_method, sample_uncertainty
+from repro.core import ReliabilityEvaluator
+from repro.errors import EvaluationError
+from repro.scenarios import local_assembly, remote_assembly
+
+ACTUALS = {"elem": 1, "list": 500, "res": 1}
+
+
+class TestDeltaMethod:
+    def test_point_matches_evaluator(self):
+        estimate = delta_method(local_assembly(), "search", ACTUALS)
+        direct = ReliabilityEvaluator(local_assembly()).pfail("search", **ACTUALS)
+        assert estimate.pfail == pytest.approx(direct, rel=1e-9)
+
+    def test_zero_uncertainty_gives_zero_std(self):
+        estimate = delta_method(local_assembly(), "search", ACTUALS, relative_std=0.0)
+        assert estimate.std == 0.0
+
+    def test_std_scales_linearly_in_first_order(self):
+        small = delta_method(local_assembly(), "search", ACTUALS, relative_std=0.01)
+        large = delta_method(local_assembly(), "search", ACTUALS, relative_std=0.02)
+        assert large.std == pytest.approx(2 * small.std, rel=1e-9)
+
+    def test_contributions_sum_to_one(self):
+        estimate = delta_method(remote_assembly(), "search", ACTUALS)
+        assert sum(estimate.contributions.values()) == pytest.approx(1.0)
+
+    def test_network_dominates_remote_uncertainty(self):
+        estimate = delta_method(remote_assembly(), "search", ACTUALS)
+        top = max(estimate.contributions, key=estimate.contributions.get)
+        assert top.startswith("net12::")
+
+    def test_sort1_dominates_local_uncertainty(self):
+        estimate = delta_method(local_assembly(), "search", ACTUALS)
+        top = max(estimate.contributions, key=estimate.contributions.get)
+        assert top == "sort1::software_failure_rate"
+
+    def test_per_attribute_uncertainties(self):
+        only_net = delta_method(
+            remote_assembly(), "search", ACTUALS,
+            relative_std={"net12::failure_rate": 0.5},
+        )
+        assert set(only_net.contributions) == {"net12::failure_rate"}
+        assert only_net.std > 0.0
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(EvaluationError):
+            delta_method(
+                local_assembly(), "search", ACTUALS,
+                relative_std={"ghost::rate": 0.1},
+            )
+
+    def test_interval_clipped(self):
+        estimate = delta_method(local_assembly(), "search", ACTUALS, relative_std=50.0)
+        low, high = estimate.interval()
+        assert 0.0 <= low <= high <= 1.0
+
+
+class TestSampling:
+    def test_matches_delta_method_for_small_std(self):
+        delta = delta_method(remote_assembly(), "search", ACTUALS, relative_std=0.05)
+        sampled = sample_uncertainty(
+            remote_assembly(), "search", ACTUALS,
+            relative_std=0.05, samples=40_000, seed=7,
+        )
+        assert sampled.std == pytest.approx(delta.std, rel=0.1)
+
+    def test_percentiles_monotone_and_bracket_median(self):
+        estimate = sample_uncertainty(
+            remote_assembly(), "search", ACTUALS, samples=5_000, seed=3
+        )
+        values = [estimate.percentiles[p] for p in sorted(estimate.percentiles)]
+        assert values == sorted(values)
+        assert estimate.percentiles[5.0] <= estimate.pfail <= estimate.percentiles[95.0]
+
+    def test_seed_reproducibility(self):
+        a = sample_uncertainty(local_assembly(), "search", ACTUALS,
+                               samples=2_000, seed=11)
+        b = sample_uncertainty(local_assembly(), "search", ACTUALS,
+                               samples=2_000, seed=11)
+        assert a.std == b.std and a.percentiles == b.percentiles
+
+    def test_zero_uncertainty_degenerate(self):
+        estimate = sample_uncertainty(
+            local_assembly(), "search", ACTUALS,
+            relative_std=0.0, samples=100, seed=0,
+        )
+        assert estimate.std == 0.0
+
+    def test_sample_floor(self):
+        with pytest.raises(EvaluationError):
+            sample_uncertainty(local_assembly(), "search", ACTUALS, samples=1)
+
+    def test_draws_stay_probabilities(self):
+        estimate = sample_uncertainty(
+            remote_assembly(), "search", ACTUALS,
+            relative_std=2.0, samples=2_000, seed=5,
+        )
+        assert 0.0 <= estimate.percentiles[95.0] <= 1.0

@@ -1,0 +1,124 @@
+"""Unit tests for expected-invocation analysis and attribute sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import expected_invocations, sweep_attribute
+from repro.errors import CyclicAssemblyError, EvaluationError
+from repro.scenarios import (
+    SearchSortParameters,
+    local_assembly,
+    recursive_assembly,
+    remote_assembly,
+    replicated_assembly,
+)
+
+ACTUALS = {"elem": 1, "list": 500, "res": 1}
+
+
+class TestExpectedInvocations:
+    def test_top_service_counts_once(self):
+        profile = expected_invocations(local_assembly(), "search", **ACTUALS)
+        assert profile.counts["search"] == 1.0
+
+    def test_branch_probability_weights_the_sort_path(self):
+        """sort1 is behind the q = 0.9 branch."""
+        profile = expected_invocations(local_assembly(), "search", **ACTUALS)
+        assert profile.counts["sort1"] == pytest.approx(0.9, abs=1e-9)
+        assert profile.counts["lpc"] == pytest.approx(0.9, abs=1e-9)
+
+    def test_q_zero_eliminates_sort_invocations(self):
+        params = SearchSortParameters(q=0.0)
+        profile = expected_invocations(local_assembly(params), "search", **ACTUALS)
+        assert profile.counts.get("sort1", 0.0) == 0.0
+        assert profile.counts.get("lpc", 0.0) == 0.0
+
+    def test_rpc_fans_out_to_both_cpus_and_net(self):
+        """Each sort call drives one RPC = 2 net transfers + 2 ops per cpu
+        (marshal+unmarshal), weighted by the 0.9 branch and failure
+        attenuation."""
+        profile = expected_invocations(remote_assembly(), "search", **ACTUALS)
+        # net12 is used twice per rpc invocation (ip and op transfers)
+        assert profile.counts["net12"] > 1.5 * profile.counts["rpc"]
+        # cpu1: search's own request + rpc marshal/unmarshal
+        assert profile.counts["cpu1"] > profile.counts["cpu2"]
+
+    def test_failure_attenuation(self):
+        """With a very unreliable first state, later states are rarely
+        reached: counts reflect the failure-aware visit expectations."""
+        from dataclasses import replace
+
+        lossy = replace(SearchSortParameters(), phi_sort1=1e-2)
+        profile = expected_invocations(local_assembly(lossy), "search", **ACTUALS)
+        healthy = expected_invocations(local_assembly(), "search", **ACTUALS)
+        # the search state sits after the lossy sort state
+        assert profile.counts["cpu1"] < healthy.counts["cpu1"]
+
+    def test_replica_count_scales_db_invocations(self):
+        profile = expected_invocations(
+            replicated_assembly(5, shared=True), "report", size=100
+        )
+        assert profile.counts["db"] == pytest.approx(5.0, abs=1e-9)
+
+    def test_most_invoked_excludes_top_service(self):
+        profile = expected_invocations(local_assembly(), "search", **ACTUALS)
+        names = [name for name, _ in profile.most_invoked()]
+        assert "search" not in names
+        assert names[0] == "cpu1"
+
+    def test_cyclic_assembly_rejected(self):
+        with pytest.raises(CyclicAssemblyError):
+            expected_invocations(recursive_assembly(), "A", size=1)
+
+    def test_str_rendering(self):
+        profile = expected_invocations(local_assembly(), "search", **ACTUALS)
+        text = str(profile)
+        assert "expected invocations" in text and "cpu1" in text
+
+
+class TestAttributeSweep:
+    def test_reproduces_figure6_gamma_column(self):
+        """Sweeping net12::failure_rate must match rebuilding the assembly
+        per gamma (the Figure 6 outer loop, done the cheap way)."""
+        from repro.core import ReliabilityEvaluator
+
+        assembly = remote_assembly()
+        gammas = np.array([5e-3, 2.5e-2, 5e-2, 1e-1])
+        sweep = sweep_attribute(
+            assembly, "search", "net12::failure_rate", gammas,
+            {"elem": 1, "list": 1000, "res": 1},
+        )
+        for gamma, pfail in zip(gammas, sweep.pfail):
+            params = SearchSortParameters().with_figure6_point(1e-6, float(gamma))
+            direct = ReliabilityEvaluator(remote_assembly(params)).pfail(
+                "search", elem=1, list=1000, res=1
+            )
+            assert pfail == pytest.approx(direct, rel=1e-9)
+
+    def test_monotone_in_failure_rate(self):
+        sweep = sweep_attribute(
+            remote_assembly(), "search", "net12::failure_rate",
+            np.linspace(1e-4, 1e-1, 20), {"elem": 1, "list": 500, "res": 1},
+        )
+        assert np.all(np.diff(sweep.pfail) > 0)
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(EvaluationError):
+            sweep_attribute(
+                remote_assembly(), "search", "net12::flux_capacitance",
+                [0.1], {"elem": 1, "list": 10, "res": 1},
+            )
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(EvaluationError):
+            sweep_attribute(
+                remote_assembly(), "search", "net12::failure_rate", [],
+                {"elem": 1, "list": 10, "res": 1},
+            )
+
+    def test_result_labels_attribute_as_parameter(self):
+        sweep = sweep_attribute(
+            remote_assembly(), "search", "net12::failure_rate",
+            [1e-3, 1e-2], {"elem": 1, "list": 10, "res": 1},
+        )
+        assert sweep.parameter == "net12::failure_rate"

@@ -1,0 +1,139 @@
+"""Unit tests for the availability (repair) extension."""
+
+import math
+
+import pytest
+
+from repro.core import ReliabilityEvaluator, SymbolicEvaluator
+from repro.errors import ModelError
+from repro.model import Assembly, CpuResource, perfect_connector
+from repro.model.connector import SimpleConnector
+from repro.reliability import SteadyStateAvailability, with_availability
+from repro.scenarios import SearchSortParameters, local_assembly
+from repro.simulation import MonteCarloSimulator
+
+
+class TestSteadyStateAvailability:
+    def test_availability_formula(self):
+        model = SteadyStateAvailability(failure_rate=2.0, repair_rate=8.0)
+        assert model.availability == pytest.approx(0.8)
+        assert model.unavailability == pytest.approx(0.2)
+
+    def test_matches_ctmc_steady_state(self):
+        model = SteadyStateAvailability(failure_rate=1e-2, repair_rate=0.5)
+        steady = model.chain().steady_state()
+        assert steady["working"] == pytest.approx(model.availability, rel=1e-9)
+
+    def test_mttf_mttr(self):
+        model = SteadyStateAvailability(failure_rate=0.1, repair_rate=2.0)
+        assert model.mttf == pytest.approx(10.0)
+        assert model.mttr == pytest.approx(0.5)
+
+    def test_perfect_resource_mttf_infinite(self):
+        assert SteadyStateAvailability(0.0, 1.0).mttf == math.inf
+        assert SteadyStateAvailability(0.0, 1.0).availability == 1.0
+
+    def test_zero_repair_rate_rejected(self):
+        with pytest.raises(ModelError):
+            SteadyStateAvailability(0.1, 0.0)
+
+    def test_negative_failure_rate_rejected(self):
+        with pytest.raises(ModelError):
+            SteadyStateAvailability(-0.1, 1.0)
+
+
+class TestWithAvailability:
+    def make_cpu(self):
+        return CpuResource("cpu1", speed=1e6, failure_rate=1e-6).service()
+
+    def test_composition_formula(self):
+        """Pfail' = (1-A) + A * Pfail at every workload."""
+        cpu = self.make_cpu()
+        model = SteadyStateAvailability(1e-3, 1e-1)
+        wrapped = with_availability(cpu, model)
+        a = model.availability
+        for n in (0, 100, 1e6):
+            assert wrapped.pfail(N=n) == pytest.approx(
+                (1 - a) + a * cpu.pfail(N=n), rel=1e-12
+            )
+
+    def test_zero_workload_fails_with_unavailability(self):
+        model = SteadyStateAvailability(1e-3, 1e-1)
+        wrapped = with_availability(self.make_cpu(), model)
+        assert wrapped.pfail(N=0) == pytest.approx(model.unavailability)
+
+    def test_bare_float_availability(self):
+        wrapped = with_availability(self.make_cpu(), 0.99)
+        assert wrapped.pfail(N=0) == pytest.approx(0.01)
+
+    def test_availability_one_is_identity(self):
+        cpu = self.make_cpu()
+        wrapped = with_availability(cpu, 1.0)
+        assert wrapped.pfail(N=1e5) == pytest.approx(cpu.pfail(N=1e5), rel=1e-12)
+
+    def test_out_of_range_availability_rejected(self):
+        with pytest.raises(ModelError):
+            with_availability(self.make_cpu(), 0.0)
+        with pytest.raises(ModelError):
+            with_availability(self.make_cpu(), 1.2)
+
+    def test_name_and_attributes(self):
+        wrapped = with_availability(self.make_cpu(), 0.95, name="cpu1_ha")
+        assert wrapped.name == "cpu1_ha"
+        assert wrapped.interface.attributes["availability"] == 0.95
+        # original attributes preserved so the published expression evaluates
+        assert wrapped.interface.attributes["speed"] == 1e6
+
+    def test_connector_subclass_preserved(self):
+        loc = perfect_connector("loc1")
+        wrapped = with_availability(loc, 0.999)
+        assert isinstance(wrapped, SimpleConnector)
+        assert wrapped.is_connector
+
+
+class TestAvailabilityInAssemblies:
+    def build(self, availability: float) -> Assembly:
+        """The local search/sort assembly with a repairable cpu1."""
+        params = SearchSortParameters()
+        base = local_assembly(params)
+        assembly = Assembly(f"local-avail-{availability}")
+        for service in base.services:
+            if service.name == "cpu1":
+                assembly.add_service(
+                    with_availability(service, availability, name="cpu1")
+                )
+            else:
+                assembly.add_service(service)
+        for binding in base.bindings:
+            assembly.bind(
+                binding.consumer, binding.slot, binding.provider,
+                connector=binding.connector,
+                connector_actuals=dict(binding.connector_actuals),
+            )
+        return assembly
+
+    def test_lower_availability_lowers_reliability(self):
+        high = ReliabilityEvaluator(self.build(0.9999)).pfail(
+            "search", elem=1, list=100, res=1
+        )
+        low = ReliabilityEvaluator(self.build(0.99)).pfail(
+            "search", elem=1, list=100, res=1
+        )
+        baseline = ReliabilityEvaluator(local_assembly()).pfail(
+            "search", elem=1, list=100, res=1
+        )
+        assert baseline < high < low
+
+    def test_symbolic_and_simulation_agree(self):
+        assembly = self.build(0.99)
+        numeric = ReliabilityEvaluator(assembly).pfail(
+            "search", elem=1, list=100, res=1
+        )
+        expression = SymbolicEvaluator(assembly).pfail_expression("search")
+        assert expression.evaluate(
+            {"elem": 1.0, "list": 100.0, "res": 1.0}
+        ) == pytest.approx(numeric, rel=1e-9)
+        simulated = MonteCarloSimulator(assembly, seed=21).estimate_pfail(
+            "search", 20_000, elem=1, list=100, res=1
+        )
+        assert simulated.consistent_with(numeric)

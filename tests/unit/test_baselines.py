@@ -1,0 +1,196 @@
+"""Unit tests for the related-work baseline models (section 5)."""
+
+import pytest
+
+from repro.baselines import (
+    CheungModel,
+    PathBasedModel,
+    WangModel,
+    WangState,
+)
+from repro.baselines.path_based import EXIT
+from repro.errors import (
+    InvalidDistributionError,
+    ModelError,
+    UnknownStateError,
+)
+
+
+class TestCheung:
+    def make_linear(self, r1=0.9, r2=0.8):
+        return CheungModel(
+            reliabilities={"c1": r1, "c2": r2},
+            transitions={("c1", "c2"): 1.0},
+            initial="c1",
+        )
+
+    def test_linear_chain_product(self):
+        assert self.make_linear().system_reliability() == pytest.approx(0.72)
+
+    def test_unreliability_complements(self):
+        model = self.make_linear()
+        assert model.system_unreliability() == pytest.approx(
+            1 - model.system_reliability()
+        )
+
+    def test_branching(self):
+        model = CheungModel(
+            reliabilities={"a": 1.0, "b": 0.5, "c": 0.9},
+            transitions={("a", "b"): 0.4, ("a", "c"): 0.6},
+            initial="a",
+        )
+        assert model.system_reliability() == pytest.approx(0.4 * 0.5 + 0.6 * 0.9)
+
+    def test_loop(self):
+        """A retry loop: visiting c with reliability r and retry probability
+        p gives R = r(1-p) / (1 - rp)."""
+        r, p = 0.95, 0.3
+        model = CheungModel(
+            reliabilities={"c": r, "done": 1.0},
+            transitions={("c", "c"): p, ("c", "done"): 1 - p},
+            initial="c",
+        )
+        expected = r * (1 - p) / (1 - r * p)
+        assert model.system_reliability() == pytest.approx(expected)
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(UnknownStateError):
+            CheungModel({"a": 1.0}, {}, initial="ghost")
+
+    def test_bad_reliability_rejected(self):
+        with pytest.raises(ModelError):
+            CheungModel({"a": 1.2}, {}, initial="a")
+
+    def test_non_stochastic_transfer_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            CheungModel(
+                {"a": 1.0, "b": 1.0}, {("a", "b"): 0.5}, initial="a"
+            )
+
+    def test_needs_final_component(self):
+        with pytest.raises(ModelError):
+            CheungModel(
+                {"a": 1.0, "b": 1.0},
+                {("a", "b"): 1.0, ("b", "a"): 1.0},
+                initial="a",
+            )
+
+
+class TestPathBased:
+    def make_branching(self):
+        return PathBasedModel(
+            reliabilities={"a": 0.9, "b": 0.8, "c": 0.95},
+            transitions={
+                ("a", "b"): 0.5,
+                ("a", "c"): 0.5,
+                ("b", EXIT): 1.0,
+                ("c", EXIT): 1.0,
+            },
+            initial="a",
+        )
+
+    def test_path_enumeration(self):
+        paths, truncated = self.make_branching().enumerate_paths()
+        assert truncated == 0.0
+        assert {p.components for p in paths} == {("a", "b"), ("a", "c")}
+        assert sum(p.probability for p in paths) == pytest.approx(1.0)
+
+    def test_weighted_reliability(self):
+        expected = 0.5 * (0.9 * 0.8) + 0.5 * (0.9 * 0.95)
+        assert self.make_branching().system_reliability() == pytest.approx(expected)
+
+    def test_loop_truncation_reports_mass(self):
+        model = PathBasedModel(
+            reliabilities={"a": 0.9},
+            transitions={("a", "a"): 0.5, ("a", EXIT): 0.5},
+            initial="a",
+            mass_threshold=1e-3,
+        )
+        paths, truncated = model.enumerate_paths()
+        assert truncated > 0.0
+        assert sum(p.probability for p in paths) + truncated == pytest.approx(1.0)
+
+    def test_loop_value_approaches_exact(self):
+        """Exact value: sum_k 0.5^(k+1) 0.9^(k+1) = geometric."""
+        exact = sum(0.5 ** (k + 1) * 0.9 ** (k + 1) for k in range(200))
+        model = PathBasedModel(
+            reliabilities={"a": 0.9},
+            transitions={("a", "a"): 0.5, ("a", EXIT): 0.5},
+            initial="a",
+            mass_threshold=1e-15,
+        )
+        assert model.system_reliability() == pytest.approx(exact, abs=1e-10)
+
+    def test_rows_must_be_stochastic(self):
+        with pytest.raises(ModelError):
+            PathBasedModel({"a": 0.9}, {("a", EXIT): 0.7}, initial="a")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(UnknownStateError):
+            PathBasedModel({"a": 1.0}, {("a", "ghost"): 1.0}, initial="a")
+
+
+class TestWang:
+    def test_and_state_success(self):
+        state = WangState("s", (0.9, 0.8), "and")
+        assert state.success_probability() == pytest.approx(0.72)
+
+    def test_or_state_success(self):
+        state = WangState("s", (0.9, 0.8), "or")
+        assert state.success_probability() == pytest.approx(1 - 0.1 * 0.2)
+
+    def test_empty_state_rejected(self):
+        with pytest.raises(ModelError):
+            WangState("s", ())
+
+    def test_unknown_completion_rejected(self):
+        with pytest.raises(ModelError):
+            WangState("s", (0.9,), "xor")
+
+    def test_connector_reliability_on_transition(self):
+        model = WangModel(
+            states=[WangState("s", (0.9,), "and")],
+            transitions=[("s", "C", 1.0, 0.95)],
+            initial="s",
+        )
+        assert model.system_reliability() == pytest.approx(0.9 * 0.95)
+
+    def test_or_redundancy_helps(self):
+        redundant = WangModel(
+            states=[WangState("s", (0.9, 0.9), "or")],
+            transitions=[("s", "C", 1.0, 1.0)],
+            initial="s",
+        )
+        single = WangModel(
+            states=[WangState("s", (0.9,), "and")],
+            transitions=[("s", "C", 1.0, 1.0)],
+            initial="s",
+        )
+        assert redundant.system_reliability() > single.system_reliability()
+
+    def test_sequential_states(self):
+        model = WangModel(
+            states=[
+                WangState("s1", (0.9,), "and"),
+                WangState("s2", (0.8,), "and"),
+            ],
+            transitions=[("s1", "s2", 1.0, 0.99), ("s2", "C", 1.0, 1.0)],
+            initial="s1",
+        )
+        assert model.system_reliability() == pytest.approx(0.9 * 0.99 * 0.8)
+
+    def test_non_stochastic_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            WangModel(
+                states=[WangState("s", (0.9,))],
+                transitions=[("s", "C", 0.5, 1.0)],
+                initial="s",
+            )
+
+    def test_duplicate_state_names_rejected(self):
+        with pytest.raises(ModelError):
+            WangModel(
+                states=[WangState("s", (0.9,)), WangState("s", (0.8,))],
+                transitions=[("s", "C", 1.0, 1.0)],
+                initial="s",
+            )

@@ -1,0 +1,97 @@
+"""Unit tests for the assembly -> baseline adapters (executable section 5)."""
+
+import pytest
+
+from repro.baselines import (
+    cheung_from_assembly,
+    path_based_from_assembly,
+    wang_from_assembly,
+)
+from repro.core import ReliabilityEvaluator
+from repro.errors import EvaluationError
+from repro.scenarios import (
+    booking_assembly,
+    local_assembly,
+    remote_assembly,
+    replicated_assembly,
+)
+
+ACTUALS = {"elem": 1, "list": 100, "res": 1}
+
+
+class TestAgreementWithoutSharing:
+    """Where the baselines' assumptions hold (no sharing), all models must
+    coincide with the paper's — they analyze the same Markov structure."""
+
+    @pytest.mark.parametrize("build", [local_assembly, remote_assembly])
+    def test_cheung_matches(self, build):
+        assembly = build()
+        ours = ReliabilityEvaluator(assembly).pfail("search", **ACTUALS)
+        baseline = cheung_from_assembly(assembly, "search", **ACTUALS)
+        assert baseline.system_unreliability() == pytest.approx(ours, rel=1e-10)
+
+    @pytest.mark.parametrize("build", [local_assembly, remote_assembly])
+    def test_path_based_matches_on_acyclic_flow(self, build):
+        assembly = build()
+        ours = ReliabilityEvaluator(assembly).pfail("search", **ACTUALS)
+        baseline = path_based_from_assembly(assembly, "search", **ACTUALS)
+        assert baseline.system_unreliability() == pytest.approx(ours, rel=1e-10)
+
+    @pytest.mark.parametrize("build", [local_assembly, remote_assembly])
+    def test_wang_matches(self, build):
+        assembly = build()
+        ours = ReliabilityEvaluator(assembly).pfail("search", **ACTUALS)
+        baseline = wang_from_assembly(assembly, "search", **ACTUALS)
+        assert baseline.system_unreliability() == pytest.approx(ours, rel=1e-10)
+
+    def test_all_agree_on_or_without_sharing(self):
+        assembly = replicated_assembly(3, shared=False)
+        ours = ReliabilityEvaluator(assembly).pfail("report", size=500)
+        for adapter in (cheung_from_assembly, wang_from_assembly):
+            assert adapter(assembly, "report", size=500).system_unreliability() == (
+                pytest.approx(ours, rel=1e-9)
+            )
+
+
+class TestDivergenceUnderSharing:
+    """The paper's differentiator: baselines hard-wire no-sharing and are
+    optimistic on shared OR states."""
+
+    def test_baselines_underestimate_shared_or_unreliability(self):
+        assembly = replicated_assembly(3, shared=True)
+        ours = ReliabilityEvaluator(assembly).pfail("report", size=500)
+        for adapter in (
+            cheung_from_assembly,
+            path_based_from_assembly,
+            wang_from_assembly,
+        ):
+            baseline = adapter(assembly, "report", size=500).system_unreliability()
+            assert baseline < ours
+
+    def test_shared_gds_booking_divergence(self):
+        assembly = booking_assembly(shared_gds=True)
+        ours = ReliabilityEvaluator(assembly).pfail("booking", itinerary=5)
+        baseline = cheung_from_assembly(
+            assembly, "booking", itinerary=5
+        ).system_unreliability()
+        assert baseline < ours
+
+    def test_divergence_vanishes_without_sharing(self):
+        assembly = booking_assembly(shared_gds=False)
+        ours = ReliabilityEvaluator(assembly).pfail("booking", itinerary=5)
+        baseline = cheung_from_assembly(
+            assembly, "booking", itinerary=5
+        ).system_unreliability()
+        assert baseline == pytest.approx(ours, rel=1e-9)
+
+
+class TestAdapterValidation:
+    def test_simple_service_rejected(self):
+        with pytest.raises(EvaluationError):
+            cheung_from_assembly(local_assembly(), "cpu1", N=1)
+
+    def test_path_based_threshold_forwarded(self):
+        model = path_based_from_assembly(
+            local_assembly(), "search", mass_threshold=1e-6, **ACTUALS
+        )
+        assert model.mass_threshold == 1e-6

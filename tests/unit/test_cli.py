@@ -1,0 +1,214 @@
+"""Unit tests for the CLI (the section 5 'prediction engine' binding)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import ReliabilityEvaluator
+from repro.scenarios import local_assembly
+
+
+@pytest.fixture
+def local_file(tmp_path):
+    path = tmp_path / "local.json"
+    assert main(["export-scenario", "local", "-o", str(path)]) == 0
+    return str(path)
+
+
+@pytest.fixture
+def remote_file(tmp_path):
+    path = tmp_path / "remote.json"
+    assert main(["export-scenario", "remote", "-o", str(path)]) == 0
+    return str(path)
+
+
+class TestExportScenario:
+    def test_writes_valid_json(self, local_file):
+        from pathlib import Path
+
+        data = json.loads(Path(local_file).read_text())
+        assert data["schema"] == "repro/1"
+        assert data["name"] == "local"
+
+    def test_stdout_mode(self, capsys):
+        assert main(["export-scenario", "shared-db"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["name"] == "shared-db"
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["export-scenario", "nonexistent"])
+        assert excinfo.value.code == 2
+
+
+class TestValidate:
+    def test_valid_assembly(self, local_file, capsys):
+        assert main(["validate", local_file]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_assembly_exits_nonzero(self, tmp_path, capsys):
+        broken = {
+            "schema": "repro/1",
+            "name": "broken",
+            "services": [
+                {
+                    "kind": "composite", "name": "app",
+                    "interface": {"parameters": [{"name": "n"}]},
+                    "flow": {
+                        "formals": ["n"],
+                        "states": [
+                            {"name": "s",
+                             "requests": [{"target": "missing",
+                                           "actuals": {}}]}
+                        ],
+                        "transitions": [
+                            {"source": "Start", "target": "s", "probability": 1},
+                            {"source": "s", "target": "End", "probability": 1},
+                        ],
+                    },
+                }
+            ],
+            "bindings": [],
+        }
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(broken))
+        assert main(["validate", str(path)]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/does/not/exist.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_matches_library(self, local_file, capsys):
+        assert main(
+            ["evaluate", local_file, "search",
+             "--set", "elem=1", "list=500", "res=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        expected = ReliabilityEvaluator(local_assembly()).pfail(
+            "search", elem=1, list=500, res=1
+        )
+        assert f"{expected:.9e}" in out
+
+    def test_report_mode(self, local_file, capsys):
+        assert main(
+            ["evaluate", local_file, "search", "--report",
+             "--set", "elem=1", "list=500", "res=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "state" in out and "sort" in out
+
+    def test_bad_binding_syntax(self, local_file, capsys):
+        assert main(
+            ["evaluate", local_file, "search", "--set", "elem"]
+        ) == 1
+        assert "name=value" in capsys.readouterr().err
+
+    def test_non_numeric_binding(self, local_file, capsys):
+        assert main(
+            ["evaluate", local_file, "search", "--set", "elem=abc"]
+        ) == 1
+
+    def test_missing_actuals_reported(self, local_file, capsys):
+        assert main(["evaluate", local_file, "search"]) == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_fixed_point_flag_on_recursive_assembly(self, tmp_path, capsys):
+        from repro.dsl import dump_assembly
+        from repro.scenarios import recursive_assembly
+
+        path = tmp_path / "recursive.json"
+        path.write_text(dump_assembly(recursive_assembly()))
+        # the default evaluator refuses
+        assert main(["evaluate", str(path), "A", "--set", "size=1"]) == 1
+        assert "cyclic" in capsys.readouterr().err
+        # the fixed-point engine solves it
+        assert main(
+            ["evaluate", str(path), "A", "--fixed-point", "--set", "size=1"]
+        ) == 0
+
+
+class TestClosedForm:
+    def test_derives_expression(self, local_file, capsys):
+        assert main(["closed-form", local_file, "search"]) == 0
+        out = capsys.readouterr().out
+        assert "log2(list)" in out
+
+    def test_symbolic_attributes(self, local_file, capsys):
+        assert main(
+            ["closed-form", local_file, "search", "--symbolic-attributes"]
+        ) == 0
+        assert "sort1::software_failure_rate" in capsys.readouterr().out
+
+
+class TestSweepAndCompare:
+    def test_sweep(self, local_file, capsys):
+        assert main(
+            ["sweep", local_file, "search", "list",
+             "--from", "1", "--to", "1000", "--points", "5",
+             "--set", "elem=1", "res=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reliability vs list" in out
+
+    def test_compare_reports_crossover(self, local_file, remote_file, capsys):
+        assert main(
+            ["compare", local_file, remote_file, "search", "list",
+             "--from", "1", "--to", "1000", "--points", "30",
+             "--set", "elem=1", "res=1"]
+        ) == 0
+        assert "ranking flips" in capsys.readouterr().out
+
+
+class TestInvocationsAndSimulate:
+    def test_invocations(self, local_file, capsys):
+        assert main(
+            ["invocations", local_file, "search",
+             "--set", "elem=1", "list=500", "res=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cpu1" in out and "expected invocations" in out
+
+    def test_simulate(self, local_file, capsys):
+        assert main(
+            ["simulate", local_file, "search", "--trials", "500",
+             "--seed", "1", "--set", "elem=1", "list=500", "res=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Wilson" in out
+
+
+class TestUncertainty:
+    def test_reports_interval_and_contributions(self, remote_file, capsys):
+        assert main(
+            ["uncertainty", remote_file, "search",
+             "--relative-std", "0.2", "--samples", "2000", "--seed", "1",
+             "--set", "elem=1", "list=500", "res=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "95% interval" in out
+        assert "variance contributions" in out
+        assert "net12::failure_rate" in out
+
+
+class TestDescribe:
+    def test_renders_assembly_and_flows(self, local_file, capsys):
+        assert main(["describe", local_file]) == 0
+        out = capsys.readouterr().out
+        assert "assembly 'local'" in out
+        assert "flow of 'search'" in out
+
+
+class TestPerformance:
+    def test_reports_duration_and_breakdown(self, local_file, capsys):
+        assert main(
+            ["performance", local_file, "search",
+             "--set", "elem=1", "list=500", "res=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "E[T](search)" in out
+        assert "per-state breakdown" in out
+        assert "sort" in out

@@ -1,0 +1,82 @@
+"""Unit tests for the fixed-point evaluator (recursive assemblies)."""
+
+import pytest
+
+from repro.core import FixedPointEvaluator, ReliabilityEvaluator
+from repro.errors import FixedPointDivergenceError
+from repro.scenarios import (
+    RecursiveParameters,
+    closed_form_pfail,
+    local_assembly,
+    recursive_assembly,
+)
+
+
+class TestAcyclicEquivalence:
+    def test_matches_recursive_evaluator_on_acyclic_assembly(self):
+        assembly = local_assembly()
+        recursive = ReliabilityEvaluator(assembly)
+        fixed = FixedPointEvaluator(assembly)
+        for n in (10, 100, 1000):
+            assert fixed.pfail("search", elem=1, list=n, res=1) == pytest.approx(
+                recursive.pfail("search", elem=1, list=n, res=1), rel=1e-15
+            )
+
+    def test_acyclic_converges_in_one_sweep(self):
+        fixed = FixedPointEvaluator(local_assembly())
+        fixed.pfail("search", elem=1, list=10, res=1)
+        assert fixed.iterations_used == 1
+
+
+class TestCyclicAssemblies:
+    def test_matches_algebraic_fixed_point(self):
+        params = RecursiveParameters()
+        evaluator = FixedPointEvaluator(recursive_assembly(params))
+        exact_a, exact_b = closed_form_pfail(params)
+        assert evaluator.pfail("A", size=1) == pytest.approx(exact_a, abs=1e-10)
+        assert evaluator.pfail("B", size=1) == pytest.approx(exact_b, abs=1e-10)
+
+    @pytest.mark.parametrize("r", [0.0, 0.1, 0.5, 0.9, 0.99])
+    def test_across_recursion_probabilities(self, r):
+        params = RecursiveParameters(recursion_probability=r)
+        evaluator = FixedPointEvaluator(recursive_assembly(params), tolerance=1e-14)
+        exact_a, _ = closed_form_pfail(params)
+        assert evaluator.pfail("A", size=1) == pytest.approx(exact_a, abs=1e-9)
+
+    def test_kleene_iteration_is_monotone_from_below(self):
+        """Each sweep's estimate must not exceed the limit (least fixed
+        point reached from 0)."""
+        params = RecursiveParameters(recursion_probability=0.8)
+        exact_a, _ = closed_form_pfail(params)
+        evaluator = FixedPointEvaluator(recursive_assembly(params), tolerance=1e-15)
+        value = evaluator.pfail("A", size=1)
+        assert value <= exact_a + 1e-12
+
+    def test_deep_recursion_uses_multiple_sweeps(self):
+        params = RecursiveParameters(recursion_probability=0.9)
+        evaluator = FixedPointEvaluator(recursive_assembly(params))
+        evaluator.pfail("A", size=1)
+        assert evaluator.iterations_used > 3
+
+    def test_iteration_cap_raises(self):
+        params = RecursiveParameters(recursion_probability=0.99)
+        evaluator = FixedPointEvaluator(
+            recursive_assembly(params), max_iterations=2, tolerance=1e-15
+        )
+        with pytest.raises(FixedPointDivergenceError):
+            evaluator.pfail("A", size=1)
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(FixedPointDivergenceError):
+            FixedPointEvaluator(recursive_assembly(), tolerance=0.0)
+
+    def test_result_is_probability(self):
+        evaluator = FixedPointEvaluator(recursive_assembly())
+        value = evaluator.pfail("A", size=1)
+        assert 0.0 <= value <= 1.0
+
+    def test_repeated_queries_consistent(self):
+        evaluator = FixedPointEvaluator(recursive_assembly())
+        first = evaluator.pfail("A", size=1)
+        second = evaluator.pfail("A", size=1)
+        assert first == pytest.approx(second, abs=1e-12)

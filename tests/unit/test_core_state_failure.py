@@ -1,0 +1,173 @@
+"""Unit tests for the per-state failure math (equations 4-13)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    and_no_sharing,
+    and_sharing,
+    external_failure_probability,
+    or_no_sharing,
+    or_sharing,
+    poisson_binomial_below,
+    request_failure_probability,
+    state_failure_probability,
+)
+from repro.errors import ModelError, ProbabilityRangeError
+from repro.model import AND, OR, KOfNCompletion
+
+
+class TestEquation8And13:
+    def test_request_failure_combines_independent_causes(self):
+        # 1 - (1-0.1)(1-0.2) = 0.28
+        assert request_failure_probability(0.1, 0.2) == pytest.approx(0.28)
+
+    def test_external_combines_service_and_connector(self):
+        assert external_failure_probability(0.1, 0.2) == pytest.approx(0.28)
+
+    def test_zero_everything_never_fails(self):
+        assert request_failure_probability(0.0, 0.0) == 0.0
+
+    def test_certain_failure_dominates(self):
+        assert request_failure_probability(1.0, 0.0) == 1.0
+        assert external_failure_probability(0.0, 1.0) == 1.0
+
+    def test_range_violations_rejected(self):
+        with pytest.raises(ProbabilityRangeError):
+            request_failure_probability(1.2, 0.0)
+        with pytest.raises(ProbabilityRangeError):
+            external_failure_probability(0.0, -0.2)
+
+    def test_array_broadcast(self):
+        out = request_failure_probability(np.array([0.0, 0.1]), 0.5)
+        np.testing.assert_allclose(out, [0.5, 0.55])
+
+
+class TestPoissonBinomial:
+    def test_all_or_nothing(self):
+        probs = [0.9, 0.8, 0.7]
+        # P(fewer than 3 succeed) = 1 - prod
+        assert poisson_binomial_below(probs, 3) == pytest.approx(1 - 0.9 * 0.8 * 0.7)
+
+    def test_below_one_is_all_fail(self):
+        probs = [0.9, 0.8]
+        assert poisson_binomial_below(probs, 1) == pytest.approx(0.1 * 0.2)
+
+    def test_below_zero_is_zero(self):
+        assert poisson_binomial_below([0.5], 0) == 0.0
+
+    def test_no_trials_with_requirement(self):
+        assert poisson_binomial_below([], 1) == 1.0
+
+    def test_two_of_three_closed_form(self):
+        p = [0.9, 0.8, 0.7]
+        # P(<2) = P(0) + P(1)
+        p0 = 0.1 * 0.2 * 0.3
+        p1 = 0.9 * 0.2 * 0.3 + 0.1 * 0.8 * 0.3 + 0.1 * 0.2 * 0.7
+        assert poisson_binomial_below(p, 2) == pytest.approx(p0 + p1)
+
+    def test_out_of_range_k_rejected(self):
+        with pytest.raises(ModelError):
+            poisson_binomial_below([0.5], 3)
+
+    def test_matches_binomial_for_equal_probs(self):
+        from math import comb
+
+        p, n, k = 0.6, 6, 4
+        expected = sum(
+            comb(n, j) * p**j * (1 - p) ** (n - j) for j in range(k)
+        )
+        assert poisson_binomial_below([p] * n, k) == pytest.approx(expected)
+
+
+class TestClosedFormsAgainstEngine:
+    """The general engine must reproduce the paper's printed equations."""
+
+    INTERNAL = [0.01, 0.03, 0.002]
+    EXTERNAL = [0.05, 0.001, 0.02]
+
+    def test_and_no_sharing_is_eq6(self):
+        engine = state_failure_probability(AND, False, self.INTERNAL, self.EXTERNAL)
+        closed = and_no_sharing(self.INTERNAL, self.EXTERNAL)
+        assert engine == pytest.approx(closed, rel=1e-14)
+
+    def test_or_no_sharing_is_eq7(self):
+        engine = state_failure_probability(OR, False, self.INTERNAL, self.EXTERNAL)
+        closed = or_no_sharing(self.INTERNAL, self.EXTERNAL)
+        assert engine == pytest.approx(closed, rel=1e-14)
+
+    def test_and_sharing_is_eq11(self):
+        engine = state_failure_probability(AND, True, self.INTERNAL, self.EXTERNAL)
+        closed = and_sharing(self.INTERNAL, self.EXTERNAL)
+        assert engine == pytest.approx(closed, rel=1e-14)
+
+    def test_or_sharing_is_eq12(self):
+        engine = state_failure_probability(OR, True, self.INTERNAL, self.EXTERNAL)
+        closed = or_sharing(self.INTERNAL, self.EXTERNAL)
+        assert engine == pytest.approx(closed, rel=1e-14)
+
+    def test_paper_identity_and_insensitive_to_sharing(self):
+        """Section 3.2: eq. (11) reduces to eq. (6)."""
+        assert and_sharing(self.INTERNAL, self.EXTERNAL) == pytest.approx(
+            and_no_sharing(self.INTERNAL, self.EXTERNAL), rel=1e-14
+        )
+
+    def test_paper_inequality_or_sharing_hurts(self):
+        """Section 3.2: sharing destroys OR redundancy (strictly, whenever
+        external failures are possible and internal ones not certain)."""
+        assert or_sharing(self.INTERNAL, self.EXTERNAL) > or_no_sharing(
+            self.INTERNAL, self.EXTERNAL
+        )
+
+
+class TestStateFailureEdgeCases:
+    def test_empty_state_never_fails(self):
+        assert state_failure_probability(AND, False, [], []) == 0.0
+
+    def test_single_request_and_or_coincide(self):
+        for shared in (False,):
+            a = state_failure_probability(AND, shared, [0.1], [0.2])
+            o = state_failure_probability(OR, shared, [0.1], [0.2])
+            assert a == pytest.approx(o)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            state_failure_probability(AND, False, [0.1], [])
+
+    def test_k_of_n_between_and_and_or(self):
+        internal = [0.02, 0.05, 0.01, 0.04]
+        external = [0.03, 0.02, 0.06, 0.01]
+        p_or = state_failure_probability(OR, False, internal, external)
+        p_2of4 = state_failure_probability(
+            KOfNCompletion(2), False, internal, external
+        )
+        p_3of4 = state_failure_probability(
+            KOfNCompletion(3), False, internal, external
+        )
+        p_and = state_failure_probability(AND, False, internal, external)
+        assert p_or < p_2of4 < p_3of4 < p_and
+
+    def test_k_of_n_sharing_reduces_to_and_or_limits(self):
+        internal = [0.02, 0.05, 0.01]
+        external = [0.03, 0.02, 0.06]
+        assert state_failure_probability(
+            KOfNCompletion(3), True, internal, external
+        ) == pytest.approx(and_sharing(internal, external), rel=1e-14)
+        assert state_failure_probability(
+            KOfNCompletion(1), True, internal, external
+        ) == pytest.approx(or_sharing(internal, external), rel=1e-14)
+
+    def test_certain_external_failure_with_sharing_kills_state(self):
+        assert state_failure_probability(OR, True, [0.0, 0.0], [0.0, 1.0]) == 1.0
+
+    def test_certain_external_failure_without_sharing_survivable(self):
+        value = state_failure_probability(OR, False, [0.0, 0.0], [0.0, 1.0])
+        assert value == 0.0  # the other replica still succeeds
+
+    def test_vectorized_inputs(self):
+        internal = [np.array([0.0, 0.01]), 0.02]
+        external = [0.03, np.array([0.0, 0.04])]
+        out = state_failure_probability(OR, False, internal, external)
+        assert out.shape == (2,)
+        scalar0 = state_failure_probability(OR, False, [0.0, 0.02], [0.03, 0.0])
+        np.testing.assert_allclose(out[0], scalar0)

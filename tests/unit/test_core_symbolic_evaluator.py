@@ -1,0 +1,143 @@
+"""Unit tests for the symbolic (closed-form) evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ReliabilityEvaluator,
+    SymbolicEvaluator,
+    attribute_environment,
+    attribute_symbol,
+)
+from repro.errors import CyclicAssemblyError
+from repro.model import (
+    Assembly,
+    CpuResource,
+    FlowBuilder,
+    ServiceRequest,
+    perfect_connector,
+)
+from repro.model.parameters import FormalParameter
+from repro.model.service import AnalyticInterface, CompositeService
+from repro.scenarios import local_assembly, recursive_assembly, remote_assembly
+from repro.symbolic import Environment, Parameter
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("build", [local_assembly, remote_assembly])
+    def test_matches_numeric_evaluator(self, build):
+        assembly = build()
+        symbolic = SymbolicEvaluator(assembly).pfail_expression("search")
+        numeric = ReliabilityEvaluator(assembly, check_domains=False)
+        for n in (1, 7, 64, 311, 1000):
+            env = {"elem": 1.0, "list": float(n), "res": 1.0}
+            assert symbolic.evaluate(env) == pytest.approx(
+                numeric.pfail("search", **env), rel=1e-12, abs=1e-15
+            )
+
+    def test_expression_over_formals_only(self):
+        expr = SymbolicEvaluator(local_assembly()).pfail_expression("search")
+        assert expr.free_parameters() <= {"elem", "list", "res"}
+
+    def test_vectorized_evaluation(self):
+        expr = SymbolicEvaluator(local_assembly()).pfail_expression("search")
+        grid = np.linspace(1, 1000, 50)
+        out = expr.evaluate({"elem": 1.0, "list": grid, "res": 1.0})
+        assert out.shape == grid.shape
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_simple_service_attribute_substitution(self):
+        assembly = local_assembly()
+        expr = SymbolicEvaluator(assembly).pfail_expression("cpu1")
+        # closed form of eq. (1) with lambda/s substituted numerically
+        assert expr.free_parameters() == {"N"}
+        assert expr.evaluate({"N": 0.0}) == pytest.approx(0.0)
+
+    def test_reliability_expression_complements(self):
+        evaluator = SymbolicEvaluator(local_assembly())
+        pfail = evaluator.pfail_expression("search")
+        reliability = evaluator.reliability_expression("search")
+        env = {"elem": 1.0, "list": 100.0, "res": 1.0}
+        assert reliability.evaluate(env) == pytest.approx(1 - pfail.evaluate(env))
+
+    def test_memoized_per_service(self):
+        evaluator = SymbolicEvaluator(local_assembly())
+        first = evaluator.pfail_expression("search")
+        second = evaluator.pfail_expression("search")
+        assert first is second
+
+    def test_cyclic_assembly_rejected(self):
+        evaluator = SymbolicEvaluator(recursive_assembly())
+        with pytest.raises(CyclicAssemblyError):
+            evaluator.pfail_expression("A")
+
+
+class TestSymbolicAttributes:
+    def test_attributes_stay_free(self):
+        evaluator = SymbolicEvaluator(local_assembly(), symbolic_attributes=True)
+        expr = evaluator.pfail_expression("cpu1")
+        assert attribute_symbol("cpu1", "failure_rate") in expr.free_parameters()
+        assert attribute_symbol("cpu1", "speed") in expr.free_parameters()
+
+    def test_attribute_environment_round_trip(self):
+        assembly = remote_assembly()
+        symbolic = SymbolicEvaluator(assembly, symbolic_attributes=True)
+        expr = symbolic.pfail_expression("search")
+        env = Environment(
+            {**dict(attribute_environment(assembly)),
+             "elem": 1.0, "list": 500.0, "res": 1.0}
+        )
+        numeric = ReliabilityEvaluator(assembly).pfail(
+            "search", elem=1, list=500, res=1
+        )
+        assert expr.evaluate(env) == pytest.approx(numeric, rel=1e-12)
+
+    def test_gamma_dependence_exposed(self):
+        """The remote closed form must depend on the net12 failure rate."""
+        evaluator = SymbolicEvaluator(remote_assembly(), symbolic_attributes=True)
+        expr = evaluator.pfail_expression("search")
+        assert attribute_symbol("net12", "failure_rate") in expr.free_parameters()
+
+
+class TestLoopyFlows:
+    def make_retry_assembly(self, retry=0.3):
+        """A flow with a loop: work -> work with probability `retry`."""
+        flow = (
+            FlowBuilder(formals=("n",))
+            .state("work", [ServiceRequest("cpu", actuals={"N": Parameter("n")})])
+            .transition("Start", "work", 1)
+            .transition("work", "work", retry)
+            .transition("work", "End", 1 - retry)
+            .build()
+        )
+        app = CompositeService(
+            "app",
+            AnalyticInterface(formal_parameters=(FormalParameter("n"),)),
+            flow,
+        )
+        assembly = Assembly("retry")
+        assembly.add_services(
+            app, CpuResource("cpu1", 1e4, 1e-3).service(), perfect_connector("loc")
+        )
+        assembly.bind("app", "cpu", "cpu1", connector="loc")
+        return assembly
+
+    def test_gaussian_elimination_matches_numeric(self):
+        assembly = self.make_retry_assembly()
+        expr = SymbolicEvaluator(assembly).pfail_expression("app")
+        numeric = ReliabilityEvaluator(assembly)
+        for n in (10, 100, 1000):
+            assert expr.evaluate({"n": float(n)}) == pytest.approx(
+                numeric.pfail("app", n=n), rel=1e-10
+            )
+
+    def test_loop_closed_form(self):
+        """With per-visit failure f and retry r the success probability is
+        the geometric series (1-f)(1-r) / (1 - r(1-f))."""
+        retry = 0.3
+        assembly = self.make_retry_assembly(retry)
+        expr = SymbolicEvaluator(assembly).pfail_expression("app")
+        n = 500.0
+        f = ReliabilityEvaluator(assembly).pfail("cpu1", N=n)
+        expected_success = (1 - f) * (1 - retry) / (1 - retry * (1 - f))
+        assert expr.evaluate({"n": n}) == pytest.approx(1 - expected_success, rel=1e-10)

@@ -1,0 +1,148 @@
+"""Unit tests for the DSL serialization layer."""
+
+import json
+
+import pytest
+
+from repro.dsl import (
+    SCHEMA_VERSION,
+    assembly_from_dict,
+    assembly_to_dict,
+    dump_assembly,
+    load_assembly,
+    service_from_dict,
+    service_to_dict,
+)
+from repro.errors import ModelError
+from repro.model import CpuResource, KOfNCompletion, perfect_connector
+from repro.scenarios import (
+    booking_assembly,
+    local_assembly,
+    pipeline_assembly,
+    remote_assembly,
+)
+
+
+class TestServiceSerialization:
+    def test_simple_service_round_trip(self):
+        original = CpuResource("cpu1", 1e6, 1e-7).service()
+        data = service_to_dict(original)
+        assert data["schema"] == SCHEMA_VERSION
+        rebuilt = service_from_dict(data)
+        assert rebuilt.name == "cpu1"
+        assert rebuilt.pfail(N=1000) == original.pfail(N=1000)
+        assert rebuilt.interface.attributes == original.interface.attributes
+
+    def test_connector_flag_round_trips(self):
+        original = perfect_connector("loc1")
+        rebuilt = service_from_dict(service_to_dict(original))
+        assert rebuilt.is_connector
+
+    def test_composite_service_round_trip(self):
+        assembly = local_assembly()
+        original = assembly.service("search")
+        rebuilt = service_from_dict(service_to_dict(original))
+        assert rebuilt.requirements() == original.requirements()
+        assert [s.name for s in rebuilt.flow.states] == [
+            s.name for s in original.flow.states
+        ]
+
+    def test_completion_models_round_trip(self):
+        assembly = pipeline_assembly()
+        publish = assembly.service("publish")
+        rebuilt = service_from_dict(service_to_dict(publish))
+        deliver = rebuilt.flow.state("deliver")
+        assert isinstance(deliver.completion, KOfNCompletion)
+        assert deliver.completion.k == 2
+
+    def test_sharing_flag_round_trips(self):
+        assembly = pipeline_assembly()
+        rebuilt = service_from_dict(service_to_dict(assembly.service("transcode")))
+        assert rebuilt.flow.state("encode").shared
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError):
+            service_from_dict({"kind": "quantum", "name": "q"})
+
+
+class TestExpressionForms:
+    def test_string_expressions_accepted(self):
+        data = {
+            "kind": "simple",
+            "name": "widget",
+            "interface": {
+                "parameters": [{"name": "n", "domain": {"kind": "integer", "low": 0}}],
+                "attributes": {"rate": 0.001},
+            },
+            "failure_probability": "1 - (1 - rate) ** n",
+        }
+        service = service_from_dict(data)
+        assert service.pfail(n=10) == pytest.approx(1 - 0.999**10)
+
+    def test_numeric_literal_expressions_accepted(self):
+        data = {
+            "kind": "simple",
+            "name": "flaky",
+            "interface": {"parameters": []},
+            "failure_probability": 0.25,
+        }
+        assert service_from_dict(data).pfail() == 0.25
+
+    def test_bad_expression_rejected(self):
+        with pytest.raises(ModelError):
+            service_from_dict(
+                {
+                    "kind": "simple",
+                    "name": "x",
+                    "interface": {},
+                    "failure_probability": ["not", "an", "expr"],
+                }
+            )
+
+
+class TestAssemblySerialization:
+    @pytest.mark.parametrize(
+        "build", [local_assembly, remote_assembly, booking_assembly, pipeline_assembly]
+    )
+    def test_round_trip_preserves_semantics(self, build):
+        from repro.core import ReliabilityEvaluator
+
+        original = build()
+        rebuilt = assembly_from_dict(assembly_to_dict(original))
+        assert rebuilt.name == original.name
+        assert {s.name for s in rebuilt.services} == {
+            s.name for s in original.services
+        }
+        top = {
+            "local": ("search", {"elem": 1, "list": 300, "res": 1}),
+            "remote": ("search", {"elem": 1, "list": 300, "res": 1}),
+            "booking": ("booking", {"itinerary": 4}),
+            "media-pipeline": ("publish", {"mb": 50}),
+        }[original.name]
+        service, actuals = top
+        assert ReliabilityEvaluator(rebuilt).pfail(service, **actuals) == (
+            ReliabilityEvaluator(original).pfail(service, **actuals)
+        )
+
+    def test_json_text_round_trip(self):
+        original = local_assembly()
+        text = dump_assembly(original)
+        json.loads(text)  # valid JSON
+        rebuilt = load_assembly(text)
+        assert {b.slot for b in rebuilt.bindings} == {
+            b.slot for b in original.bindings
+        }
+
+    def test_infinity_bounds_serialized_as_null(self):
+        data = assembly_to_dict(local_assembly())
+        text = json.dumps(data)  # would raise on raw inf with allow_nan=False
+        assert "Infinity" not in text
+
+    def test_binding_connector_actuals_round_trip(self):
+        original = local_assembly()
+        rebuilt = assembly_from_dict(assembly_to_dict(original))
+        binding = rebuilt.binding("search", "sort")
+        assert set(binding.connector_actuals) == {"ip", "op"}
+        assert binding.connector_actuals["ip"].evaluate(
+            {"elem": 2.0, "list": 5.0}
+        ) == 7.0

@@ -1,0 +1,192 @@
+"""Unit tests for the error-masking (propagation) extension.
+
+The paper's section 6 lists releasing the fail-stop assumption "to deal
+also with error propagation aspects" as future work.  The extension gives
+each request a masking probability ``m``: a failed request still counts as
+fulfilled with probability ``m``.  ``m = 0`` is exactly the paper's
+semantics — asserted everywhere below — and under sharing a masked
+external failure still destroys the shared service for *other* requests.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ReliabilityEvaluator,
+    SymbolicEvaluator,
+    or_sharing,
+    state_failure_probability,
+)
+from repro.errors import ModelError
+from repro.model import (
+    OR,
+    AND,
+    AnalyticInterface,
+    Assembly,
+    CompositeService,
+    FlowBuilder,
+    ServiceRequest,
+    SimpleService,
+    perfect_connector,
+)
+from repro.simulation import MonteCarloSimulator
+from repro.symbolic import Constant
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestStateFailureWithMasking:
+    INTERNAL = [0.05, 0.02]
+    EXTERNAL = [0.1, 0.03]
+
+    def test_zero_masking_is_paper_semantics(self):
+        for shared in (False, True):
+            for completion in (AND, OR):
+                base = state_failure_probability(
+                    completion, shared, self.INTERNAL, self.EXTERNAL
+                )
+                masked = state_failure_probability(
+                    completion, shared, self.INTERNAL, self.EXTERNAL, [0.0, 0.0]
+                )
+                assert masked == pytest.approx(base, abs=1e-15)
+
+    def test_full_masking_never_fails(self):
+        for shared in (False, True):
+            value = state_failure_probability(
+                AND, shared, self.INTERNAL, self.EXTERNAL, [1.0, 1.0]
+            )
+            assert value == pytest.approx(0.0, abs=1e-12)
+
+    def test_masking_monotone(self):
+        values = [
+            state_failure_probability(
+                AND, False, self.INTERNAL, self.EXTERNAL, [m, m]
+            )
+            for m in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        for lower, higher in zip(values[1:], values):
+            assert lower <= higher + 1e-12
+
+    def test_masking_restores_or_redundancy_under_sharing(self):
+        """The practical point of masking: a caller that absorbs the
+        shared service's failure recovers part of the eq. (12) loss."""
+        unmasked = state_failure_probability(
+            OR, True, self.INTERNAL, self.EXTERNAL
+        )
+        masked = state_failure_probability(
+            OR, True, self.INTERNAL, self.EXTERNAL, [0.5, 0.5]
+        )
+        assert masked < unmasked
+
+    def test_closed_form_single_request(self):
+        """n=1: p = (1-m) * (1 - (1-pi)(1-pe)) exactly."""
+        pi, pe, m = 0.1, 0.2, 0.3
+        expected = (1 - m) * (1 - (1 - pi) * (1 - pe))
+        assert state_failure_probability(
+            AND, False, [pi], [pe], [m]
+        ) == pytest.approx(expected, abs=1e-15)
+
+    def test_sharing_or_closed_form(self):
+        """n=2 shared OR with masking m: p = (1-noext)*prod(1-m_j)
+        + noext * prod((1-m_j) pi_j)."""
+        pi = [0.2, 0.3]
+        pe = [0.1, 0.05]
+        m = [0.4, 0.6]
+        no_ext = (1 - pe[0]) * (1 - pe[1])
+        under_ext = (1 - m[0]) * (1 - m[1])
+        internal_only = (1 - m[0]) * pi[0] * (1 - m[1]) * pi[1]
+        expected = (1 - no_ext) * under_ext + no_ext * internal_only
+        assert state_failure_probability(
+            OR, True, pi, pe, m
+        ) == pytest.approx(expected, abs=1e-15)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            state_failure_probability(AND, False, [0.1], [0.1], [0.1, 0.2])
+
+    @given(
+        st.lists(probabilities, min_size=2, max_size=4),
+        st.lists(probabilities, min_size=2, max_size=4),
+        st.lists(probabilities, min_size=2, max_size=4),
+    )
+    @settings(max_examples=200)
+    def test_masking_never_hurts(self, internal, external, masking):
+        n = min(len(internal), len(external), len(masking))
+        internal, external, masking = internal[:n], external[:n], masking[:n]
+        base = state_failure_probability(OR, True, internal, external)
+        masked = state_failure_probability(OR, True, internal, external, masking)
+        assert masked <= base + 1e-12
+
+
+def masked_assembly(masking: float, shared: bool = True) -> Assembly:
+    """Two OR-redundant requests to one flaky provider, with masking."""
+    flow = (
+        FlowBuilder(formals=())
+        .state(
+            "q",
+            [
+                ServiceRequest(
+                    "db", actuals={}, internal_failure=Constant(0.05),
+                    masking=Constant(masking),
+                )
+                for _ in range(2)
+            ],
+            completion=OR,
+            shared=shared,
+        )
+        .sequence("q")
+        .build()
+    )
+    app = CompositeService("app", AnalyticInterface(), flow)
+    assembly = Assembly(f"masked-{masking}")
+    assembly.add_services(
+        app,
+        SimpleService("db", AnalyticInterface(), Constant(0.2)),
+        perfect_connector("loc"),
+    )
+    assembly.bind("app", "db", "db", connector="loc")
+    return assembly
+
+
+class TestMaskingThroughTheStack:
+    def test_evaluator_closed_form(self):
+        pfail = ReliabilityEvaluator(masked_assembly(0.5)).pfail("app")
+        expected = state_failure_probability(
+            OR, True, [0.05, 0.05], [0.2, 0.2], [0.5, 0.5]
+        )
+        assert pfail == pytest.approx(expected, abs=1e-12)
+
+    def test_symbolic_matches_numeric(self):
+        for masking in (0.0, 0.3, 0.9):
+            assembly = masked_assembly(masking)
+            numeric = ReliabilityEvaluator(assembly).pfail("app")
+            expression = SymbolicEvaluator(assembly).pfail_expression("app")
+            assert float(expression.evaluate({})) == pytest.approx(
+                numeric, abs=1e-12
+            )
+
+    def test_simulator_consistent(self):
+        for masking in (0.0, 0.5):
+            assembly = masked_assembly(masking)
+            analytic = ReliabilityEvaluator(assembly).pfail("app")
+            result = MonteCarloSimulator(assembly, seed=11).estimate_pfail(
+                "app", 30_000
+            )
+            assert result.consistent_with(analytic), (masking, analytic, result)
+
+    def test_dsl_round_trip_preserves_masking(self):
+        from repro.dsl import dump_assembly, load_assembly
+
+        assembly = masked_assembly(0.42)
+        rebuilt = load_assembly(dump_assembly(assembly))
+        assert ReliabilityEvaluator(rebuilt).pfail("app") == pytest.approx(
+            ReliabilityEvaluator(assembly).pfail("app"), abs=1e-15
+        )
+
+    def test_masking_recovers_reliability_at_assembly_level(self):
+        none = ReliabilityEvaluator(masked_assembly(0.0)).pfail("app")
+        half = ReliabilityEvaluator(masked_assembly(0.5)).pfail("app")
+        full = ReliabilityEvaluator(masked_assembly(1.0)).pfail("app")
+        assert none > half > full
+        assert full == pytest.approx(0.0, abs=1e-12)

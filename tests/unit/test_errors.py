@@ -1,0 +1,92 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CyclicAssemblyError,
+    DuplicateNameError,
+    EvaluationError,
+    ExpressionParseError,
+    FixedPointDivergenceError,
+    InvalidDistributionError,
+    InvalidFlowError,
+    InvalidSharingError,
+    MarkovError,
+    ModelError,
+    NotAbsorbingError,
+    ProbabilityRangeError,
+    ReproError,
+    SymbolicError,
+    UnboundParameterError,
+    UnboundRequirementError,
+    UnknownFunctionError,
+    UnknownServiceError,
+    UnknownStateError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SymbolicError, MarkovError, ModelError, EvaluationError,
+            UnboundParameterError("x"), UnknownFunctionError("f"),
+            ExpressionParseError, InvalidDistributionError,
+            UnknownStateError("s"), NotAbsorbingError,
+            DuplicateNameError("service", "x"), UnknownServiceError("x"),
+            UnboundRequirementError("a", "b"), InvalidFlowError,
+            InvalidSharingError, CyclicAssemblyError(("a", "a")),
+            FixedPointDivergenceError, ProbabilityRangeError("p", 2.0),
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc):
+        instance = exc if isinstance(exc, Exception) else exc("boom")
+        assert isinstance(instance, ReproError)
+
+    def test_layer_bases(self):
+        assert issubclass(UnboundParameterError, SymbolicError)
+        assert issubclass(UnknownFunctionError, SymbolicError)
+        assert issubclass(ExpressionParseError, SymbolicError)
+        assert issubclass(InvalidDistributionError, MarkovError)
+        assert issubclass(UnknownStateError, MarkovError)
+        assert issubclass(NotAbsorbingError, MarkovError)
+        assert issubclass(DuplicateNameError, ModelError)
+        assert issubclass(UnknownServiceError, ModelError)
+        assert issubclass(UnboundRequirementError, ModelError)
+        assert issubclass(InvalidFlowError, ModelError)
+        assert issubclass(InvalidSharingError, ModelError)
+        assert issubclass(CyclicAssemblyError, EvaluationError)
+        assert issubclass(FixedPointDivergenceError, EvaluationError)
+        assert issubclass(ProbabilityRangeError, EvaluationError)
+
+
+class TestPayloads:
+    def test_unbound_parameter_carries_name(self):
+        assert UnboundParameterError("list").name == "list"
+
+    def test_cyclic_assembly_carries_cycle(self):
+        error = CyclicAssemblyError(("a", "b", "a"))
+        assert error.cycle == ("a", "b", "a")
+        assert "a -> b -> a" in str(error)
+        assert "FixedPointEvaluator" in str(error)
+
+    def test_duplicate_name_message(self):
+        error = DuplicateNameError("binding", "app.cpu")
+        assert error.kind == "binding" and error.name == "app.cpu"
+        assert "app.cpu" in str(error)
+
+    def test_unbound_requirement_message(self):
+        error = UnboundRequirementError("search", "sort")
+        assert "search" in str(error) and "sort" in str(error)
+
+    def test_probability_range_carries_value(self):
+        error = ProbabilityRangeError("Pfail", 1.5)
+        assert error.value == 1.5
+        assert "[0, 1]" in str(error)
+
+    def test_one_base_catches_the_library(self):
+        """The API-boundary pattern: one except clause suffices."""
+        from repro.symbolic import Parameter
+
+        with pytest.raises(ReproError):
+            Parameter("x").evaluate({})

@@ -1,0 +1,253 @@
+"""Unit tests for the grouped-sharing extension (section 6's "more complex
+dependencies").
+
+A state's requests partition into dependency groups: within a multi-request
+group, one external failure kills the group (the paper's sharing model);
+distinct groups are independent.  The extension must reduce exactly to the
+paper's two binary cases and agree across the numeric, symbolic and Monte
+Carlo semantics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ReliabilityEvaluator,
+    SymbolicEvaluator,
+    grouped_state_failure_probability,
+    state_failure_probability,
+)
+from repro.errors import InvalidFlowError, InvalidSharingError, ModelError
+from repro.model import (
+    AND,
+    OR,
+    AnalyticInterface,
+    Assembly,
+    CompositeService,
+    FlowBuilder,
+    FlowState,
+    KOfNCompletion,
+    ServiceRequest,
+    SimpleService,
+    perfect_connector,
+)
+from repro.simulation import MonteCarloSimulator
+from repro.symbolic import Constant
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+
+INTERNAL = [0.05, 0.02, 0.04, 0.01]
+EXTERNAL = [0.1, 0.03, 0.07, 0.02]
+
+
+class TestGroupedMath:
+    def test_all_singletons_is_no_sharing(self):
+        groups = [(0,), (1,), (2,), (3,)]
+        for completion in (AND, OR, KOfNCompletion(2)):
+            assert grouped_state_failure_probability(
+                completion, groups, INTERNAL, EXTERNAL
+            ) == pytest.approx(
+                state_failure_probability(completion, False, INTERNAL, EXTERNAL),
+                abs=1e-14,
+            )
+
+    def test_one_full_group_is_the_paper_sharing_model(self):
+        groups = [(0, 1, 2, 3)]
+        for completion in (AND, OR, KOfNCompletion(3)):
+            assert grouped_state_failure_probability(
+                completion, groups, INTERNAL, EXTERNAL
+            ) == pytest.approx(
+                state_failure_probability(completion, True, INTERNAL, EXTERNAL),
+                abs=1e-14,
+            )
+
+    def test_two_pairs_by_hand(self):
+        """Two independent shared pairs under AND: the state survives iff
+        every request survives; by the eq. 11 identity each pair behaves as
+        independent requests, so the whole thing equals no-sharing AND."""
+        groups = [(0, 1), (2, 3)]
+        value = grouped_state_failure_probability(AND, groups, INTERNAL, EXTERNAL)
+        assert value == pytest.approx(
+            state_failure_probability(AND, False, INTERNAL, EXTERNAL), abs=1e-14
+        )
+
+    def test_or_two_pairs_between_extremes(self):
+        """For OR, two shared pairs are worse than full independence but
+        better than one shared group of four."""
+        independent = state_failure_probability(OR, False, INTERNAL, EXTERNAL)
+        paired = grouped_state_failure_probability(
+            OR, [(0, 1), (2, 3)], INTERNAL, EXTERNAL
+        )
+        fully_shared = state_failure_probability(OR, True, INTERNAL, EXTERNAL)
+        assert independent < paired < fully_shared
+
+    def test_or_two_pairs_closed_form(self):
+        """OR fails iff all four requests fail.  With pairs (0,1), (2,3),
+        pair g fails-all with probability
+        ``(1 - noext_g) + noext_g * pi_a * pi_b`` — independence across
+        pairs multiplies them."""
+        def pair_all_fail(a, b):
+            no_ext = (1 - EXTERNAL[a]) * (1 - EXTERNAL[b])
+            return (1 - no_ext) + no_ext * INTERNAL[a] * INTERNAL[b]
+
+        expected = pair_all_fail(0, 1) * pair_all_fail(2, 3)
+        assert grouped_state_failure_probability(
+            OR, [(0, 1), (2, 3)], INTERNAL, EXTERNAL
+        ) == pytest.approx(expected, abs=1e-14)
+
+    def test_masking_supported(self):
+        masked = grouped_state_failure_probability(
+            OR, [(0, 1), (2, 3)], INTERNAL, EXTERNAL, [0.5] * 4
+        )
+        unmasked = grouped_state_failure_probability(
+            OR, [(0, 1), (2, 3)], INTERNAL, EXTERNAL
+        )
+        assert masked < unmasked
+
+    def test_bad_partition_rejected(self):
+        with pytest.raises(ModelError):
+            grouped_state_failure_probability(OR, [(0, 1)], INTERNAL, EXTERNAL)
+        with pytest.raises(ModelError):
+            grouped_state_failure_probability(
+                OR, [(0, 1), (1, 2, 3)], INTERNAL, EXTERNAL
+            )
+
+    @given(
+        st.lists(probabilities, min_size=4, max_size=4),
+        st.lists(probabilities, min_size=4, max_size=4),
+    )
+    @settings(max_examples=200)
+    def test_or_monotone_in_group_coarseness(self, internal, external):
+        """Coarser partitions (more sharing) never help under OR."""
+        fine = grouped_state_failure_probability(
+            OR, [(0,), (1,), (2,), (3,)], internal, external
+        )
+        pairs = grouped_state_failure_probability(
+            OR, [(0, 1), (2, 3)], internal, external
+        )
+        coarse = grouped_state_failure_probability(
+            OR, [(0, 1, 2, 3)], internal, external
+        )
+        assert fine <= pairs + 1e-12
+        assert pairs <= coarse + 1e-12
+
+
+class TestFlowStateGroups:
+    def request(self, target="db"):
+        return ServiceRequest(target, actuals={})
+
+    def test_effective_groups_default(self):
+        state = FlowState("s", (self.request(), self.request()))
+        assert state.effective_groups() == ((0,), (1,))
+
+    def test_effective_groups_shared(self):
+        state = FlowState("s", (self.request(), self.request()), shared=True)
+        assert state.effective_groups() == ((0, 1),)
+
+    def test_explicit_groups(self):
+        state = FlowState(
+            "s",
+            (self.request("a"), self.request("a"), self.request("b")),
+            sharing_groups=((0, 1), (2,)),
+        )
+        assert state.effective_groups() == ((0, 1), (2,))
+
+    def test_shared_and_groups_mutually_exclusive(self):
+        with pytest.raises(InvalidFlowError):
+            FlowState(
+                "s", (self.request(), self.request()),
+                shared=True, sharing_groups=((0, 1),),
+            )
+
+    def test_non_partition_rejected(self):
+        with pytest.raises(InvalidFlowError):
+            FlowState(
+                "s", (self.request(), self.request()),
+                sharing_groups=((0,),),
+            )
+
+    def test_group_target_restriction(self):
+        state = FlowState(
+            "s",
+            (self.request("a"), self.request("b")),
+            sharing_groups=((0, 1),),
+        )
+        with pytest.raises(InvalidSharingError):
+            state.check_sharing_restriction()
+
+
+def grouped_assembly() -> Assembly:
+    """Four OR-redundant queries: two to shared db_a, two to shared db_b."""
+    requests = (
+        [ServiceRequest("db_a", actuals={}, internal_failure=Constant(0.05))] * 2
+        + [ServiceRequest("db_b", actuals={}, internal_failure=Constant(0.02))] * 2
+    )
+    flow = (
+        FlowBuilder(formals=())
+        .state(
+            "query", requests, completion=OR,
+            shared=False,
+        )
+        .sequence("query")
+        .build()
+    )
+    # rebuild the state with explicit groups (FlowBuilder keeps it simple)
+    state = FlowState(
+        "query", tuple(requests), completion=OR,
+        sharing_groups=((0, 1), (2, 3)),
+    )
+    from repro.model.flow import ServiceFlow
+
+    flow = ServiceFlow((), [state], flow.transitions)
+    app = CompositeService("app", AnalyticInterface(), flow)
+    assembly = Assembly("grouped")
+    assembly.add_services(
+        app,
+        SimpleService("db_a", AnalyticInterface(), Constant(0.2)),
+        SimpleService("db_b", AnalyticInterface(), Constant(0.1)),
+        perfect_connector("loc_a"),
+        perfect_connector("loc_b"),
+    )
+    assembly.bind("app", "db_a", "db_a", connector="loc_a")
+    assembly.bind("app", "db_b", "db_b", connector="loc_b")
+    return assembly
+
+
+class TestGroupedThroughTheStack:
+    def test_numeric_evaluator(self):
+        pfail = ReliabilityEvaluator(grouped_assembly()).pfail("app")
+        expected = grouped_state_failure_probability(
+            OR, [(0, 1), (2, 3)],
+            [0.05, 0.05, 0.02, 0.02],
+            [0.2, 0.2, 0.1, 0.1],
+        )
+        assert pfail == pytest.approx(expected, abs=1e-12)
+
+    def test_symbolic_matches_numeric(self):
+        assembly = grouped_assembly()
+        numeric = ReliabilityEvaluator(assembly).pfail("app")
+        expression = SymbolicEvaluator(assembly).pfail_expression("app")
+        assert float(expression.evaluate({})) == pytest.approx(numeric, abs=1e-12)
+
+    def test_simulator_consistent(self):
+        assembly = grouped_assembly()
+        analytic = ReliabilityEvaluator(assembly).pfail("app")
+        result = MonteCarloSimulator(assembly, seed=17).estimate_pfail("app", 40_000)
+        assert result.consistent_with(analytic), (analytic, result)
+
+    def test_dsl_round_trip(self):
+        from repro.dsl import dump_assembly, load_assembly
+
+        assembly = grouped_assembly()
+        rebuilt = load_assembly(dump_assembly(assembly))
+        state = rebuilt.service("app").flow.state("query")
+        assert state.sharing_groups == ((0, 1), (2, 3))
+        assert ReliabilityEvaluator(rebuilt).pfail("app") == pytest.approx(
+            ReliabilityEvaluator(assembly).pfail("app"), abs=1e-15
+        )
+
+    def test_validation_accepts_well_formed_groups(self):
+        from repro.model import validate_assembly
+
+        assert validate_assembly(grouped_assembly()).ok

@@ -1,0 +1,142 @@
+"""Unit tests for absorbing-chain analysis (the eq. 3 engine)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotAbsorbingError, UnknownStateError
+from repro.markov import (
+    AbsorbingChainAnalysis,
+    ChainBuilder,
+    DiscreteTimeMarkovChain,
+    absorption_probability,
+)
+
+
+def fail_end_chain(f: float) -> DiscreteTimeMarkovChain:
+    """Start -> work -> {End w.p. 1-f, Fail w.p. f} — the minimal
+    failure-augmented flow shape."""
+    return (
+        ChainBuilder()
+        .add_edge("Start", "work", 1.0)
+        .add_edge("work", "End", 1.0 - f)
+        .add_edge("work", "Fail", f)
+        .build()
+    )
+
+
+class TestAbsorptionProbabilities:
+    def test_simple_split(self):
+        analysis = AbsorbingChainAnalysis(fail_end_chain(0.25))
+        assert analysis.absorption_probability("Start", "End") == pytest.approx(0.75)
+        assert analysis.absorption_probability("Start", "Fail") == pytest.approx(0.25)
+
+    def test_distribution_sums_to_one(self):
+        analysis = AbsorbingChainAnalysis(fail_end_chain(0.4))
+        dist = analysis.absorption_distribution("Start")
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_absorbing_start(self):
+        analysis = AbsorbingChainAnalysis(fail_end_chain(0.5))
+        assert analysis.absorption_probability("End", "End") == 1.0
+        assert analysis.absorption_probability("End", "Fail") == 0.0
+
+    def test_absorption_into_transient_is_zero(self):
+        analysis = AbsorbingChainAnalysis(fail_end_chain(0.5))
+        assert analysis.absorption_probability("Start", "work") == 0.0
+
+    def test_unknown_states_raise(self):
+        analysis = AbsorbingChainAnalysis(fail_end_chain(0.5))
+        with pytest.raises(UnknownStateError):
+            analysis.absorption_probability("nope", "End")
+        with pytest.raises(UnknownStateError):
+            analysis.absorption_probability("Start", "nope")
+
+    def test_geometric_loop(self):
+        """A retry loop: work -> work w.p. r, -> End w.p. (1-r)f', -> Fail.
+        Absorption in End = (1-f)(1-r) / (1-r) ... checked against the
+        geometric-series closed form."""
+        r, f = 0.3, 0.1
+        chain = (
+            ChainBuilder()
+            .add_edge("Start", "work", 1.0)
+            .add_edge("work", "work", r)
+            .add_edge("work", "End", (1 - r) * (1 - f))
+            .add_edge("work", "Fail", (1 - r) * f)
+            .build()
+        )
+        analysis = AbsorbingChainAnalysis(chain)
+        # per visit: P(End | leave) = 1 - f, independent of r
+        assert analysis.absorption_probability("Start", "End") == pytest.approx(1 - f)
+
+    def test_convenience_wrapper(self):
+        assert absorption_probability(fail_end_chain(0.2), "Start", "End") == (
+            pytest.approx(0.8)
+        )
+
+
+class TestDegenerateChains:
+    def test_no_absorbing_state_raises(self):
+        chain = DiscreteTimeMarkovChain(
+            ["a", "b"], np.array([[0.0, 1.0], [1.0, 0.0]])
+        )
+        with pytest.raises(NotAbsorbingError):
+            AbsorbingChainAnalysis(chain)
+
+    def test_trapped_transient_raises(self):
+        """A transient pair cycling forever next to an unreachable
+        absorbing state makes (I - Q) singular."""
+        chain = DiscreteTimeMarkovChain(
+            ["a", "b", "end"],
+            np.array([
+                [0.0, 1.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.0, 0.0, 1.0],
+            ]),
+        )
+        with pytest.raises(NotAbsorbingError):
+            AbsorbingChainAnalysis(chain)
+
+    def test_all_absorbing_chain(self):
+        chain = DiscreteTimeMarkovChain(["a", "b"], np.eye(2))
+        analysis = AbsorbingChainAnalysis(chain)
+        assert analysis.absorption_probability("a", "a") == 1.0
+        assert analysis.expected_steps_to_absorption("a") == 0.0
+
+
+class TestExpectedVisitsAndSteps:
+    def test_expected_steps_linear_chain(self):
+        chain = (
+            ChainBuilder()
+            .add_edge("s1", "s2", 1.0)
+            .add_edge("s2", "s3", 1.0)
+            .add_edge("s3", "End", 1.0)
+            .build()
+        )
+        analysis = AbsorbingChainAnalysis(chain)
+        assert analysis.expected_steps_to_absorption("s1") == pytest.approx(3.0)
+
+    def test_expected_visits_geometric(self):
+        """Self-loop with survival r: expected visits = 1/(1-r)."""
+        r = 0.25
+        chain = (
+            ChainBuilder()
+            .add_edge("work", "work", r)
+            .add_edge("work", "End", 1 - r)
+            .build()
+        )
+        analysis = AbsorbingChainAnalysis(chain)
+        assert analysis.expected_visits("work", "work") == pytest.approx(1 / (1 - r))
+
+    def test_visits_from_absorbing_is_zero(self):
+        analysis = AbsorbingChainAnalysis(fail_end_chain(0.5))
+        assert analysis.expected_visits("End", "work") == 0.0
+
+    def test_visits_to_absorbing_rejected(self):
+        analysis = AbsorbingChainAnalysis(fail_end_chain(0.5))
+        with pytest.raises(NotAbsorbingError):
+            analysis.expected_visits("Start", "End")
+
+    def test_probabilities_clipped_to_unit_interval(self):
+        analysis = AbsorbingChainAnalysis(fail_end_chain(0.0))
+        value = analysis.absorption_probability("Start", "End")
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,137 @@
+"""Unit tests for the continuous-time Markov chain module."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidDistributionError, MarkovError, UnknownStateError
+from repro.markov import ContinuousTimeMarkovChain
+
+
+def absorbing_failure_chain(rate: float) -> ContinuousTimeMarkovChain:
+    """working -> failed at `rate`, failed absorbing — the eq. (1) chain."""
+    return ContinuousTimeMarkovChain(
+        ("working", "failed"),
+        np.array([[-rate, rate], [0.0, 0.0]]),
+    )
+
+
+def repairable_chain(lam: float, mu: float) -> ContinuousTimeMarkovChain:
+    return ContinuousTimeMarkovChain(
+        ("up", "down"),
+        np.array([[-lam, lam], [mu, -mu]]),
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        chain = repairable_chain(1.0, 2.0)
+        assert chain.rate("up", "down") == 1.0
+        assert not chain.is_absorbing_state("up")
+
+    def test_negative_off_diagonal_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            ContinuousTimeMarkovChain(
+                ("a", "b"), np.array([[1.0, -1.0], [0.0, 0.0]])
+            )
+
+    def test_rows_must_sum_to_zero(self):
+        with pytest.raises(InvalidDistributionError):
+            ContinuousTimeMarkovChain(
+                ("a", "b"), np.array([[-1.0, 2.0], [0.0, 0.0]])
+            )
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            ContinuousTimeMarkovChain(("a", "a"), np.zeros((2, 2)))
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(UnknownStateError):
+            repairable_chain(1.0, 1.0).rate("up", "ghost")
+
+    def test_absorbing_detection(self):
+        assert absorbing_failure_chain(1.0).is_absorbing_state("failed")
+
+
+class TestTransient:
+    def test_matches_equation_1(self):
+        """P(failed by t) = 1 - e^(-lambda t): the paper's eq. (1) as CTMC
+        absorption."""
+        lam = 0.7
+        chain = absorbing_failure_chain(lam)
+        for t in (0.0, 0.1, 1.0, 5.0):
+            absorbed = chain.absorption_probability_by({"working": 1.0}, "failed", t)
+            assert absorbed == pytest.approx(1 - math.exp(-lam * t), abs=1e-10)
+
+    def test_distribution_sums_to_one(self):
+        chain = repairable_chain(2.0, 3.0)
+        dist = chain.transient_distribution({"up": 1.0}, 0.8)
+        assert sum(dist.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_two_state_closed_form(self):
+        """P(down at t | up at 0) = (lam/(lam+mu)) (1 - e^(-(lam+mu)t))."""
+        lam, mu, t = 0.5, 1.5, 0.9
+        chain = repairable_chain(lam, mu)
+        down = chain.transient_distribution({"up": 1.0}, t)["down"]
+        expected = lam / (lam + mu) * (1 - math.exp(-(lam + mu) * t))
+        assert down == pytest.approx(expected, abs=1e-10)
+
+    def test_time_zero_is_initial(self):
+        dist = repairable_chain(1.0, 1.0).transient_distribution({"up": 1.0}, 0.0)
+        assert dist == {"up": 1.0, "down": 0.0}
+
+    def test_long_time_approaches_steady_state(self):
+        chain = repairable_chain(1.0, 4.0)
+        late = chain.transient_distribution({"up": 1.0}, 100.0)
+        steady = chain.steady_state()
+        assert late["down"] == pytest.approx(steady["down"], abs=1e-8)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(MarkovError):
+            repairable_chain(1.0, 1.0).transient_distribution({"up": 1.0}, -1.0)
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            repairable_chain(1.0, 1.0).transient_distribution({"up": 0.5}, 1.0)
+
+    def test_absorption_by_requires_absorbing_target(self):
+        with pytest.raises(MarkovError):
+            repairable_chain(1.0, 1.0).absorption_probability_by(
+                {"up": 1.0}, "down", 1.0
+            )
+
+
+class TestLongRun:
+    def test_steady_state_availability(self):
+        lam, mu = 1e-3, 1e-1
+        steady = repairable_chain(lam, mu).steady_state()
+        assert steady["up"] == pytest.approx(mu / (lam + mu), rel=1e-9)
+
+    def test_steady_state_requires_irreducible(self):
+        with pytest.raises(MarkovError):
+            absorbing_failure_chain(1.0).steady_state()
+
+    def test_mean_time_to_absorption_is_mttf(self):
+        lam = 0.25
+        chain = absorbing_failure_chain(lam)
+        assert chain.mean_time_to_absorption({"working": 1.0}) == pytest.approx(
+            1 / lam
+        )
+
+    def test_mtta_with_detour(self):
+        """a -> b -> absorbed, each at rate r: E[T] = 2/r."""
+        r = 2.0
+        chain = ContinuousTimeMarkovChain(
+            ("a", "b", "done"),
+            np.array([
+                [-r, r, 0.0],
+                [0.0, -r, r],
+                [0.0, 0.0, 0.0],
+            ]),
+        )
+        assert chain.mean_time_to_absorption({"a": 1.0}) == pytest.approx(2 / r)
+
+    def test_mtta_requires_absorbing_state(self):
+        with pytest.raises(MarkovError):
+            repairable_chain(1.0, 1.0).mean_time_to_absorption({"up": 1.0})

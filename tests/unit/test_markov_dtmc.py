@@ -1,0 +1,157 @@
+"""Unit tests for the DTMC substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidDistributionError, UnknownStateError
+from repro.markov import ChainBuilder, DiscreteTimeMarkovChain
+
+
+def two_state_chain(p: float = 0.3) -> DiscreteTimeMarkovChain:
+    return DiscreteTimeMarkovChain(
+        ["a", "b"], np.array([[1 - p, p], [0.0, 1.0]])
+    )
+
+
+class TestConstruction:
+    def test_valid_chain(self):
+        chain = two_state_chain()
+        assert len(chain) == 2
+        assert chain.states == ("a", "b")
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteTimeMarkovChain(["a", "a"], np.eye(2))
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteTimeMarkovChain([], np.zeros((0, 0)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteTimeMarkovChain(["a", "b"], np.eye(3))
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteTimeMarkovChain(
+                ["a", "b"], np.array([[1.5, -0.5], [0.0, 1.0]])
+            )
+
+    def test_non_stochastic_row_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteTimeMarkovChain(
+                ["a", "b"], np.array([[0.5, 0.4], [0.0, 1.0]])
+            )
+
+    def test_round_off_renormalized(self):
+        chain = DiscreteTimeMarkovChain(
+            ["a", "b"], np.array([[0.3 + 1e-10, 0.7], [0.0, 1.0]])
+        )
+        np.testing.assert_allclose(chain.matrix.sum(axis=1), 1.0)
+
+    def test_matrix_is_read_only(self):
+        chain = two_state_chain()
+        with pytest.raises(ValueError):
+            chain.matrix[0, 0] = 0.5
+
+    def test_hashable_state_labels(self):
+        chain = DiscreteTimeMarkovChain(
+            [("s", 1), ("s", 2)], np.array([[0.0, 1.0], [0.0, 1.0]])
+        )
+        assert chain.probability(("s", 1), ("s", 2)) == 1.0
+
+
+class TestAccessors:
+    def test_probability(self):
+        assert two_state_chain(0.3).probability("a", "b") == pytest.approx(0.3)
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(UnknownStateError):
+            two_state_chain().probability("a", "zz")
+
+    def test_successors_skips_zero_mass(self):
+        chain = two_state_chain(1.0)
+        assert chain.successors("a") == {"b": 1.0}
+
+    def test_contains(self):
+        chain = two_state_chain()
+        assert "a" in chain and "zz" not in chain
+
+
+class TestClassification:
+    def test_absorbing_detection(self):
+        chain = two_state_chain()
+        assert chain.is_absorbing_state("b")
+        assert not chain.is_absorbing_state("a")
+        assert chain.absorbing_states() == ("b",)
+        assert chain.transient_states() == ("a",)
+
+    def test_reachability(self):
+        chain = DiscreteTimeMarkovChain(
+            ["a", "b", "c"],
+            np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [0.0, 0.0, 1.0]]),
+        )
+        assert chain.reachable_from("a") == {"a", "b", "c"}
+        assert chain.reachable_from("c") == {"c"}
+
+
+class TestDynamics:
+    def test_step_distribution(self):
+        chain = two_state_chain(0.5)
+        dist = chain.step_distribution({"a": 1.0}, steps=1)
+        assert dist == {"a": 0.5, "b": 0.5}
+
+    def test_step_distribution_converges_to_absorbing(self):
+        chain = two_state_chain(0.5)
+        dist = chain.step_distribution({"a": 1.0}, steps=60)
+        assert dist["b"] == pytest.approx(1.0, abs=1e-12)
+
+    def test_invalid_initial_distribution_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            two_state_chain().step_distribution({"a": 0.5})
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            two_state_chain().step_distribution({"a": 1.0}, steps=-1)
+
+    def test_n_step_matrix(self):
+        chain = two_state_chain(0.5)
+        np.testing.assert_allclose(
+            chain.n_step_matrix(2), chain.matrix @ chain.matrix
+        )
+
+    def test_zero_step_matrix_is_identity(self):
+        np.testing.assert_allclose(two_state_chain().n_step_matrix(0), np.eye(2))
+
+
+class TestChainBuilder:
+    def test_accumulates_parallel_edges(self):
+        chain = (
+            ChainBuilder()
+            .add_edge("a", "b", 0.25)
+            .add_edge("a", "b", 0.25)
+            .add_edge("a", "c", 0.5)
+            .build()
+        )
+        assert chain.probability("a", "b") == pytest.approx(0.5)
+
+    def test_states_without_edges_become_absorbing(self):
+        chain = ChainBuilder().add_edge("a", "end", 1.0).build()
+        assert chain.is_absorbing_state("end")
+
+    def test_negative_edge_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            ChainBuilder().add_edge("a", "b", -0.1)
+
+    def test_declared_order_preserved(self):
+        chain = (
+            ChainBuilder()
+            .add_state("z")
+            .add_edge("a", "z", 1.0)
+            .build()
+        )
+        assert chain.states == ("z", "a")
+
+    def test_under_stochastic_row_rejected_at_build(self):
+        with pytest.raises(InvalidDistributionError):
+            ChainBuilder().add_edge("a", "b", 0.5).add_edge("b", "a", 1.0).build()

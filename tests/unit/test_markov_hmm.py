@@ -1,0 +1,121 @@
+"""Unit tests for the Hidden Markov Model module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidDistributionError, MarkovError
+from repro.markov import HiddenMarkovModel
+
+
+def noisy_switch(p_stay: float = 0.9, p_correct: float = 0.95) -> HiddenMarkovModel:
+    """Two hidden states emitting their own index with high probability."""
+    return HiddenMarkovModel(
+        initial=np.array([1.0, 0.0]),
+        transition=np.array([[p_stay, 1 - p_stay], [1 - p_stay, p_stay]]),
+        emission=np.array(
+            [[p_correct, 1 - p_correct], [1 - p_correct, p_correct]]
+        ),
+        state_labels=("calm", "busy"),
+    )
+
+
+class TestConstruction:
+    def test_valid_model(self):
+        model = noisy_switch()
+        assert model.n_states == 2
+        assert model.n_symbols == 2
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            HiddenMarkovModel(
+                np.array([0.5, 0.4]), np.eye(2), np.eye(2)
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            HiddenMarkovModel(np.array([1.0]), np.eye(2), np.eye(2))
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            HiddenMarkovModel(
+                np.array([1.0, 0.0]), np.eye(2), np.eye(2), state_labels=("one",)
+            )
+
+
+class TestInference:
+    def test_likelihood_prefers_consistent_trace(self):
+        model = noisy_switch()
+        consistent = model.log_likelihood([0, 0, 0, 0, 0])
+        jumpy = model.log_likelihood([0, 1, 0, 1, 0])
+        assert consistent > jumpy
+
+    def test_forward_scaling_normalizes(self):
+        model = noisy_switch()
+        alpha, scale = model.forward([0, 1, 0])
+        np.testing.assert_allclose(alpha.sum(axis=1), 1.0)
+        assert scale.shape == (3,)
+
+    def test_viterbi_decodes_clean_trace(self):
+        model = noisy_switch()
+        path = model.viterbi([0, 0, 0, 1, 1, 1])
+        assert path == ["calm", "calm", "calm", "busy", "busy", "busy"]
+
+    def test_viterbi_smooths_single_outlier(self):
+        model = noisy_switch(p_stay=0.95, p_correct=0.8)
+        path = model.viterbi([0, 0, 1, 0, 0])
+        assert path == ["calm"] * 5
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(MarkovError):
+            noisy_switch().forward([])
+
+    def test_out_of_range_symbol_rejected(self):
+        with pytest.raises(MarkovError):
+            noisy_switch().forward([0, 2])
+
+    def test_impossible_trace_rejected(self):
+        model = HiddenMarkovModel(
+            np.array([1.0]), np.array([[1.0]]), np.array([[1.0, 0.0]])
+        )
+        with pytest.raises(MarkovError):
+            model.forward([1])
+
+
+class TestBaumWelch:
+    def test_improves_likelihood(self):
+        rng = np.random.default_rng(0)
+        true = noisy_switch(p_stay=0.85, p_correct=0.9)
+        # sample traces from the true model
+        traces = []
+        for _ in range(5):
+            state = 0
+            trace = []
+            for _ in range(60):
+                trace.append(
+                    int(rng.random() >= true.emission[state, state])
+                    if state == 0
+                    else int(rng.random() < true.emission[state, state])
+                )
+                state = int(rng.random() >= true.transition[state, state]) ^ state
+            traces.append(trace)
+        start = noisy_switch(p_stay=0.6, p_correct=0.7)
+        before = sum(start.log_likelihood(t) for t in traces)
+        fitted = start.baum_welch(traces, iterations=20)
+        after = sum(fitted.log_likelihood(t) for t in traces)
+        assert after >= before
+
+    def test_requires_traces(self):
+        with pytest.raises(MarkovError):
+            noisy_switch().baum_welch([])
+
+    def test_returns_new_model(self):
+        model = noisy_switch()
+        fitted = model.baum_welch([[0, 0, 1, 1]], iterations=2)
+        assert fitted is not model
+
+
+class TestToChain:
+    def test_exports_usage_profile(self):
+        chain = noisy_switch(p_stay=0.7).to_chain()
+        assert chain.states == ("calm", "busy")
+        assert chain.probability("calm", "busy") == pytest.approx(0.3)

@@ -1,0 +1,102 @@
+"""Unit tests for stationary / long-run analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MarkovError
+from repro.markov import (
+    DiscreteTimeMarkovChain,
+    is_irreducible,
+    mean_first_passage_time,
+    stationary_distribution,
+)
+
+
+def ring_chain() -> DiscreteTimeMarkovChain:
+    return DiscreteTimeMarkovChain(
+        ["a", "b", "c"],
+        np.array([
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 0.0],
+        ]),
+    )
+
+
+def lazy_two_state(p: float, q: float) -> DiscreteTimeMarkovChain:
+    return DiscreteTimeMarkovChain(
+        ["a", "b"], np.array([[1 - p, p], [q, 1 - q]])
+    )
+
+
+class TestIrreducibility:
+    def test_ring_is_irreducible(self):
+        assert is_irreducible(ring_chain())
+
+    def test_absorbing_chain_is_reducible(self):
+        chain = DiscreteTimeMarkovChain(
+            ["a", "b"], np.array([[0.5, 0.5], [0.0, 1.0]])
+        )
+        assert not is_irreducible(chain)
+
+
+class TestStationaryDistribution:
+    def test_uniform_on_ring(self):
+        pi = stationary_distribution(ring_chain())
+        for value in pi.values():
+            assert value == pytest.approx(1 / 3)
+
+    def test_two_state_closed_form(self):
+        """pi = (q, p) / (p + q) for the lazy two-state chain."""
+        p, q = 0.2, 0.3
+        pi = stationary_distribution(lazy_two_state(p, q))
+        assert pi["a"] == pytest.approx(q / (p + q))
+        assert pi["b"] == pytest.approx(p / (p + q))
+
+    def test_is_invariant_under_step(self):
+        chain = lazy_two_state(0.4, 0.1)
+        pi = stationary_distribution(chain)
+        stepped = chain.step_distribution(pi, steps=1)
+        for state in pi:
+            assert stepped[state] == pytest.approx(pi[state])
+
+    def test_reducible_chain_rejected(self):
+        chain = DiscreteTimeMarkovChain(
+            ["a", "b"], np.array([[1.0, 0.0], [0.5, 0.5]])
+        )
+        with pytest.raises(MarkovError):
+            stationary_distribution(chain)
+
+
+class TestMeanFirstPassage:
+    def test_deterministic_ring(self):
+        assert mean_first_passage_time(ring_chain(), "a", "c") == pytest.approx(2.0)
+
+    def test_self_passage_is_zero(self):
+        assert mean_first_passage_time(ring_chain(), "a", "a") == 0.0
+
+    def test_two_state_closed_form(self):
+        """E[a -> b] = 1/p for the lazy two-state chain."""
+        p = 0.25
+        chain = lazy_two_state(p, 0.5)
+        assert mean_first_passage_time(chain, "a", "b") == pytest.approx(1 / p)
+
+    def test_unreachable_target_rejected(self):
+        chain = DiscreteTimeMarkovChain(
+            ["a", "b"], np.array([[1.0, 0.0], [0.5, 0.5]])
+        )
+        with pytest.raises(MarkovError):
+            mean_first_passage_time(chain, "a", "b")
+
+    def test_conditional_passage_with_escape(self):
+        """a -> b w.p. 0.5, a -> trap w.p. 0.5: conditional on reaching b,
+        it takes exactly one step."""
+        chain = DiscreteTimeMarkovChain(
+            ["a", "b", "trap"],
+            np.array([
+                [0.0, 0.5, 0.5],
+                [1.0, 0.0, 0.0],
+                [0.0, 0.0, 1.0],
+            ]),
+        )
+        assert mean_first_passage_time(chain, "a", "b") == pytest.approx(1.0)

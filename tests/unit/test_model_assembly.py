@@ -1,0 +1,162 @@
+"""Unit tests for assemblies, bindings and the dependency structure."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateNameError,
+    ModelError,
+    UnboundRequirementError,
+    UnknownServiceError,
+)
+from repro.model import (
+    Assembly,
+    CpuResource,
+    FlowBuilder,
+    ServiceRequest,
+    perfect_connector,
+)
+from repro.model.service import AnalyticInterface, CompositeService
+from repro.model.parameters import FormalParameter
+from repro.scenarios import local_assembly, remote_assembly
+from repro.symbolic import Parameter
+
+
+def composite(name: str, slot: str = "cpu") -> CompositeService:
+    flow = (
+        FlowBuilder(formals=("n",))
+        .state("s", [ServiceRequest(slot, actuals={"N": Parameter("n")})])
+        .sequence("s")
+        .build()
+    )
+    interface = AnalyticInterface(formal_parameters=(FormalParameter("n"),))
+    return CompositeService(name, interface, flow)
+
+
+class TestRegistration:
+    def test_duplicate_service_rejected(self):
+        assembly = Assembly().add_service(perfect_connector("loc"))
+        with pytest.raises(DuplicateNameError):
+            assembly.add_service(perfect_connector("loc"))
+
+    def test_non_service_rejected(self):
+        with pytest.raises(ModelError):
+            Assembly().add_service("not a service")
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(UnknownServiceError):
+            Assembly().service("ghost")
+
+    def test_invalid_assembly_name_rejected(self):
+        with pytest.raises(ModelError):
+            Assembly("")
+
+
+class TestBindings:
+    def make(self):
+        assembly = Assembly()
+        assembly.add_services(
+            composite("app"),
+            CpuResource("cpu1", 1e6, 1e-7).service(),
+            perfect_connector("loc"),
+        )
+        return assembly
+
+    def test_bind_and_resolve(self):
+        assembly = self.make().bind("app", "cpu", "cpu1", connector="loc")
+        request = assembly.service("app").flow.state("s").requests[0]
+        resolved = assembly.resolve_request("app", request)
+        assert resolved.provider.name == "cpu1"
+        assert resolved.connector.name == "loc"
+
+    def test_rebinding_rejected(self):
+        assembly = self.make().bind("app", "cpu", "cpu1")
+        with pytest.raises(DuplicateNameError):
+            assembly.bind("app", "cpu", "cpu1")
+
+    def test_unbound_slot_raises(self):
+        assembly = self.make()
+        request = assembly.service("app").flow.state("s").requests[0]
+        with pytest.raises(UnboundRequirementError):
+            assembly.resolve_request("app", request)
+
+    def test_request_override_beats_binding_default(self):
+        assembly = self.make()
+        assembly.bind(
+            "app", "cpu", "cpu1", connector="loc",
+            connector_actuals={"x": Parameter("n")},
+        )
+        override = ServiceRequest(
+            "cpu", actuals={"N": 1}, connector_actuals={"x": Parameter("n") * 2}
+        )
+        resolved = assembly.resolve_request("app", override)
+        assert resolved.connector_actuals["x"].evaluate({"n": 3}) == 6.0
+
+    def test_binding_defaults_used_without_override(self):
+        assembly = self.make()
+        assembly.bind(
+            "app", "cpu", "cpu1", connector="loc",
+            connector_actuals={"x": Parameter("n")},
+        )
+        request = assembly.service("app").flow.state("s").requests[0]
+        resolved = assembly.resolve_request("app", request)
+        assert resolved.connector_actuals["x"] == Parameter("n")
+
+    def test_direct_binding_without_connector(self):
+        assembly = self.make().bind("app", "cpu", "cpu1")
+        request = assembly.service("app").flow.state("s").requests[0]
+        assert assembly.resolve_request("app", request).connector is None
+
+
+class TestDependencyStructure:
+    def test_dependency_graph_of_local_assembly(self):
+        graph = local_assembly().dependency_graph()
+        assert graph["search"] == {"sort1", "lpc", "cpu1", "loc1"}
+        assert graph["cpu1"] == frozenset()
+        assert graph["lpc"] == {"cpu1", "loc3"}
+
+    def test_acyclic_assembly_has_no_cycle(self):
+        assert local_assembly().find_cycle() is None
+
+    def test_cycle_detected(self):
+        assembly = Assembly()
+        a = composite("a", slot="next")
+        b = composite("b", slot="next")
+        assembly.add_services(a, b)
+        assembly.bind("a", "next", "b")
+        assembly.bind("b", "next", "a")
+        cycle = assembly.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"a", "b"}
+
+    def test_recursion_levels_match_section_4(self):
+        """Level 0: cpus/net/loc*, level 1: lpc/rpc/sort, level 2: search."""
+        levels = local_assembly().recursion_levels()
+        assert levels["cpu1"] == 0
+        assert levels["loc1"] == levels["loc2"] == levels["loc3"] == 0
+        assert levels["sort1"] == 1 and levels["lpc"] == 1
+        assert levels["search"] == 2
+
+        levels = remote_assembly().recursion_levels()
+        assert levels["cpu2"] == 0 and levels["net12"] == 0
+        assert levels["sort2"] == 1 and levels["rpc"] == 1
+        assert levels["search"] == 2
+
+    def test_recursion_levels_reject_cycles(self):
+        assembly = Assembly()
+        assembly.add_services(composite("a", "next"), composite("b", "next"))
+        assembly.bind("a", "next", "b")
+        assembly.bind("b", "next", "a")
+        with pytest.raises(ModelError):
+            assembly.recursion_levels()
+
+
+class TestDescribe:
+    def test_describe_lists_services_and_bindings(self):
+        text = local_assembly().describe()
+        assert "composite search" in text
+        assert "simple" in text and "connector" in text
+        assert "search.sort -> sort1 via lpc" in text
+
+    def test_repr(self):
+        assert "services=" in repr(local_assembly())

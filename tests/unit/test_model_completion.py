@@ -1,0 +1,64 @@
+"""Unit tests for completion models."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import AND, OR, AndCompletion, KOfNCompletion, OrCompletion
+
+
+class TestAnd:
+    def test_requires_all(self):
+        assert AND.required_successes(5) == 5
+
+    def test_zero_requests(self):
+        assert AND.required_successes(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            AND.required_successes(-1)
+
+    def test_describe(self):
+        assert AND.describe(3) == "3-of-3"
+
+    def test_singleton_equality(self):
+        assert AND == AndCompletion()
+
+
+class TestOr:
+    def test_requires_one(self):
+        assert OR.required_successes(5) == 1
+
+    def test_zero_requests_rejected(self):
+        with pytest.raises(ModelError):
+            OR.required_successes(0)
+
+    def test_describe(self):
+        assert OR.describe(4) == "1-of-4"
+
+    def test_singleton_equality(self):
+        assert OR == OrCompletion()
+
+
+class TestKOfN:
+    def test_requires_k(self):
+        assert KOfNCompletion(2).required_successes(3) == 2
+
+    def test_k_equal_n_is_and(self):
+        assert KOfNCompletion(4).required_successes(4) == AND.required_successes(4)
+
+    def test_k_one_is_or(self):
+        assert KOfNCompletion(1).required_successes(4) == OR.required_successes(4)
+
+    def test_k_above_n_rejected(self):
+        with pytest.raises(ModelError):
+            KOfNCompletion(5).required_successes(3)
+
+    def test_non_positive_k_rejected(self):
+        with pytest.raises(ModelError):
+            KOfNCompletion(0)
+        with pytest.raises(ModelError):
+            KOfNCompletion(-2)
+
+    def test_non_integer_k_rejected(self):
+        with pytest.raises(ModelError):
+            KOfNCompletion(1.5)

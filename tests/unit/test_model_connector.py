@@ -1,0 +1,122 @@
+"""Unit tests for connector kinds (Figure 2 and the loc* artifacts)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (
+    AND,
+    CustomConnector,
+    FlowBuilder,
+    LocalCallConnector,
+    RemoteCallConnector,
+    ServiceRequest,
+    perfect_connector,
+)
+from repro.symbolic import Constant
+
+
+class TestPerfectConnector:
+    def test_never_fails(self):
+        loc = perfect_connector("loc1")
+        assert loc.pfail() == 0.0
+
+    def test_flagged_as_connector(self):
+        assert perfect_connector("loc1").is_connector
+
+    def test_is_simple(self):
+        assert perfect_connector("loc1").is_simple
+
+    def test_has_no_formals(self):
+        assert perfect_connector("loc1").formal_parameters == ()
+
+
+class TestLocalCallConnector:
+    def test_flow_shape_matches_figure_2(self):
+        lpc = LocalCallConnector("lpc", operations=100.0).service()
+        assert lpc.is_connector and not lpc.is_simple
+        assert [s.name for s in lpc.flow.states] == ["transfer"]
+        state = lpc.flow.state("transfer")
+        assert len(state.requests) == 1
+        assert state.requests[0].target == LocalCallConnector.CPU_SLOT
+
+    def test_workload_is_constant_l(self):
+        """The shared-memory assumption: cost independent of ip/op."""
+        lpc = LocalCallConnector("lpc", operations=42.0).service()
+        request = lpc.flow.state("transfer").requests[0]
+        assert request.actuals["N"] == Constant(42.0)
+
+    def test_transport_interface(self):
+        lpc = LocalCallConnector("lpc", operations=1.0).service()
+        assert lpc.formal_parameters == ("ip", "op")
+
+    def test_zero_software_failure_by_default(self):
+        lpc = LocalCallConnector("lpc", operations=10.0).service()
+        request = lpc.flow.state("transfer").requests[0]
+        assert request.internal_failure == Constant(0.0)
+
+    def test_nonzero_software_failure_rate(self):
+        lpc = LocalCallConnector("lpc", operations=10.0, software_failure_rate=1e-6)
+        request = lpc.service().flow.state("transfer").requests[0]
+        assert request.internal_failure.evaluate({}) == pytest.approx(
+            1 - (1 - 1e-6) ** 10
+        )
+
+    def test_negative_operations_rejected(self):
+        with pytest.raises(ModelError):
+            LocalCallConnector("lpc", operations=-1.0)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ModelError):
+            LocalCallConnector("lpc", operations=1.0, software_failure_rate=2.0)
+
+
+class TestRemoteCallConnector:
+    def make(self):
+        return RemoteCallConnector("rpc", marshal_cost=10.0, transmit_cost=2.0).service()
+
+    def test_two_transfer_stages(self):
+        rpc = self.make()
+        assert [s.name for s in rpc.flow.states] == ["transfer_ip", "transfer_op"]
+
+    def test_each_stage_is_and_of_three(self):
+        rpc = self.make()
+        for name in ("transfer_ip", "transfer_op"):
+            state = rpc.flow.state(name)
+            assert state.completion == AND
+            assert len(state.requests) == 3
+
+    def test_stage_targets_marshal_transmit_unmarshal(self):
+        rpc = self.make()
+        ip_targets = [r.target for r in rpc.flow.state("transfer_ip").requests]
+        assert ip_targets == ["client_cpu", "net", "server_cpu"]
+        op_targets = [r.target for r in rpc.flow.state("transfer_op").requests]
+        assert op_targets == ["server_cpu", "net", "client_cpu"]
+
+    def test_costs_linear_in_sizes(self):
+        rpc = self.make()
+        marshal = rpc.flow.state("transfer_ip").requests[0]
+        assert marshal.actuals["N"].evaluate({"ip": 7.0, "op": 0.0}) == 70.0
+        transmit = rpc.flow.state("transfer_ip").requests[1]
+        assert transmit.actuals["B"].evaluate({"ip": 7.0, "op": 0.0}) == 14.0
+
+    def test_requirement_slots(self):
+        rpc = self.make()
+        assert rpc.requirements() == {"client_cpu", "net", "server_cpu"}
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ModelError):
+            RemoteCallConnector("rpc", marshal_cost=-1.0, transmit_cost=1.0)
+
+
+class TestCustomConnector:
+    def test_wraps_flow_as_connector(self):
+        flow = (
+            FlowBuilder(formals=("ip", "op"))
+            .state("hop", [ServiceRequest("relay", actuals={"B": "ip"})])
+            .sequence("hop")
+            .build()
+        )
+        connector = CustomConnector("bus", flow).service()
+        assert connector.is_connector
+        assert connector.formal_parameters == ("ip", "op")
+        assert connector.requirements() == {"relay"}

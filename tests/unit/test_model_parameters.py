@@ -1,0 +1,96 @@
+"""Unit tests for formal parameters and abstract domains."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (
+    Direction,
+    FiniteDomain,
+    FormalParameter,
+    IntegerDomain,
+    RealDomain,
+)
+
+
+class TestRealDomain:
+    def test_default_is_unbounded(self):
+        domain = RealDomain()
+        assert domain.contains(-1e300) and domain.contains(1e300)
+
+    def test_bounds_inclusive(self):
+        domain = RealDomain(0.0, 1.0)
+        assert domain.contains(0.0) and domain.contains(1.0)
+        assert not domain.contains(-0.001) and not domain.contains(1.001)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ModelError):
+            RealDomain(2.0, 1.0)
+
+    def test_describe(self):
+        assert "real" in RealDomain(0, 1).describe()
+
+
+class TestIntegerDomain:
+    def test_accepts_integral_floats(self):
+        assert IntegerDomain().contains(5.0)
+
+    def test_rejects_fractional(self):
+        assert not IntegerDomain().contains(5.5)
+
+    def test_respects_bounds(self):
+        domain = IntegerDomain(low=1, high=10)
+        assert domain.contains(1) and domain.contains(10)
+        assert not domain.contains(0) and not domain.contains(11)
+
+    def test_default_low_is_zero(self):
+        assert not IntegerDomain().contains(-1)
+
+    def test_contains_all_array(self):
+        assert IntegerDomain().contains_all(np.array([1.0, 2.0, 3.0]))
+        assert not IntegerDomain().contains_all(np.array([1.0, 2.5]))
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ModelError):
+            IntegerDomain(low=5, high=2)
+
+
+class TestFiniteDomain:
+    def test_membership(self):
+        domain = FiniteDomain((1.0, 2.0, 4.0))
+        assert domain.contains(2.0) and not domain.contains(3.0)
+
+    def test_values_coerced_to_float(self):
+        assert FiniteDomain((1, 2)).contains(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            FiniteDomain(())
+
+    def test_describe_sorted_unique(self):
+        assert FiniteDomain((2.0, 1.0, 2.0)).describe() == "one of [1.0, 2.0]"
+
+
+class TestFormalParameter:
+    def test_defaults(self):
+        param = FormalParameter("N")
+        assert param.direction == Direction.IN
+        assert isinstance(param.domain, IntegerDomain)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ModelError):
+            FormalParameter("")
+        with pytest.raises(ModelError):
+            FormalParameter("not a name")
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ModelError):
+            FormalParameter("N", direction="sideways")
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(ModelError):
+            FormalParameter("N", domain="integers")
+
+    def test_out_direction(self):
+        param = FormalParameter("res", direction=Direction.OUT)
+        assert param.direction == "out"

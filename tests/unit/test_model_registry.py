@@ -1,0 +1,90 @@
+"""Unit tests for the service registry (SOC discovery)."""
+
+import pytest
+
+from repro.errors import DuplicateNameError, ModelError, UnknownServiceError
+from repro.model import (
+    AttributeConstraint,
+    CpuResource,
+    ServiceRegistry,
+)
+from repro.scenarios import build_sort_component
+
+
+def registry_with_sorts() -> ServiceRegistry:
+    registry = ServiceRegistry()
+    registry.publish(build_sort_component("sort_fast", 5e-6), "sort", provider="acme")
+    registry.publish(build_sort_component("sort_safe", 1e-7), "sort", provider="initech")
+    registry.publish(CpuResource("cpu_a", 1e6, 1e-7).service(), "compute")
+    return registry
+
+
+class TestPublish:
+    def test_publish_and_lookup(self):
+        registry = registry_with_sorts()
+        entry = registry.lookup("sort_fast")
+        assert entry.category == "sort"
+        assert entry.provider == "acme"
+
+    def test_duplicate_name_rejected(self):
+        registry = registry_with_sorts()
+        with pytest.raises(DuplicateNameError):
+            registry.publish(build_sort_component("sort_fast", 1e-6), "sort")
+
+    def test_empty_category_rejected(self):
+        with pytest.raises(ModelError):
+            ServiceRegistry().publish(CpuResource("c", 1.0, 0.0).service(), "")
+
+    def test_withdraw(self):
+        registry = registry_with_sorts()
+        registry.withdraw("sort_fast")
+        assert "sort_fast" not in registry
+        with pytest.raises(UnknownServiceError):
+            registry.lookup("sort_fast")
+
+    def test_withdraw_unknown_raises(self):
+        with pytest.raises(UnknownServiceError):
+            ServiceRegistry().withdraw("ghost")
+
+    def test_len_and_contains(self):
+        registry = registry_with_sorts()
+        assert len(registry) == 3
+        assert "sort_safe" in registry
+
+
+class TestDiscover:
+    def test_by_category(self):
+        registry = registry_with_sorts()
+        names = {e.service.name for e in registry.discover("sort")}
+        assert names == {"sort_fast", "sort_safe"}
+
+    def test_unknown_category_is_empty(self):
+        assert registry_with_sorts().discover("storage") == []
+
+    def test_constraint_filters_by_attribute(self):
+        registry = registry_with_sorts()
+        constraint = AttributeConstraint("software_failure_rate", maximum=1e-6)
+        names = {e.service.name for e in registry.discover("sort", (constraint,))}
+        assert names == {"sort_safe"}
+
+    def test_constraint_requires_attribute_presence(self):
+        registry = registry_with_sorts()
+        constraint = AttributeConstraint("bandwidth", minimum=0.0)
+        assert registry.discover("sort", (constraint,)) == []
+
+    def test_minimum_bound(self):
+        registry = registry_with_sorts()
+        constraint = AttributeConstraint("software_failure_rate", minimum=1e-6)
+        names = {e.service.name for e in registry.discover("sort", (constraint,))}
+        assert names == {"sort_fast"}
+
+    def test_sorted_by_key(self):
+        registry = registry_with_sorts()
+        ordered = registry.discover(
+            "sort",
+            key=lambda e: e.service.interface.attributes["software_failure_rate"],
+        )
+        assert [e.service.name for e in ordered] == ["sort_safe", "sort_fast"]
+
+    def test_categories(self):
+        assert registry_with_sorts().categories() == {"sort", "compute"}

@@ -1,0 +1,68 @@
+"""Unit tests for service requests."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import ServiceRequest
+from repro.symbolic import Constant, Parameter
+
+
+class TestConstruction:
+    def test_minimal(self):
+        req = ServiceRequest("sort")
+        assert req.target == "sort"
+        assert req.internal_failure == Constant(0.0)
+        assert req.connector_actuals is None
+
+    def test_actuals_coerced_to_expressions(self):
+        req = ServiceRequest("cpu", actuals={"N": 5})
+        assert req.actuals["N"] == Constant(5.0)
+
+    def test_string_actual_becomes_parameter(self):
+        req = ServiceRequest("cpu", actuals={"N": "list"})
+        assert req.actuals["N"] == Parameter("list")
+
+    def test_actuals_are_immutable(self):
+        req = ServiceRequest("cpu", actuals={"N": 1})
+        with pytest.raises(TypeError):
+            req.actuals["N"] = Constant(2.0)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ModelError):
+            ServiceRequest("")
+
+    def test_bad_actual_name_rejected(self):
+        with pytest.raises(ModelError):
+            ServiceRequest("cpu", actuals={"not a name": 1})
+
+    def test_connector_actuals_frozen(self):
+        req = ServiceRequest("sort", connector_actuals={"ip": Parameter("n")})
+        with pytest.raises(TypeError):
+            req.connector_actuals["ip"] = Constant(1.0)
+
+
+class TestFreeParameters:
+    def test_collects_from_all_expression_families(self):
+        req = ServiceRequest(
+            "sort",
+            actuals={"list": Parameter("list")},
+            internal_failure=1 - (1 - Constant(1e-6)) ** Parameter("ops"),
+            connector_actuals={"ip": Parameter("elem") + Parameter("list")},
+        )
+        assert req.free_parameters() == {"list", "ops", "elem"}
+
+    def test_no_parameters(self):
+        assert ServiceRequest("x", actuals={"a": 1}).free_parameters() == frozenset()
+
+
+class TestDescribe:
+    def test_renders_call_syntax(self):
+        req = ServiceRequest("sort", actuals={"list": Parameter("list")})
+        assert req.describe() == "call(sort, list=list)"
+
+    def test_renders_label(self):
+        req = ServiceRequest("net", actuals={"B": 1}, label="transmit ip")
+        assert "# transmit ip" in str(req)
+
+    def test_no_args(self):
+        assert ServiceRequest("ping").describe() == "call(ping)"

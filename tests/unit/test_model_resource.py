@@ -1,0 +1,104 @@
+"""Unit tests for resource factories (eqs. 1, 2, 14)."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (
+    CpuResource,
+    DeviceResource,
+    FormalParameter,
+    NetworkResource,
+    SoftwareComponent,
+)
+from repro.symbolic import Constant, Parameter
+
+
+class TestCpuResource:
+    def test_equation_1(self):
+        cpu = CpuResource("cpu1", speed=1e6, failure_rate=1e-6).service()
+        n = 5e4
+        assert cpu.pfail(N=n) == pytest.approx(1 - math.exp(-1e-6 * n / 1e6), rel=1e-12)
+
+    def test_zero_work_never_fails(self):
+        cpu = CpuResource("cpu1", speed=1e6, failure_rate=1e-3).service()
+        assert cpu.pfail(N=0) == 0.0
+
+    def test_monotone_in_workload(self):
+        cpu = CpuResource("cpu1", speed=100.0, failure_rate=0.1).service()
+        assert cpu.pfail(N=10) < cpu.pfail(N=100) < cpu.pfail(N=1000)
+
+    def test_zero_failure_rate_is_perfect(self):
+        cpu = CpuResource("cpu1", speed=1.0, failure_rate=0.0).service()
+        assert cpu.pfail(N=10**9) == 0.0
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ModelError):
+            CpuResource("cpu1", speed=0.0, failure_rate=1e-6)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError):
+            CpuResource("cpu1", speed=1.0, failure_rate=-1e-6)
+
+    def test_published_attributes(self):
+        cpu = CpuResource("cpu1", speed=2e6, failure_rate=3e-7).service()
+        assert cpu.interface.attributes["speed"] == 2e6
+        assert cpu.interface.attributes["failure_rate"] == 3e-7
+
+
+class TestNetworkResource:
+    def test_equation_2(self):
+        net = NetworkResource("net12", bandwidth=1e3, failure_rate=5e-3).service()
+        b = 400.0
+        assert net.pfail(B=b) == pytest.approx(1 - math.exp(-5e-3 * b / 1e3), rel=1e-12)
+
+    def test_zero_bytes_never_fails(self):
+        net = NetworkResource("net12", bandwidth=1e3, failure_rate=0.5).service()
+        assert net.pfail(B=0) == 0.0
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ModelError):
+            NetworkResource("net12", bandwidth=-1.0, failure_rate=0.1)
+
+
+class TestDeviceResource:
+    def test_custom_failure_expression(self):
+        device = DeviceResource(
+            "printer",
+            formal_parameters=(FormalParameter("pages"),),
+            failure_probability=Constant(1.0)
+            - (Constant(0.999)) ** Parameter("pages"),
+        ).service()
+        assert device.pfail(pages=0) == 0.0
+        assert device.pfail(pages=100) == pytest.approx(1 - 0.999**100)
+
+    def test_attributes_available_to_expression(self):
+        device = DeviceResource(
+            "sensor",
+            formal_parameters=(FormalParameter("samples"),),
+            failure_probability=Parameter("drop_rate") * Parameter("samples"),
+            attributes={"drop_rate": 1e-4},
+        ).service()
+        assert device.pfail(samples=10) == pytest.approx(1e-3)
+
+
+class TestSoftwareComponent:
+    def test_equation_14(self):
+        phi = 1e-6
+        component = SoftwareComponent("sorter", phi)
+        expr = component.internal_failure(Parameter("ops"))
+        assert expr.evaluate({"ops": 1000}) == pytest.approx(1 - (1 - phi) ** 1000)
+
+    def test_zero_operations_never_fail(self):
+        expr = SoftwareComponent("c", 1e-3).internal_failure(Constant(0.0))
+        assert expr.evaluate({}) == 0.0
+
+    def test_rate_must_be_probability(self):
+        with pytest.raises(ModelError):
+            SoftwareComponent("c", 1.5)
+        with pytest.raises(ModelError):
+            SoftwareComponent("c", -0.1)
+
+    def test_repr(self):
+        assert "phi" in repr(SoftwareComponent("c", 1e-6))

@@ -1,0 +1,112 @@
+"""Unit tests for the failure-model library and internal-failure models."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError, ProbabilityRangeError
+from repro.reliability import (
+    ConstantFailureModel,
+    ExponentialFailureModel,
+    WeibullFailureModel,
+    constant_internal,
+    exponential_internal,
+    per_operation_internal,
+    reliable_call,
+)
+from repro.symbolic import Constant, Parameter
+
+
+class TestExponentialModel:
+    def test_closed_form(self):
+        model = ExponentialFailureModel(rate=0.1)
+        assert model.pfail(5.0) == pytest.approx(1 - math.exp(-0.5))
+
+    def test_zero_duration(self):
+        assert ExponentialFailureModel(0.5).pfail(0.0) == 0.0
+
+    def test_zero_rate_is_perfect(self):
+        assert ExponentialFailureModel(0.0).pfail(1e9) == 0.0
+
+    def test_monotone(self):
+        model = ExponentialFailureModel(0.01)
+        assert model.pfail(1) < model.pfail(10) < model.pfail(100)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError):
+            ExponentialFailureModel(-0.1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ModelError):
+            ExponentialFailureModel(0.1).pfail(-1.0)
+
+    def test_symbolic_duration(self):
+        expr = ExponentialFailureModel(2.0).failure_probability(Parameter("t"))
+        assert expr.evaluate({"t": 1.0}) == pytest.approx(1 - math.exp(-2.0))
+
+
+class TestWeibullModel:
+    def test_reduces_to_exponential_at_shape_one(self):
+        weibull = WeibullFailureModel(scale=10.0, shape=1.0)
+        exponential = ExponentialFailureModel(rate=0.1)
+        for t in (0.5, 2.0, 20.0):
+            assert weibull.pfail(t) == pytest.approx(exponential.pfail(t))
+
+    def test_characteristic_life(self):
+        """At t = scale, P(fail) = 1 - 1/e regardless of shape."""
+        for shape in (0.5, 1.0, 3.0):
+            model = WeibullFailureModel(scale=7.0, shape=shape)
+            assert model.pfail(7.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_wearout_shape_accelerates(self):
+        gentle = WeibullFailureModel(scale=10.0, shape=1.0)
+        wearout = WeibullFailureModel(scale=10.0, shape=4.0)
+        assert wearout.pfail(20.0) > gentle.pfail(20.0)
+        assert wearout.pfail(1.0) < gentle.pfail(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            WeibullFailureModel(scale=0.0, shape=1.0)
+        with pytest.raises(ModelError):
+            WeibullFailureModel(scale=1.0, shape=-1.0)
+
+
+class TestConstantModel:
+    def test_duration_independent(self):
+        model = ConstantFailureModel(0.01)
+        assert model.pfail(0.0) == model.pfail(1e6) == 0.01
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ProbabilityRangeError):
+            ConstantFailureModel(1.5)
+
+
+class TestInternalModels:
+    def test_reliable_call_is_zero(self):
+        assert reliable_call().evaluate({}) == 0.0
+
+    def test_constant_internal(self):
+        assert constant_internal(0.25).evaluate({}) == 0.25
+        with pytest.raises(ProbabilityRangeError):
+            constant_internal(-0.1)
+
+    def test_equation_14(self):
+        expr = per_operation_internal(1e-6, Parameter("N"))
+        assert expr.evaluate({"N": 0}) == 0.0
+        assert expr.evaluate({"N": 1}) == pytest.approx(1e-6)
+        assert expr.evaluate({"N": 1e6}) == pytest.approx(1 - (1 - 1e-6) ** 1e6)
+
+    def test_equation_14_range_check(self):
+        with pytest.raises(ProbabilityRangeError):
+            per_operation_internal(1.1, Constant(1.0))
+
+    def test_exponential_internal_first_order_agreement(self):
+        """For small phi*N the two software models agree to first order."""
+        phi, n = 1e-7, 1000.0
+        discrete = per_operation_internal(phi, Constant(n)).evaluate({})
+        continuous = exponential_internal(phi, Constant(n)).evaluate({})
+        assert discrete == pytest.approx(continuous, rel=1e-3)
+
+    def test_exponential_internal_monotone(self):
+        expr = exponential_internal(1e-4, Parameter("N"))
+        assert expr.evaluate({"N": 10}) < expr.evaluate({"N": 100})

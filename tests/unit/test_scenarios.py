@@ -1,0 +1,186 @@
+"""Unit tests for the scenario builders themselves."""
+
+import pytest
+
+from repro.core import ReliabilityEvaluator
+from repro.errors import ModelError
+from repro.model import validate_assembly
+from repro.scenarios import (
+    BookingParameters,
+    DatabaseParameters,
+    PipelineParameters,
+    RecursiveParameters,
+    SearchSortParameters,
+    booking_assembly,
+    local_assembly,
+    pipeline_assembly,
+    recursive_assembly,
+    remote_assembly,
+    replicated_assembly,
+)
+
+
+class TestSearchSortScenario:
+    def test_parameters_default_to_paper_values(self):
+        p = SearchSortParameters()
+        assert p.phi_sort2 == 1e-7
+        assert p.gamma == 5e-3
+
+    def test_figure6_point_replaces_only_swept_attributes(self):
+        p = SearchSortParameters().with_figure6_point(5e-6, 1e-1)
+        assert p.phi_sort1 == 5e-6 and p.gamma == 1e-1
+        assert p.phi_sort2 == SearchSortParameters().phi_sort2
+
+    def test_local_structure(self):
+        assembly = local_assembly()
+        names = {s.name for s in assembly.services}
+        assert names == {"cpu1", "search", "sort1", "lpc", "loc1", "loc2", "loc3"}
+
+    def test_remote_structure(self):
+        assembly = remote_assembly()
+        names = {s.name for s in assembly.services}
+        assert {"cpu1", "cpu2", "net12", "search", "sort2", "rpc"} <= names
+        assert len([n for n in names if n.startswith("loc")]) == 5
+
+    def test_flows_match_figure_1(self):
+        assembly = local_assembly()
+        search = assembly.service("search")
+        assert [s.name for s in search.flow.states] == ["sort", "search"]
+        sort1 = assembly.service("sort1")
+        assert [s.name for s in sort1.flow.states] == ["work"]
+
+    def test_q_branching(self):
+        """Start -> sort with probability q, -> search with 1-q."""
+        p = SearchSortParameters(q=0.25)
+        search = local_assembly(p).service("search")
+        probabilities = {
+            t.target: t.probability.evaluate({}) for t in search.flow.outgoing("Start")
+        }
+        assert probabilities == {"sort": 0.25, "search": 0.75}
+
+    def test_both_assemblies_validate(self):
+        assert validate_assembly(local_assembly()).ok
+        assert validate_assembly(remote_assembly()).ok
+
+    def test_unsorted_list_more_reliable_when_skipping_sort(self):
+        """q = 0 (never sort) must beat q = 1 (always sort)."""
+        never = ReliabilityEvaluator(local_assembly(SearchSortParameters(q=0.0)))
+        always = ReliabilityEvaluator(local_assembly(SearchSortParameters(q=1.0)))
+        kwargs = dict(elem=1, list=500, res=1)
+        assert never.pfail("search", **kwargs) < always.pfail("search", **kwargs)
+
+
+class TestBookingScenario:
+    def test_validates(self):
+        assert validate_assembly(booking_assembly()).ok
+        assert validate_assembly(booking_assembly(shared_gds=True)).ok
+
+    def test_shared_gds_is_less_reliable(self):
+        independent = ReliabilityEvaluator(booking_assembly()).pfail(
+            "booking", itinerary=5
+        )
+        shared = ReliabilityEvaluator(booking_assembly(shared_gds=True)).pfail(
+            "booking", itinerary=5
+        )
+        assert shared > independent
+
+    def test_hotel_probability_branching(self):
+        p = BookingParameters(hotel_probability=0.0)
+        evaluator = ReliabilityEvaluator(booking_assembly(p))
+        report = evaluator.report("booking", itinerary=5)
+        visits = {s.state: s.expected_visits for s in report.states}
+        assert visits["hotel"] == 0.0
+
+    def test_itinerary_scales_unreliability(self):
+        evaluator = ReliabilityEvaluator(booking_assembly())
+        assert evaluator.pfail("booking", itinerary=1) < evaluator.pfail(
+            "booking", itinerary=20
+        )
+
+
+class TestSharedDbScenario:
+    def test_sharing_strictly_worse_under_or(self):
+        shared = ReliabilityEvaluator(replicated_assembly(3, shared=True))
+        independent = ReliabilityEvaluator(replicated_assembly(3, shared=False))
+        assert shared.pfail("report", size=500) > independent.pfail(
+            "report", size=500
+        )
+
+    def test_and_completion_indifferent_to_sharing(self):
+        """The paper's eq. 11 == eq. 6 identity at assembly level."""
+        from repro.model import AND
+
+        shared = ReliabilityEvaluator(
+            replicated_assembly(3, shared=True, completion=AND)
+        ).pfail("report", size=500)
+        independent = ReliabilityEvaluator(
+            replicated_assembly(3, shared=False, completion=AND)
+        ).pfail("report", size=500)
+        assert shared == pytest.approx(independent, rel=1e-12)
+
+    def test_more_replicas_help_only_without_sharing(self):
+        independent_2 = ReliabilityEvaluator(replicated_assembly(2, False)).pfail(
+            "report", size=500
+        )
+        independent_5 = ReliabilityEvaluator(replicated_assembly(5, False)).pfail(
+            "report", size=500
+        )
+        assert independent_5 < independent_2
+
+        shared_2 = ReliabilityEvaluator(replicated_assembly(2, True)).pfail(
+            "report", size=500
+        )
+        shared_5 = ReliabilityEvaluator(replicated_assembly(5, True)).pfail(
+            "report", size=500
+        )
+        # with sharing, extra replicas only add exposure to the shared
+        # service: reliability degrades
+        assert shared_5 >= shared_2
+
+    def test_minimum_replicas_enforced(self):
+        with pytest.raises(ModelError):
+            replicated_assembly(1, shared=True)
+
+
+class TestPipelineScenario:
+    def test_validates(self):
+        assert validate_assembly(pipeline_assembly()).ok
+
+    def test_quorum_helps(self):
+        strict = PipelineParameters(cdn_quorum=3)
+        lenient = PipelineParameters(cdn_quorum=1)
+        default = PipelineParameters()  # 2-of-3
+        pfails = {
+            p.cdn_quorum: ReliabilityEvaluator(pipeline_assembly(p)).pfail(
+                "publish", mb=500
+            )
+            for p in (strict, lenient, default)
+        }
+        assert pfails[1] < pfails[2] < pfails[3]
+
+    def test_media_size_scales_unreliability(self):
+        evaluator = ReliabilityEvaluator(pipeline_assembly())
+        assert evaluator.pfail("publish", mb=10) < evaluator.pfail("publish", mb=1000)
+
+
+class TestRecursiveScenario:
+    def test_termination_requires_subunit_probability(self):
+        with pytest.raises(ModelError):
+            RecursiveParameters(recursion_probability=1.0)
+
+    def test_closed_form_sanity(self):
+        from repro.scenarios import closed_form_pfail
+
+        a, b = closed_form_pfail(RecursiveParameters(recursion_probability=0.0))
+        # with no recursion, B never calls A: b = 0, a = ia
+        assert b == pytest.approx(0.0)
+        assert a == pytest.approx(RecursiveParameters().internal_a)
+
+    def test_assembly_is_cyclic(self):
+        assert recursive_assembly().find_cycle() is not None
+
+
+class TestDatabaseParameters:
+    def test_defaults(self):
+        p = DatabaseParameters()
+        assert p.query_selectivity > 0

@@ -1,0 +1,137 @@
+"""Unit tests for the Monte Carlo fault-injection simulator."""
+
+import pytest
+
+from repro.errors import EvaluationError, ModelError
+from repro.model import (
+    Assembly,
+    CpuResource,
+    FlowBuilder,
+    ServiceRequest,
+    perfect_connector,
+)
+from repro.model.parameters import FormalParameter
+from repro.model.service import AnalyticInterface, CompositeService, SimpleService
+from repro.scenarios import local_assembly, recursive_assembly
+from repro.simulation import MonteCarloSimulator, SimulationResult
+from repro.symbolic import Constant, Parameter
+
+
+class TestSimulationResult:
+    def test_point_estimates(self):
+        result = SimulationResult(1000, 100)
+        assert result.pfail == pytest.approx(0.1)
+        assert result.reliability == pytest.approx(0.9)
+
+    def test_standard_error(self):
+        result = SimulationResult(10000, 100)
+        p = 0.01
+        assert result.standard_error == pytest.approx(
+            (p * (1 - p) / 10000) ** 0.5
+        )
+
+    def test_confidence_interval_contains_estimate(self):
+        result = SimulationResult(1000, 37)
+        low, high = result.confidence_interval()
+        assert low <= result.pfail <= high
+
+    def test_interval_clamped_to_unit_range(self):
+        low, high = SimulationResult(10, 0).confidence_interval()
+        assert low == 0.0 and high < 1.0
+
+    def test_consistency_check(self):
+        result = SimulationResult(10000, 500)
+        assert result.consistent_with(0.05)
+        assert not result.consistent_with(0.5)
+
+    def test_zero_failures_consistency_uses_wilson(self):
+        result = SimulationResult(10000, 0)
+        assert result.consistent_with(1e-5)
+        assert not result.consistent_with(0.05)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ModelError):
+            SimulationResult(0, 0)
+        with pytest.raises(ModelError):
+            SimulationResult(10, 11)
+
+
+class TestSimulatorSemantics:
+    def certain_failure_assembly(self) -> Assembly:
+        flow = (
+            FlowBuilder(formals=())
+            .state("s", [ServiceRequest("dead", actuals={})])
+            .sequence("s")
+            .build()
+        )
+        app = CompositeService("app", AnalyticInterface(), flow)
+        dead = SimpleService("dead", AnalyticInterface(), Constant(1.0))
+        assembly = Assembly("dead")
+        assembly.add_services(app, dead, perfect_connector("loc"))
+        assembly.bind("app", "s", "dead")  # unused slot name guard
+        assembly = Assembly("dead2")
+        assembly.add_services(app, dead, perfect_connector("loc"))
+        assembly.bind("app", "dead", "dead", connector="loc")
+        return assembly
+
+    def test_certain_failure_always_fails(self):
+        simulator = MonteCarloSimulator(self.certain_failure_assembly(), seed=1, validate=False)
+        result = simulator.estimate_pfail("app", 200)
+        assert result.pfail == 1.0
+
+    def test_perfect_assembly_never_fails(self):
+        flow = (
+            FlowBuilder(formals=())
+            .state("s", [ServiceRequest("ok", actuals={})])
+            .sequence("s")
+            .build()
+        )
+        app = CompositeService("app", AnalyticInterface(), flow)
+        ok = SimpleService("ok", AnalyticInterface(), Constant(0.0))
+        assembly = Assembly("perfect")
+        assembly.add_services(app, ok, perfect_connector("loc"))
+        assembly.bind("app", "ok", "ok", connector="loc")
+        result = MonteCarloSimulator(assembly, seed=2).estimate_pfail("app", 200)
+        assert result.pfail == 0.0
+
+    def test_seed_reproducibility(self):
+        assembly = local_assembly()
+        kwargs = dict(elem=1, list=500, res=1)
+        a = MonteCarloSimulator(assembly, seed=99).estimate_pfail("search", 2000, **kwargs)
+        b = MonteCarloSimulator(assembly, seed=99).estimate_pfail("search", 2000, **kwargs)
+        assert a.failures == b.failures
+
+    def test_different_seeds_give_different_outcome_sequences(self):
+        from dataclasses import replace
+
+        from repro.scenarios import SearchSortParameters
+
+        params = replace(SearchSortParameters(), phi_sort1=1e-4)
+        assembly = local_assembly(params)
+        kwargs = dict(elem=1, list=500, res=1)
+
+        def outcomes(seed):
+            simulator = MonteCarloSimulator(assembly, seed=seed)
+            return [simulator.simulate_once("search", **kwargs) for _ in range(200)]
+
+        assert outcomes(1) != outcomes(2)
+
+    def test_simulate_once_returns_bool(self):
+        simulator = MonteCarloSimulator(local_assembly(), seed=0)
+        assert simulator.simulate_once("search", elem=1, list=10, res=1) in (True, False)
+
+    def test_cyclic_assembly_rejected(self):
+        simulator = MonteCarloSimulator(recursive_assembly(), seed=0)
+        with pytest.raises(EvaluationError):
+            simulator.estimate_pfail("A", 10, size=1)
+
+    def test_compiled_plan_reusable(self):
+        simulator = MonteCarloSimulator(local_assembly(), seed=0)
+        plan = simulator.compile("search", elem=1, list=10, res=1)
+        outcomes = {simulator._run(plan) for _ in range(50)}
+        assert outcomes <= {True, False}
+
+    def test_simple_service_direct_simulation(self):
+        simulator = MonteCarloSimulator(local_assembly(), seed=0)
+        result = simulator.estimate_pfail("cpu1", 100, N=1000)
+        assert 0.0 <= result.pfail <= 1.0

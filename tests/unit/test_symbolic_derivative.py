@@ -1,0 +1,102 @@
+"""Unit tests for symbolic differentiation."""
+
+import math
+
+import pytest
+
+from repro.errors import SymbolicError
+from repro.symbolic import Call, Constant, Parameter, differentiate
+
+X = Parameter("x")
+Y = Parameter("y")
+
+
+def d(expr, name="x"):
+    return differentiate(expr, name)
+
+
+class TestBasicRules:
+    def test_constant(self):
+        assert d(Constant(5.0)) == Constant(0.0)
+
+    def test_own_parameter(self):
+        assert d(X) == Constant(1.0)
+
+    def test_other_parameter(self):
+        assert d(Y) == Constant(0.0)
+
+    def test_sum(self):
+        assert d(X + X).evaluate({"x": 3}) == 2.0
+
+    def test_difference(self):
+        assert d(X - Constant(2.0) * X).evaluate({"x": 1}) == -1.0
+
+    def test_product_rule(self):
+        # d/dx (x * x) = 2x
+        assert d(X * X).evaluate({"x": 4}) == 8.0
+
+    def test_quotient_rule(self):
+        # d/dx (1/x) = -1/x^2
+        assert d(Constant(1.0) / X).evaluate({"x": 2}) == pytest.approx(-0.25)
+
+    def test_negation(self):
+        assert d(-X).evaluate({"x": 1}) == -1.0
+
+
+class TestPowerRules:
+    def test_constant_exponent(self):
+        # d/dx x^3 = 3x^2
+        assert d(X ** 3).evaluate({"x": 2}) == 12.0
+
+    def test_constant_base(self):
+        # d/dx 2^x = 2^x ln 2
+        value = d(Constant(2.0) ** X).evaluate({"x": 3})
+        assert value == pytest.approx(8.0 * math.log(2.0))
+
+    def test_general_power(self):
+        # d/dx x^x = x^x (ln x + 1)
+        value = d(X ** X).evaluate({"x": 2})
+        assert value == pytest.approx(4.0 * (math.log(2.0) + 1.0))
+
+
+class TestFunctionRules:
+    def test_log(self):
+        assert d(Call("log", (X,))).evaluate({"x": 4}) == pytest.approx(0.25)
+
+    def test_log2(self):
+        value = d(Call("log2", (X,))).evaluate({"x": 4})
+        assert value == pytest.approx(1.0 / (4.0 * math.log(2.0)))
+
+    def test_exp_chain(self):
+        # d/dx exp(2x) = 2 exp(2x)
+        value = d(Call("exp", (Constant(2.0) * X,))).evaluate({"x": 1})
+        assert value == pytest.approx(2.0 * math.exp(2.0))
+
+    def test_sqrt(self):
+        value = d(Call("sqrt", (X,))).evaluate({"x": 9})
+        assert value == pytest.approx(1.0 / 6.0)
+
+    def test_non_differentiable_function_raises(self):
+        with pytest.raises(SymbolicError):
+            d(Call("ceil", (X,)))
+
+
+class TestAgainstFiniteDifferences:
+    @pytest.mark.parametrize(
+        "expr,point",
+        [
+            ((1 - (1 - Constant(1e-6)) ** X), 100.0),
+            (Constant(1.0) - Call("exp", (-(Constant(1e-4) * X),)), 50.0),
+            (X * Call("log2", (X,)), 64.0),
+            (Call("exp", (-(X * Call("log2", (X,)) * 1e-5),)), 32.0),
+        ],
+    )
+    def test_matches_central_difference(self, expr, point):
+        """The reliability-shaped expressions of the paper differentiate
+        correctly."""
+        h = 1e-5 * max(abs(point), 1.0)
+        numeric = (
+            expr.evaluate({"x": point + h}) - expr.evaluate({"x": point - h})
+        ) / (2 * h)
+        symbolic = d(expr).evaluate({"x": point})
+        assert symbolic == pytest.approx(numeric, rel=1e-6, abs=1e-12)

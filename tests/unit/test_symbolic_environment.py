@@ -1,0 +1,85 @@
+"""Unit tests for evaluation environments."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SymbolicError, UnboundParameterError
+from repro.symbolic import Constant, Environment, Parameter
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        env = Environment({"a": 1, "b": 2.5})
+        assert env["a"] == 1.0
+        assert env["b"] == 2.5
+
+    def test_from_kwargs(self):
+        env = Environment(a=1)
+        assert env["a"] == 1.0
+
+    def test_kwargs_override_mapping(self):
+        env = Environment({"a": 1}, a=2)
+        assert env["a"] == 2.0
+
+    def test_values_coerced_to_float(self):
+        assert isinstance(Environment(a=3)["a"], float)
+
+    def test_array_values_kept(self):
+        env = Environment(a=np.array([1, 2]))
+        np.testing.assert_array_equal(env["a"], np.array([1.0, 2.0]))
+
+    def test_bool_rejected(self):
+        with pytest.raises(SymbolicError):
+            Environment(a=True)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(SymbolicError):
+            Environment(a="three")
+
+
+class TestMappingProtocol:
+    def test_missing_raises_unbound(self):
+        with pytest.raises(UnboundParameterError):
+            Environment()["missing"]
+
+    def test_len_iter_contains(self):
+        env = Environment(a=1, b=2)
+        assert len(env) == 2
+        assert set(env) == {"a", "b"}
+        assert "a" in env and "c" not in env
+
+    def test_repr_sorted(self):
+        assert repr(Environment(b=2, a=1)) == "Environment(a=1.0, b=2.0)"
+
+
+class TestExtend:
+    def test_extend_adds_binding(self):
+        env = Environment(a=1).extend(b=2)
+        assert env["b"] == 2.0
+
+    def test_extend_does_not_mutate_original(self):
+        base = Environment(a=1)
+        base.extend(a=9)
+        assert base["a"] == 1.0
+
+    def test_extend_overrides(self):
+        assert Environment(a=1).extend(a=5)["a"] == 5.0
+
+
+class TestBindActuals:
+    def test_evaluates_actual_expressions_under_caller(self):
+        caller = Environment(list=8.0)
+        callee = caller.bind_actuals(
+            ("N",), {"N": Parameter("list") * 2}
+        )
+        assert callee["N"] == 16.0
+
+    def test_missing_actual_raises(self):
+        with pytest.raises(SymbolicError):
+            Environment().bind_actuals(("N",), {})
+
+    def test_extra_actuals_ignored(self):
+        callee = Environment(x=1.0).bind_actuals(
+            ("a",), {"a": Constant(1.0), "b": Constant(2.0)}
+        )
+        assert set(callee) == {"a"}

@@ -1,0 +1,72 @@
+"""Unit tests for the function registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownFunctionError
+from repro.symbolic import (
+    Call,
+    Constant,
+    FunctionSpec,
+    function_names,
+    get_function,
+    register_function,
+)
+
+
+class TestRegistry:
+    def test_default_functions_registered(self):
+        names = function_names()
+        for expected in ("log", "log2", "exp", "sqrt", "ceil", "floor", "abs",
+                         "min", "max"):
+            assert expected in names
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(UnknownFunctionError):
+            get_function("definitely_not_registered")
+
+    def test_register_custom_function(self):
+        register_function(FunctionSpec("double_test_only", 1, lambda x: 2 * x))
+        try:
+            assert Call("double_test_only", (Constant(4.0),)).evaluate({}) == 8.0
+        finally:
+            # keep the global registry clean for other tests
+            from repro.symbolic import functions
+
+            del functions._REGISTRY["double_test_only"]
+
+
+class TestBuiltins:
+    def test_ceil_floor(self):
+        assert Call("ceil", (Constant(1.2),)).evaluate({}) == 2.0
+        assert Call("floor", (Constant(1.8),)).evaluate({}) == 1.0
+
+    def test_abs(self):
+        assert Call("abs", (Constant(-3.0),)).evaluate({}) == 3.0
+
+    def test_min_max(self):
+        assert Call("min", (Constant(2.0), Constant(5.0))).evaluate({}) == 2.0
+        assert Call("max", (Constant(2.0), Constant(5.0))).evaluate({}) == 5.0
+
+    def test_sqrt(self):
+        assert Call("sqrt", (Constant(16.0),)).evaluate({}) == 4.0
+
+    def test_log_positive(self):
+        assert Call("log", (Constant(np.e),)).evaluate({}) == pytest.approx(1.0)
+
+    def test_log_zero_guard_scalar(self):
+        """The zero-size-workload convention: log(0) -> 0, not -inf."""
+        assert Call("log", (Constant(0.0),)).evaluate({}) == 0.0
+        assert Call("log2", (Constant(0.0),)).evaluate({}) == 0.0
+
+    def test_log_zero_guard_array(self):
+        out = Call("log", (Constant(0.0) * 1,)).evaluate({})
+        assert out == 0.0
+
+    def test_min_max_broadcast(self):
+        from repro.symbolic import Parameter
+
+        out = Call("max", (Parameter("a"), Constant(2.0))).evaluate(
+            {"a": np.array([1.0, 3.0])}
+        )
+        np.testing.assert_array_equal(out, np.array([2.0, 3.0]))

@@ -1,0 +1,123 @@
+"""Unit tests for the expression text parser."""
+
+import pytest
+
+from repro.errors import ExpressionParseError
+from repro.symbolic import (
+    Binary,
+    Call,
+    Constant,
+    Parameter,
+    Unary,
+    parse_expression,
+)
+
+
+class TestAtoms:
+    def test_integer(self):
+        assert parse_expression("42") == Constant(42.0)
+
+    def test_float(self):
+        assert parse_expression("3.25") == Constant(3.25)
+
+    def test_scientific_notation(self):
+        assert parse_expression("1e-6") == Constant(1e-6)
+
+    def test_leading_dot(self):
+        assert parse_expression(".5") == Constant(0.5)
+
+    def test_parameter(self):
+        assert parse_expression("list") == Parameter("list")
+
+    def test_underscored_name(self):
+        assert parse_expression("failure_rate") == Parameter("failure_rate")
+
+    def test_parenthesized(self):
+        assert parse_expression("(x)") == Parameter("x")
+
+
+class TestOperators:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.evaluate({}) == 7.0
+
+    def test_parentheses_override(self):
+        assert parse_expression("(1 + 2) * 3").evaluate({}) == 9.0
+
+    def test_left_associative_subtraction(self):
+        assert parse_expression("10 - 3 - 2").evaluate({}) == 5.0
+
+    def test_left_associative_division(self):
+        assert parse_expression("16 / 4 / 2").evaluate({}) == 2.0
+
+    def test_power_right_associative(self):
+        assert parse_expression("2 ** 3 ** 2").evaluate({}) == 512.0
+
+    def test_power_binds_tighter_than_unary_minus(self):
+        assert parse_expression("-2 ** 2").evaluate({}) == -4.0
+
+    def test_unary_minus(self):
+        assert parse_expression("-x") == Unary(Parameter("x"))
+
+    def test_double_unary_minus(self):
+        assert parse_expression("--x").evaluate({"x": 3}) == 3.0
+
+
+class TestCalls:
+    def test_single_argument(self):
+        assert parse_expression("log2(list)") == Call("log2", (Parameter("list"),))
+
+    def test_nested_expression_argument(self):
+        expr = parse_expression("log2(list * 2)")
+        assert expr.evaluate({"list": 8}) == 4.0
+
+    def test_two_arguments(self):
+        expr = parse_expression("max(a, b)")
+        assert expr.evaluate({"a": 2, "b": 5}) == 5.0
+
+    def test_paper_workload_expression(self):
+        expr = parse_expression("list * log2(list)")
+        assert expr == Binary(
+            "*", Parameter("list"), Call("log2", (Parameter("list"),))
+        )
+
+    def test_equation_14(self):
+        expr = parse_expression("1 - (1 - 1e-6) ** N")
+        assert expr.evaluate({"N": 0}) == 0.0
+        assert 0 < expr.evaluate({"N": 1000}) < 1e-2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "", "   ", "1 +", "* 2", "(1 + 2", "1 + 2)", "log2()",
+            "f(", "1 2", "a..b", "#x", "max(a,)",
+        ],
+    )
+    def test_malformed_input_raises(self, text):
+        with pytest.raises(ExpressionParseError):
+            parse_expression(text)
+
+    def test_unknown_function_raises_at_construction(self):
+        # the parser builds a Call, and Call validates the registry
+        from repro.errors import UnknownFunctionError
+
+        with pytest.raises(UnknownFunctionError):
+            parse_expression("frobnicate(x)")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "list * log2(list)",
+            "1 - (1 - phi) ** N",
+            "a + b * c - d / e",
+            "-(x + 1) ** 2",
+            "max(min(a, b), 0)",
+        ],
+    )
+    def test_str_reparses_to_same_tree(self, text):
+        expr = parse_expression(text)
+        assert parse_expression(str(expr)) == expr

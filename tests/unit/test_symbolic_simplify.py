@@ -1,0 +1,115 @@
+"""Unit tests for algebraic simplification."""
+
+import pytest
+
+from repro.symbolic import Binary, Call, Constant, Parameter, Unary, simplify
+
+X = Parameter("x")
+Y = Parameter("y")
+
+
+class TestConstantFolding:
+    def test_fold_addition(self):
+        assert simplify(Constant(2.0) + Constant(3.0)) == Constant(5.0)
+
+    def test_fold_nested(self):
+        expr = (Constant(2.0) + Constant(3.0)) * (Constant(4.0) - Constant(2.0))
+        assert simplify(expr) == Constant(10.0)
+
+    def test_fold_function_of_constants(self):
+        assert simplify(Call("log2", (Constant(8.0),))) == Constant(3.0)
+
+    def test_fold_unary(self):
+        assert simplify(Unary(Constant(4.0))) == Constant(-4.0)
+
+
+class TestIdentities:
+    def test_add_zero_right(self):
+        assert simplify(X + 0) == X
+
+    def test_add_zero_left(self):
+        assert simplify(0 + X) == X
+
+    def test_sub_zero(self):
+        assert simplify(X - 0) == X
+
+    def test_zero_sub(self):
+        assert simplify(0 - X) == Unary(X)
+
+    def test_self_sub(self):
+        assert simplify(X - X) == Constant(0.0)
+
+    def test_mul_one(self):
+        assert simplify(X * 1) == X
+        assert simplify(1 * X) == X
+
+    def test_mul_zero(self):
+        assert simplify(X * 0) == Constant(0.0)
+        assert simplify(0 * X) == Constant(0.0)
+
+    def test_div_one(self):
+        assert simplify(X / 1) == X
+
+    def test_zero_div(self):
+        assert simplify(0 / X) == Constant(0.0)
+
+    def test_self_div(self):
+        assert simplify(X / X) == Constant(1.0)
+
+    def test_pow_one(self):
+        assert simplify(X ** 1) == X
+
+    def test_pow_zero(self):
+        assert simplify(X ** 0) == Constant(1.0)
+
+    def test_one_pow(self):
+        assert simplify(Constant(1.0) ** X) == Constant(1.0)
+
+    def test_double_negation(self):
+        assert simplify(Unary(Unary(X))) == X
+
+
+class TestReliabilityPatterns:
+    def test_one_minus_one_minus_x(self):
+        """The ubiquitous survival/failure complement collapses."""
+        assert simplify(1 - (1 - X)) == X
+
+    def test_constant_minus_sum(self):
+        assert simplify(1 - (1 + X)) == Unary(X)
+
+    def test_exp_product_merges(self):
+        """exp(a) * exp(b) -> exp(a + b): the eq. (20)/(22) collapse."""
+        expr = Call("exp", (X,)) * Call("exp", (Y,))
+        assert simplify(expr) == Call("exp", (Binary("+", X, Y),))
+
+    def test_exp_log_cancels(self):
+        assert simplify(Call("exp", (Call("log", (X,)),))) == X
+
+    def test_log_exp_cancels(self):
+        assert simplify(Call("log", (Call("exp", (X,)),))) == X
+
+    def test_constant_coefficients_fold(self):
+        assert simplify(Constant(2.0) * (Constant(3.0) * X)) == simplify(Constant(6.0) * X)
+
+
+class TestSemanticsPreservation:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            (1 - (1 - X)) * (1 - Constant(0.0)),
+            (X + 0) * (Y * 1) - 0,
+            Call("exp", (X * 2,)) * Call("exp", (Y / 2,)),
+            (X - X) + (Y ** 1),
+            Constant(2.0) * (Constant(0.5) * (X + Y)),
+        ],
+    )
+    def test_simplified_evaluates_identically(self, expr):
+        env = {"x": 0.37, "y": 1.21}
+        assert simplify(expr).evaluate(env) == pytest.approx(
+            expr.evaluate(env), rel=0, abs=1e-15
+        )
+
+    def test_idempotent(self):
+        expr = 1 - (1 - X * 1) * (1 - Constant(0.0))
+        once = simplify(expr)
+        assert simplify(once) == once
