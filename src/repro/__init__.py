@@ -30,13 +30,16 @@ from repro.core import (
     SymbolicEvaluator,
 )
 from repro.errors import (
+    BudgetExceededError,
     CyclicAssemblyError,
     EvaluationError,
     MarkovError,
     ModelError,
+    NumericalInstabilityError,
     ReproError,
     SymbolicError,
 )
+from repro.runtime import EvaluationBudget, EvaluationResult, RobustEvaluator
 from repro.model import (
     AND,
     OR,
@@ -66,11 +69,14 @@ __all__ = [
     "OR",
     "AnalyticInterface",
     "Assembly",
+    "BudgetExceededError",
     "CompositeService",
     "CpuResource",
     "CyclicAssemblyError",
     "Environment",
+    "EvaluationBudget",
     "EvaluationError",
+    "EvaluationResult",
     "Expression",
     "FixedPointEvaluator",
     "FlowBuilder",
@@ -79,11 +85,13 @@ __all__ = [
     "MarkovError",
     "ModelError",
     "NetworkResource",
+    "NumericalInstabilityError",
     "Parameter",
     "PerformanceEvaluator",
     "ReliabilityEvaluator",
     "RemoteCallConnector",
     "ReproError",
+    "RobustEvaluator",
     "ServiceRegistry",
     "ServiceRequest",
     "SimpleService",

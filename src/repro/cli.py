@@ -20,9 +20,12 @@ section 3.3".  This CLI is that engine over the ``repro/1`` JSON form:
     python -m repro invocations local.json search --set elem=1 list=500 res=1
     python -m repro simulate local.json search --trials 20000 --seed 7 \\
         --set elem=1 list=500 res=1
+    python -m repro fuzz local.json --count 200 --seed 7
 
-Exit status: 0 on success, 1 on model/evaluation errors (message on
-stderr), 2 on usage errors (argparse).
+Errors never surface as tracebacks: every :class:`ReproError` subtree maps
+to its own nonzero exit code with a one-line message on stderr (see
+``EXIT_CODES`` / ``--help``), so unattended callers can branch on the
+failure class.
 """
 
 from __future__ import annotations
@@ -34,9 +37,54 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import (
+    BudgetExceededError,
+    EvaluationError,
+    MarkovError,
+    ModelError,
+    NumericalInstabilityError,
+    ReproError,
+    SymbolicError,
+)
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "exit_code_for", "EXIT_CODES"]
+
+#: The exit-code taxonomy, most specific error class first.
+EXIT_CODES: tuple[tuple[type[BaseException], int], ...] = (
+    (NumericalInstabilityError, 7),
+    (BudgetExceededError, 8),
+    (ModelError, 3),
+    (SymbolicError, 4),
+    (MarkovError, 5),
+    (EvaluationError, 6),
+    (ReproError, 10),
+)
+
+#: Exit code when the fuzz harness finds a contract violation.
+EXIT_FUZZ_VIOLATION = 9
+
+_EXIT_CODE_HELP = """\
+exit codes:
+   0  success
+   1  generic failure (missing file, invalid model report)
+   2  usage error (bad command line)
+   3  model error — malformed model or input document
+   4  symbolic error — expression parsing/evaluation
+   5  markov error — non-analyzable Markov chain
+   6  evaluation error — evaluator failure (cycles, bad actuals, ...)
+   7  numerical instability — result rejected as untrustworthy
+   8  budget exceeded — deadline/state/depth/sweep/trial limit hit
+   9  fuzz contract violated — a mutated model crashed the engine
+  10  other repro error
+"""
+
+
+def exit_code_for(error: ReproError) -> int:
+    """The taxonomy exit code for a :class:`ReproError` instance."""
+    for cls, code in EXIT_CODES:
+        if isinstance(error, cls):
+            return code
+    return 10  # pragma: no cover - EXIT_CODES ends with ReproError
 
 
 def _parse_bindings(pairs: Sequence[str]) -> dict[str, float]:
@@ -61,12 +109,31 @@ def _load(path: str):
     return load_assembly(text)
 
 
+def _budget_from_args(args):
+    """An :class:`~repro.runtime.EvaluationBudget` from the budget flags,
+    or ``None`` when no limit was requested."""
+    from repro.runtime import EvaluationBudget
+
+    limits = {
+        "deadline": getattr(args, "deadline", None),
+        "max_states": getattr(args, "max_states", None),
+        "max_depth": getattr(args, "max_depth", None),
+        "max_sweeps": getattr(args, "max_sweeps", None),
+        "max_trials": getattr(args, "max_trials", None),
+    }
+    if all(v is None for v in limits.values()):
+        return None
+    return EvaluationBudget(**limits)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Architecture-based reliability prediction engine "
                     "(Grassi, LNCS 3549).",
+        epilog=_EXIT_CODE_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -74,6 +141,44 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--set", nargs="*", default=[], metavar="NAME=VALUE",
             help="actual parameter bindings",
+        )
+
+    def non_negative(cast):
+        def parse(text: str):
+            try:
+                value = cast(text)
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"invalid {cast.__name__} value: {text!r}"
+                ) from None
+            if value < 0:
+                raise argparse.ArgumentTypeError(
+                    f"must be non-negative, got {text!r}"
+                )
+            return value
+        return parse
+
+    def add_budget(sub):
+        sub.add_argument(
+            "--deadline", type=non_negative(float), default=None,
+            metavar="SECONDS",
+            help="wall-clock budget; exceeding it exits with code 8",
+        )
+        sub.add_argument(
+            "--max-states", type=non_negative(int), default=None, metavar="N",
+            help="largest absorbing DTMC the solver may factor",
+        )
+        sub.add_argument(
+            "--max-depth", type=non_negative(int), default=None, metavar="N",
+            help="maximum service-composition recursion depth",
+        )
+        sub.add_argument(
+            "--max-sweeps", type=non_negative(int), default=None, metavar="N",
+            help="maximum fixed-point sweeps",
+        )
+        sub.add_argument(
+            "--max-trials", type=non_negative(int), default=None, metavar="N",
+            help="maximum Monte Carlo trials",
         )
 
     sub = commands.add_parser("validate", help="structural validation report")
@@ -86,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("file")
     sub.add_argument("service")
     add_set(sub)
+    add_budget(sub)
     sub.add_argument(
         "--report", action="store_true",
         help="include the per-state failure breakdown",
@@ -94,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fixed-point", action="store_true",
         help="use the fixed-point evaluator (required for recursive "
              "assemblies)",
+    )
+    sub.add_argument(
+        "--robust", action="store_true",
+        help="run the graceful-degradation chain (symbolic -> numeric -> "
+             "fixed-point -> Monte Carlo) and report the serving tier",
     )
 
     sub = commands.add_parser(
@@ -141,6 +252,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("service")
     sub.add_argument("--trials", type=int, default=10_000)
     sub.add_argument("--seed", type=int, default=None)
+    add_set(sub)
+    add_budget(sub)
+
+    sub = commands.add_parser(
+        "fuzz",
+        help="model fault injection: corrupt the assembly N ways and "
+             "assert the engine answers or refuses with a typed error",
+    )
+    sub.add_argument("file")
+    sub.add_argument(
+        "--service", default=None,
+        help="target service (default: top-level composite)",
+    )
+    sub.add_argument(
+        "--count", type=int, default=200,
+        help="number of mutated models to run (default 200)",
+    )
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--trials", type=int, default=2_000,
+        help="Monte Carlo trials for the degradation tier",
+    )
+    sub.add_argument(
+        "--deadline", type=float, default=10.0,
+        help="per-case wall-clock budget in seconds",
+    )
+    sub.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke mode: fewer trials and a tight per-case deadline",
+    )
     add_set(sub)
 
     sub = commands.add_parser(
@@ -204,8 +345,15 @@ def _cmd_evaluate(args) -> int:
 
     assembly = _load(args.file)
     bindings = _parse_bindings(args.set)
+    budget = _budget_from_args(args)
+    if args.robust:
+        from repro.runtime import RobustEvaluator
+
+        evaluator = RobustEvaluator(assembly, budget=budget)
+        print(evaluator.evaluate(args.service, **bindings))
+        return 0
     cls = FixedPointEvaluator if args.fixed_point else ReliabilityEvaluator
-    evaluator = cls(assembly)
+    evaluator = cls(assembly, budget=budget)
     if args.report:
         print(evaluator.report(args.service, **bindings))
     else:
@@ -265,7 +413,9 @@ def _cmd_invocations(args) -> int:
 def _cmd_simulate(args) -> int:
     from repro.simulation import MonteCarloSimulator
 
-    simulator = MonteCarloSimulator(_load(args.file), seed=args.seed)
+    simulator = MonteCarloSimulator(
+        _load(args.file), seed=args.seed, budget=_budget_from_args(args)
+    )
     result = simulator.estimate_pfail(
         args.service, args.trials, **_parse_bindings(args.set)
     )
@@ -359,6 +509,25 @@ def _cmd_export_scenario(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.robustness import FuzzHarness
+
+    bindings = _parse_bindings(args.set)
+    trials = 500 if args.smoke else args.trials
+    deadline = min(args.deadline, 5.0) if args.smoke else args.deadline
+    harness = FuzzHarness(
+        _load(args.file),
+        service=args.service,
+        actuals=bindings or None,
+        seed=args.seed,
+        trials=trials,
+        deadline=deadline,
+    )
+    report = harness.run(args.count)
+    print(report.summary())
+    return 0 if report.ok else EXIT_FUZZ_VIOLATION
+
+
 _COMMANDS = {
     "validate": _cmd_validate,
     "describe": _cmd_describe,
@@ -371,18 +540,24 @@ _COMMANDS = {
     "performance": _cmd_performance,
     "uncertainty": _cmd_uncertainty,
     "export-scenario": _cmd_export_scenario,
+    "fuzz": _cmd_fuzz,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every :class:`ReproError` maps to its taxonomy exit code (see
+    ``EXIT_CODES``) with a one-line ``error[<Class>]`` message on stderr —
+    no tracebacks at this boundary.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        print(f"error[{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

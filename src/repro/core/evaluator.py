@@ -48,6 +48,7 @@ from repro.model.assembly import Assembly
 from repro.model.flow import END, START, FlowState
 from repro.model.service import CompositeService, Service, SimpleService
 from repro.model.validation import validate_assembly
+from repro.runtime.budget import EvaluationBudget
 from repro.symbolic import Environment
 
 __all__ = ["ReliabilityEvaluator", "StateBreakdown", "EvaluationReport"]
@@ -140,6 +141,10 @@ class ReliabilityEvaluator:
         check_domains: verify actual parameters against the declared
             abstract domains on every call (disable for speed inside tight
             sweeps over real-valued interpolations of integer domains).
+        budget: optional :class:`~repro.runtime.EvaluationBudget`; the
+            evaluator load-sheds with
+            :class:`~repro.errors.BudgetExceededError` when the deadline,
+            recursion-depth or DTMC-state limits trip.
     """
 
     def __init__(
@@ -147,9 +152,11 @@ class ReliabilityEvaluator:
         assembly: Assembly,
         validate: bool = True,
         check_domains: bool = True,
+        budget: EvaluationBudget | None = None,
     ):
         self.assembly = assembly
         self.check_domains = check_domains
+        self.budget = budget
         if validate:
             report = validate_assembly(assembly)
             report.raise_if_invalid()
@@ -175,6 +182,7 @@ class ReliabilityEvaluator:
                 f"report() requires a composite service; {svc.name!r} is simple"
             )
         normalized = self._normalize(svc, actuals)
+        self._budget_check()
         env = svc.evaluation_environment(dict(normalized), check=self.check_domains)
         failures: dict[str, float] = {}
         breakdowns: list[StateBreakdown] = []
@@ -200,7 +208,7 @@ class ReliabilityEvaluator:
         finally:
             self._stack.pop()
         chain = augment_with_failures(svc.flow, env, failures)
-        analysis = AbsorbingChainAnalysis(chain)
+        analysis = self._solve_chain(svc.name, chain)
         for breakdown in breakdowns:
             breakdown.expected_visits = analysis.expected_visits(
                 START, breakdown.state
@@ -274,7 +282,24 @@ class ReliabilityEvaluator:
             values.append((name, float(value)))
         return tuple(values)
 
+    def _budget_check(self) -> None:
+        """Deadline + recursion-depth load shedding (no-op without budget)."""
+        if self.budget is not None:
+            self.budget.check_deadline("reliability evaluation")
+            self.budget.check_depth(
+                len(self._stack) + 1, "service-composition recursion"
+            )
+
+    def _solve_chain(self, service_name: str, chain) -> AbsorbingChainAnalysis:
+        """The guarded absorbing-chain solve, gated on the state budget."""
+        if self.budget is not None:
+            self.budget.check_states(
+                chain.matrix.shape[0], f"absorbing solve for {service_name!r}"
+            )
+        return AbsorbingChainAnalysis(chain)
+
     def _pfail_service(self, service: Service, actuals: tuple[tuple[str, float], ...]) -> float:
+        self._budget_check()
         key = (service.name, actuals)
         if key in self._cache:
             return self._cache[key]
@@ -326,7 +351,7 @@ class ReliabilityEvaluator:
                 masking, groups=state.sharing_groups,
             )
         chain = augment_with_failures(service.flow, env, failures)
-        analysis = AbsorbingChainAnalysis(chain)
+        analysis = self._solve_chain(service.name, chain)
         return 1.0 - analysis.absorption_probability(START, END)
 
     def _state_probabilities(

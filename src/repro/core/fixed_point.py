@@ -32,6 +32,7 @@ from repro.errors import FixedPointDivergenceError
 from repro.core.evaluator import ReliabilityEvaluator
 from repro.model.assembly import Assembly
 from repro.model.service import Service
+from repro.runtime.budget import EvaluationBudget
 
 __all__ = ["FixedPointEvaluator"]
 
@@ -61,8 +62,12 @@ class FixedPointEvaluator(ReliabilityEvaluator):
         max_iterations: int = 10_000,
         validate: bool = True,
         check_domains: bool = True,
+        budget: EvaluationBudget | None = None,
     ):
-        super().__init__(assembly, validate=validate, check_domains=check_domains)
+        super().__init__(
+            assembly, validate=validate, check_domains=check_domains,
+            budget=budget,
+        )
         if tolerance <= 0:
             raise FixedPointDivergenceError("tolerance must be positive")
         self.tolerance = float(tolerance)
@@ -90,6 +95,9 @@ class FixedPointEvaluator(ReliabilityEvaluator):
         self._estimates = {}
         previous_top = None
         for iteration in range(1, self.max_iterations + 1):
+            if self.budget is not None:
+                self.budget.check_deadline("fixed-point iteration")
+                self.budget.check_sweeps(iteration, "fixed-point iteration")
             self.iterations_used = iteration
             self._cache.clear()
             self._assumed.clear()

@@ -35,6 +35,7 @@ from __future__ import annotations
 from repro.errors import (
     CyclicAssemblyError,
     EvaluationError,
+    InvalidFlowError,
     ModelError,
 )
 from repro.model.assembly import Assembly
@@ -46,6 +47,7 @@ from repro.model.completion import (
 from repro.model.flow import END, START, FlowState, ServiceFlow
 from repro.model.service import CompositeService, Service, SimpleService
 from repro.model.validation import validate_assembly
+from repro.runtime.budget import EvaluationBudget
 from repro.symbolic import (
     Constant,
     Environment,
@@ -86,6 +88,9 @@ class SymbolicEvaluator:
             named ``service::attribute`` instead of substituting their
             numeric values.
         validate: run structural validation up front.
+        budget: optional :class:`~repro.runtime.EvaluationBudget`; the
+            derivation load-sheds on the deadline and recursion-depth
+            limits with :class:`~repro.errors.BudgetExceededError`.
     """
 
     def __init__(
@@ -93,9 +98,11 @@ class SymbolicEvaluator:
         assembly: Assembly,
         symbolic_attributes: bool = False,
         validate: bool = True,
+        budget: EvaluationBudget | None = None,
     ):
         self.assembly = assembly
         self.symbolic_attributes = symbolic_attributes
+        self.budget = budget
         if validate:
             validate_assembly(assembly).raise_if_invalid()
         self._cache: dict[str, Expression] = {}
@@ -116,6 +123,11 @@ class SymbolicEvaluator:
     # -- recursion ----------------------------------------------------------
 
     def _pfail(self, service: Service) -> Expression:
+        if self.budget is not None:
+            self.budget.check_deadline("symbolic derivation")
+            self.budget.check_depth(
+                len(self._stack) + 1, "symbolic-derivation recursion"
+            )
         if service.name in self._cache:
             return self._cache[service.name]
         if service.name in self._stack:
@@ -391,9 +403,31 @@ def _solve_success_probability(
     def substituted(expr: Expression) -> Expression:
         return evaluator._attribute_substitute(service, expr)
 
+    def check_constant_distribution(source: str) -> None:
+        """Reject corrupt constant transition rows at derivation time.
+
+        Parametric rows cannot be checked until actuals arrive, but a row
+        whose probabilities are all constants (the common case, and the
+        shape model corruption takes) must already form a distribution —
+        otherwise the closed form would be a plausible-looking wrong
+        number rather than a typed error.
+        """
+        probs = [substituted(t.probability) for t in flow.outgoing(source)]
+        if not probs or not all(isinstance(p, Constant) for p in probs):
+            return
+        values = [p.value for p in probs]
+        total = sum(values)
+        if any(v < -1e-9 for v in values) or abs(total - 1.0) > 1e-6:
+            raise InvalidFlowError(
+                f"transition probabilities out of {source!r} do not form "
+                f"a distribution: {values} (sum {total!r})"
+            )
+
     # adjacency among internal states
     edges: dict[str, list[tuple[str, Expression]]] = {name: [] for name in internal}
     to_end: dict[str, Expression] = {name: _ZERO for name in internal}
+    for name in [START, *internal]:
+        check_constant_distribution(name)
     for name in internal:
         for t in flow.outgoing(name):
             prob = substituted(t.probability)
@@ -411,7 +445,9 @@ def _solve_success_probability(
                 inner = inner + prob * x[target]
             x[name] = simplify((_ONE - failures[name]) * inner)
     else:
-        x = _gaussian_solve(internal, index, edges, to_end, failures)
+        x = _gaussian_solve(
+            internal, index, edges, to_end, failures, budget=evaluator.budget
+        )
 
     start_value: Expression = _ZERO
     for t in flow.outgoing(START):
@@ -451,6 +487,7 @@ def _gaussian_solve(
     edges: dict[str, list[tuple[str, Expression]]],
     to_end: dict[str, Expression],
     failures: dict[str, Expression],
+    budget: EvaluationBudget | None = None,
 ) -> dict[str, Expression]:
     """Symbolic Gaussian elimination for cyclic flows.
 
@@ -474,6 +511,8 @@ def _gaussian_solve(
             matrix[i][j] = simplify(matrix[i][j] - survive * prob)
 
     for col in range(n):
+        if budget is not None:
+            budget.check_deadline("symbolic Gaussian elimination")
         # pick a pivot row whose diagonal is not literally zero
         pivot_row = None
         for row in range(col, n):

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 
-from repro.errors import ModelError
+from repro.errors import ModelError, ReproError
 from repro.model.assembly import Assembly
 from repro.model.completion import AND, OR, CompletionModel, KOfNCompletion
 from repro.model.connector import CompositeConnector, SimpleConnector
@@ -140,7 +140,11 @@ def _flow_from_dict(data: dict) -> ServiceFlow:
 
 def service_from_dict(data: dict) -> Service:
     """Rebuild one service from its serialized form."""
+    if not isinstance(data, dict):
+        raise ModelError(f"service entry must be an object, got {type(data).__name__}")
     kind = data.get("kind")
+    if "name" not in data:
+        raise ModelError("service entry is missing the 'name' field")
     name = data["name"]
     interface = _interface_from_dict(data.get("interface", {}))
     is_connector = bool(data.get("connector", False))
@@ -158,25 +162,61 @@ def service_from_dict(data: dict) -> Service:
 
 
 def assembly_from_dict(data: dict) -> Assembly:
-    """Rebuild a whole assembly from its serialized form."""
-    assembly = Assembly(data.get("name", "assembly"))
-    for service_data in data.get("services", ()):
-        assembly.add_service(service_from_dict(service_data))
-    for binding in data.get("bindings", ()):
-        assembly.bind(
-            binding["consumer"],
-            binding["slot"],
-            binding["provider"],
-            connector=binding.get("connector"),
-            connector_actuals={
-                k: _expression(v)
-                for k, v in (binding.get("connector_actuals") or {}).items()
-            },
+    """Rebuild a whole assembly from its serialized form.
+
+    Structural problems in the input — wrong types, missing required
+    fields — surface as :class:`~repro.errors.ModelError`, never as raw
+    ``KeyError``/``TypeError`` tracebacks: the loader is an API boundary
+    fed by untrusted files.
+    """
+    if not isinstance(data, dict):
+        raise ModelError(
+            f"assembly document must be a JSON object, "
+            f"got {type(data).__name__}"
         )
+    try:
+        assembly = Assembly(data.get("name", "assembly"))
+        for service_data in data.get("services", ()):
+            assembly.add_service(service_from_dict(service_data))
+        for binding in data.get("bindings", ()):
+            if not isinstance(binding, dict):
+                raise ModelError(
+                    f"binding entry must be an object, "
+                    f"got {type(binding).__name__}"
+                )
+            missing = [k for k in ("consumer", "slot", "provider")
+                       if k not in binding]
+            if missing:
+                raise ModelError(f"binding entry is missing fields {missing}")
+            assembly.bind(
+                binding["consumer"],
+                binding["slot"],
+                binding["provider"],
+                connector=binding.get("connector"),
+                connector_actuals={
+                    k: _expression(v)
+                    for k, v in (binding.get("connector_actuals") or {}).items()
+                },
+            )
+    except ReproError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ModelError(
+            f"malformed assembly document: {type(exc).__name__}: {exc}"
+        ) from exc
     return assembly
 
 
 def load_assembly(text: str) -> Assembly:
     """Parse a JSON string produced by
-    :func:`repro.dsl.serializer.dump_assembly`."""
-    return assembly_from_dict(json.loads(text))
+    :func:`repro.dsl.serializer.dump_assembly`.
+
+    Raises :class:`~repro.errors.ModelError` on malformed or truncated
+    JSON (wrapping :class:`json.JSONDecodeError`) and on structurally
+    invalid documents.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"not valid JSON: {exc}") from exc
+    return assembly_from_dict(data)

@@ -10,7 +10,12 @@ the library:
   assemblies);
 - :class:`EvaluationError` — failures of the reliability evaluator itself,
   including :class:`CyclicAssemblyError`, raised where the paper's recursive
-  procedure (section 3.3) would loop forever.
+  procedure (section 3.3) would loop forever;
+- :class:`BudgetExceededError` — an :class:`repro.runtime.EvaluationBudget`
+  limit (deadline, state count, recursion depth, sweeps, trials) was hit;
+- :class:`NumericalInstabilityError` — a linear solve or probability
+  computation produced numbers that cannot be trusted (near-singular
+  system, NaN/Inf contamination, out-of-range drift beyond tolerance).
 """
 
 from __future__ import annotations
@@ -163,3 +168,65 @@ class ProbabilityRangeError(EvaluationError):
         super().__init__(f"{what} = {value!r} is outside [0, 1]")
         self.what = what
         self.value = value
+
+
+class NumericalInstabilityError(EvaluationError):
+    """A numeric result cannot be trusted.
+
+    Raised instead of silently returning garbage when the absorbing-chain
+    solve is ill-conditioned, a residual check fails, or NaN/Inf/negative
+    values contaminate a probability computation.  The optional
+    ``diagnostics`` mapping carries the offending quantities (condition
+    estimate, residual norm, drift, ...) for logging and reports.
+    """
+
+    def __init__(self, message: str, **diagnostics: float):
+        detail = ""
+        if diagnostics:
+            detail = " (" + ", ".join(
+                f"{k}={v:.3e}" if isinstance(v, float) else f"{k}={v!r}"
+                for k, v in sorted(diagnostics.items())
+            ) + ")"
+        super().__init__(message + detail)
+        self.diagnostics = dict(diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# runtime layer
+# ---------------------------------------------------------------------------
+
+
+class BudgetExceededError(ReproError):
+    """An :class:`repro.runtime.EvaluationBudget` limit was exhausted.
+
+    Attributes:
+        resource: which limit tripped — one of ``"deadline"``,
+            ``"states"``, ``"depth"``, ``"sweeps"``, ``"trials"``.
+        limit: the configured cap.
+        used: the amount consumed (or attempted) when the check fired.
+    """
+
+    def __init__(self, resource: str, limit: float, used: float, what: str = ""):
+        where = f" during {what}" if what else ""
+        super().__init__(
+            f"evaluation budget exceeded{where}: "
+            f"{resource} limit {limit:g} (used {used:g})"
+        )
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+
+
+class AllTiersFailedError(EvaluationError):
+    """Every tier of a :class:`repro.runtime.RobustEvaluator` degradation
+    chain failed; ``diagnostics`` records each tier's typed error."""
+
+    def __init__(self, service: str, diagnostics):
+        lines = "; ".join(
+            f"{d.tier}: {type(d.error).__name__}: {d.error}" for d in diagnostics
+        )
+        super().__init__(
+            f"all evaluation tiers failed for service {service!r} ({lines})"
+        )
+        self.service = service
+        self.diagnostics = tuple(diagnostics)

@@ -20,6 +20,15 @@ itself, and expected steps-to-absorption ``t = N 1``.
 
 Rather than forming the inverse we solve the linear systems directly
 (``numpy.linalg.solve``), which is both faster and better conditioned.
+
+The solves are *guarded*: a singular system still raises
+:class:`~repro.errors.NotAbsorbingError` (the classical "transient state
+cannot reach absorption" diagnosis), but a nearly-singular system — one
+whose condition estimate or residual says the computed probabilities are
+numerically untrustworthy — raises
+:class:`~repro.errors.NumericalInstabilityError` instead of returning
+garbage.  Absorption probabilities are clamped to ``[0, 1]``; drift beyond
+``DRIFT_TOL`` is itself treated as instability.
 """
 
 from __future__ import annotations
@@ -28,10 +37,18 @@ from collections.abc import Hashable
 
 import numpy as np
 
-from repro.errors import NotAbsorbingError, UnknownStateError
+from repro.errors import (
+    NotAbsorbingError,
+    NumericalInstabilityError,
+    UnknownStateError,
+)
 from repro.markov.dtmc import DiscreteTimeMarkovChain
 
-__all__ = ["AbsorbingChainAnalysis", "absorption_probability"]
+__all__ = ["AbsorbingChainAnalysis", "absorption_probability", "DRIFT_TOL"]
+
+#: Maximum tolerated drift of an absorption probability beyond [0, 1]
+#: before clamping is no longer honest and the solve is rejected.
+DRIFT_TOL = 1e-6
 
 
 class AbsorbingChainAnalysis:
@@ -56,9 +73,18 @@ class AbsorbingChainAnalysis:
         matrix = chain.matrix
         t_rows = [chain.index(s) for s in self._transient]
         a_cols = [chain.index(s) for s in self._absorbing]
+        self._clamp_drift = 0.0
         if t_rows:
+            from repro.runtime.guards import (
+                MAX_CONDITION,
+                RESIDUAL_TOL,
+                check_finite_array,
+            )
+
             q = matrix[np.ix_(t_rows, t_rows)]
             r = matrix[np.ix_(t_rows, a_cols)]
+            check_finite_array("(I - Q) system: transition matrix", q)
+            check_finite_array("(I - Q) system: absorbing block", r)
             identity = np.eye(len(t_rows))
             system = identity - q
             # Singular (I - Q) means some transient state can never reach an
@@ -74,6 +100,43 @@ class AbsorbingChainAnalysis:
                 raise NotAbsorbingError(
                     "some transient state cannot reach any absorbing state"
                 ) from exc
+            # Near-singular systems factor without raising but produce
+            # numbers no one should trust; measure instead of hoping.
+            if not np.all(np.isfinite(self._absorption)):
+                raise NumericalInstabilityError(
+                    "(I - Q) solve produced non-finite absorption "
+                    "probabilities"
+                )
+            condition = float(np.linalg.cond(system, 1))
+            if not np.isfinite(condition) or condition > MAX_CONDITION:
+                raise NumericalInstabilityError(
+                    "(I - Q) system is ill-conditioned; absorption "
+                    "probabilities are untrustworthy",
+                    condition=condition,
+                )
+            residual = float(
+                np.max(np.abs(system @ self._absorption - r), initial=0.0)
+            )
+            if residual > RESIDUAL_TOL:
+                raise NumericalInstabilityError(
+                    "(I - Q) solve failed the residual check",
+                    residual=residual, condition=condition,
+                )
+            # Clamp round-off drift outside [0, 1]; reject real violations.
+            drift = float(
+                max(
+                    np.max(-self._absorption, initial=0.0),
+                    np.max(self._absorption - 1.0, initial=0.0),
+                )
+            )
+            self._clamp_drift = max(drift, 0.0)
+            if drift > DRIFT_TOL:
+                raise NumericalInstabilityError(
+                    "absorption probabilities drifted outside [0, 1] "
+                    "beyond tolerance",
+                    drift=drift, condition=condition,
+                )
+            self._absorption = np.clip(self._absorption, 0.0, 1.0)
         else:
             self._absorption = np.zeros((0, len(a_cols)))
             self._expected_visits = np.zeros((0, 0))
@@ -95,6 +158,12 @@ class AbsorbingChainAnalysis:
     def absorbing_states(self) -> tuple[Hashable, ...]:
         """Absorbing states, in analysis order."""
         return tuple(self._absorbing)
+
+    @property
+    def clamp_drift(self) -> float:
+        """Largest round-off drift outside ``[0, 1]`` that was clamped
+        (diagnostic; always ``<= DRIFT_TOL``, larger drift raises)."""
+        return self._clamp_drift
 
     # -- queries --------------------------------------------------------------
 

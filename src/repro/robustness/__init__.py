@@ -1,0 +1,31 @@
+"""Fault injection against the engine itself.
+
+- :mod:`repro.robustness.mutator` — :class:`ModelMutator`, generating
+  corrupted assemblies (unnormalized rows, NaN/negative attributes,
+  unbound parameters, dangling/dropped bindings, recursion bombs,
+  absorbing-state removal, trap cycles, truncated/garbage JSON);
+- :mod:`repro.robustness.harness` — :class:`FuzzHarness`, asserting that
+  every corruption yields a correct answer or a typed
+  :class:`~repro.errors.ReproError` — never a crash, never an
+  out-of-``[0, 1]`` probability.
+
+Exposed on the command line as ``python -m repro fuzz``.
+"""
+
+from repro.robustness.harness import (
+    FuzzCase,
+    FuzzHarness,
+    FuzzReport,
+    default_target,
+)
+from repro.robustness.mutator import OPERATOR_NAMES, ModelMutator, Mutation
+
+__all__ = [
+    "FuzzCase",
+    "FuzzHarness",
+    "FuzzReport",
+    "ModelMutator",
+    "Mutation",
+    "OPERATOR_NAMES",
+    "default_target",
+]

@@ -1,0 +1,363 @@
+"""Model fault injection: corrupted assemblies that attack the engine.
+
+The Monte Carlo engine injects faults into the *modeled system*; this
+module injects faults into the *model itself* — the adversarial inputs a
+production prediction service will inevitably receive from buggy
+generators, truncated uploads and hostile clients.  Each operator takes a
+healthy assembly (in its ``repro/1`` dictionary form) and applies one
+targeted corruption:
+
+========================  ====================================================
+operator                  corruption
+========================  ====================================================
+``unnormalized-row``      a transition probability scaled past a valid
+                          distribution
+``negative-probability``  a negative transition probability
+``huge-probability``      a transition probability of 1e6
+``nan-attribute``         a published interface attribute set to NaN
+``negative-attribute``    a published interface attribute made negative
+``unbound-parameter``     a failure expression referencing a parameter
+                          nobody binds
+``dangling-binding``      a binding pointing at a service that does not exist
+``dropped-binding``       a required-service binding deleted
+``recursion-bomb``        a binding rewired onto the consumer itself
+``no-absorbing-state``    every path to End redirected back into the flow
+``trap-cycle``            a never-failing two-state cycle grafted onto a
+                          flow (End stays reachable, so structural
+                          validation passes, but probability mass is
+                          trapped)
+``truncated-json``        the serialized document cut mid-stream (text level)
+``garbage-json``          a randomly corrupted byte (text level)
+========================  ====================================================
+
+The contract under test (see :mod:`repro.robustness.harness`): every
+mutation must yield a correct answer or a typed
+:class:`~repro.errors.ReproError` — never an unhandled exception, never a
+silently wrong probability.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsl.loader import assembly_from_dict, load_assembly
+from repro.dsl.serializer import assembly_to_dict
+from repro.model.assembly import Assembly
+
+__all__ = ["Mutation", "ModelMutator", "OPERATOR_NAMES"]
+
+
+@dataclass
+class Mutation:
+    """One corrupted model.
+
+    Attributes:
+        operator: name of the mutation operator applied.
+        detail: human-readable description of the specific corruption.
+        data: the mutated document (dict form), or ``None`` for
+            text-level mutations.
+        text: the mutated serialized form, for text-level operators.
+    """
+
+    operator: str
+    detail: str
+    data: dict | None = None
+    text: str | None = None
+
+    def build(self) -> Assembly:
+        """Materialize the corrupted assembly (may raise typed errors)."""
+        if self.text is not None:
+            return load_assembly(self.text)
+        return assembly_from_dict(copy.deepcopy(self.data))
+
+
+def _transitions(data: dict) -> list[dict]:
+    out = []
+    for service in data.get("services", ()):
+        flow = service.get("flow")
+        if flow:
+            out.extend(flow.get("transitions", ()))
+    return out
+
+
+def _attributed_services(data: dict) -> list[dict]:
+    return [
+        s for s in data.get("services", ())
+        if s.get("interface", {}).get("attributes")
+    ]
+
+
+def _simple_services(data: dict) -> list[dict]:
+    return [s for s in data.get("services", ()) if s.get("kind") == "simple"]
+
+
+def _composite_services(data: dict) -> list[dict]:
+    return [s for s in data.get("services", ()) if s.get("kind") == "composite"]
+
+
+class ModelMutator:
+    """Deterministic generator of corrupted assemblies.
+
+    Args:
+        base: the healthy assembly (or its dict form) to corrupt.
+        seed: seed for the operator/site selection stream; the same seed
+            reproduces the same mutation sequence.
+        operators: restrict to a subset of operator names (default: all).
+    """
+
+    def __init__(
+        self,
+        base: Assembly | dict,
+        seed: int = 0,
+        operators: tuple[str, ...] | None = None,
+    ):
+        self._base = (
+            assembly_to_dict(base) if isinstance(base, Assembly) else dict(base)
+        )
+        self.rng = np.random.default_rng(seed)
+        self._operators = {
+            name: fn for name, fn in self._all_operators().items()
+            if operators is None or name in operators
+        }
+        if not self._operators:
+            raise ValueError(f"no known operators among {operators!r}")
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def operator_names(self) -> tuple[str, ...]:
+        """The active operator names."""
+        return tuple(self._operators)
+
+    def mutate(self) -> Mutation:
+        """Produce one mutation (round-robin randomized over operators)."""
+        names = list(self._operators)
+        self.rng.shuffle(names)
+        for name in names:
+            mutation = self._apply(name)
+            if mutation is not None:
+                return mutation
+        raise RuntimeError(
+            "no mutation operator applies to this model"
+        )  # pragma: no cover - every operator applies to non-trivial models
+
+    def generate(self, count: int) -> Iterator[Mutation]:
+        """Yield ``count`` mutations, cycling through all operators so the
+        stream covers every corruption class."""
+        names = list(self._operators)
+        for i in range(count):
+            name = names[i % len(names)]
+            mutation = self._apply(name)
+            if mutation is None:  # operator not applicable to this model
+                mutation = self.mutate()
+            yield mutation
+
+    # -- operators ---------------------------------------------------------
+
+    def _apply(self, name: str) -> Mutation | None:
+        data = copy.deepcopy(self._base)
+        detail = self._operators[name](data)
+        if detail is None:
+            return None
+        if isinstance(detail, tuple):  # text-level operator: (detail, text)
+            return Mutation(name, detail[0], text=detail[1])
+        return Mutation(name, detail, data=data)
+
+    def _all_operators(self):
+        return {
+            "unnormalized-row": self._op_unnormalized_row,
+            "negative-probability": self._op_negative_probability,
+            "huge-probability": self._op_huge_probability,
+            "nan-attribute": self._op_nan_attribute,
+            "negative-attribute": self._op_negative_attribute,
+            "unbound-parameter": self._op_unbound_parameter,
+            "dangling-binding": self._op_dangling_binding,
+            "dropped-binding": self._op_dropped_binding,
+            "recursion-bomb": self._op_recursion_bomb,
+            "no-absorbing-state": self._op_no_absorbing_state,
+            "trap-cycle": self._op_trap_cycle,
+            "truncated-json": self._op_truncated_json,
+            "garbage-json": self._op_garbage_json,
+        }
+
+    def _choice(self, items: list):
+        return items[int(self.rng.integers(len(items)))]
+
+    def _op_unnormalized_row(self, data: dict) -> str | None:
+        transitions = _transitions(data)
+        if not transitions:
+            return None
+        t = self._choice(transitions)
+        value = float(self.rng.uniform(1.2, 5.0))
+        t["probability"] = value
+        return f"transition {t['source']}->{t['target']} set to {value:.3f}"
+
+    def _op_negative_probability(self, data: dict) -> str | None:
+        transitions = _transitions(data)
+        if not transitions:
+            return None
+        t = self._choice(transitions)
+        value = -float(self.rng.uniform(0.05, 0.9))
+        t["probability"] = value
+        return f"transition {t['source']}->{t['target']} set to {value:.3f}"
+
+    def _op_huge_probability(self, data: dict) -> str | None:
+        transitions = _transitions(data)
+        if not transitions:
+            return None
+        t = self._choice(transitions)
+        t["probability"] = 1e6
+        return f"transition {t['source']}->{t['target']} set to 1e6"
+
+    def _op_nan_attribute(self, data: dict) -> str | None:
+        services = _attributed_services(data)
+        if not services:
+            return None
+        service = self._choice(services)
+        attr = self._choice(sorted(service["interface"]["attributes"]))
+        service["interface"]["attributes"][attr] = float("nan")
+        return f"attribute {service['name']}::{attr} set to NaN"
+
+    def _op_negative_attribute(self, data: dict) -> str | None:
+        services = _attributed_services(data)
+        if not services:
+            return None
+        service = self._choice(services)
+        attr = self._choice(sorted(service["interface"]["attributes"]))
+        old = float(service["interface"]["attributes"][attr])
+        service["interface"]["attributes"][attr] = -abs(old) - 0.5
+        return f"attribute {service['name']}::{attr} made negative"
+
+    def _op_unbound_parameter(self, data: dict) -> str | None:
+        services = _simple_services(data)
+        if not services:
+            return None
+        service = self._choice(services)
+        service["failure_probability"] = "ghost_unbound_parameter"
+        return (
+            f"failure probability of {service['name']!r} references an "
+            f"unbound parameter"
+        )
+
+    def _op_dangling_binding(self, data: dict) -> str | None:
+        bindings = data.get("bindings") or []
+        if not bindings:
+            return None
+        binding = self._choice(bindings)
+        binding["provider"] = "ghost-service"
+        return (
+            f"binding {binding['consumer']}.{binding['slot']} points at a "
+            f"nonexistent provider"
+        )
+
+    def _op_dropped_binding(self, data: dict) -> str | None:
+        bindings = data.get("bindings") or []
+        if not bindings:
+            return None
+        binding = self._choice(bindings)
+        bindings.remove(binding)
+        return f"binding {binding['consumer']}.{binding['slot']} deleted"
+
+    def _op_recursion_bomb(self, data: dict) -> str | None:
+        bindings = data.get("bindings") or []
+        composites = {s["name"] for s in _composite_services(data)}
+        candidates = [b for b in bindings if b["consumer"] in composites]
+        if not candidates:
+            return None
+        binding = self._choice(candidates)
+        binding["provider"] = binding["consumer"]
+        binding["connector"] = None
+        return (
+            f"binding {binding['consumer']}.{binding['slot']} rewired onto "
+            f"the consumer itself"
+        )
+
+    def _op_no_absorbing_state(self, data: dict) -> str | None:
+        composites = [
+            s for s in _composite_services(data)
+            if s.get("flow", {}).get("states")
+        ]
+        if not composites:
+            return None
+        service = self._choice(composites)
+        flow = service["flow"]
+        trap = flow["states"][0]["name"]
+        redirected = 0
+        for t in flow.get("transitions", ()):
+            if t["target"] == "End":
+                t["target"] = trap
+                redirected += 1
+        if not redirected:
+            return None
+        return (
+            f"{redirected} End transitions of {service['name']!r} "
+            f"redirected to {trap!r}"
+        )
+
+    def _op_trap_cycle(self, data: dict) -> str | None:
+        """Graft a never-failing two-state cycle onto a flow.
+
+        End stays reachable from Start, so structural validation passes —
+        but 40% of the probability mass enters a cycle it can never leave
+        and in which nothing ever fails.  The absorbing analysis must
+        refuse (singular ``I - Q``) and the simulator must bound its walk
+        instead of hanging.
+        """
+        composites = [
+            s for s in _composite_services(data)
+            if s.get("flow", {}).get("transitions")
+        ]
+        if not composites:
+            return None
+        service = self._choice(composites)
+        flow = service["flow"]
+        flow.setdefault("states", []).extend(
+            [{"name": "__trap_a", "requests": []},
+             {"name": "__trap_b", "requests": []}]
+        )
+        scale = {"kind": "const", "value": 0.6}
+        for t in flow["transitions"]:
+            if t["source"] == "Start":
+                t["probability"] = {
+                    "kind": "binary", "op": "*",
+                    "left": t["probability"], "right": scale,
+                }
+        one = {"kind": "const", "value": 1.0}
+        flow["transitions"].extend(
+            [
+                {"source": "Start", "target": "__trap_a",
+                 "probability": {"kind": "const", "value": 0.4}},
+                {"source": "__trap_a", "target": "__trap_b",
+                 "probability": one},
+                {"source": "__trap_b", "target": "__trap_a",
+                 "probability": one},
+            ]
+        )
+        return (
+            f"never-failing trap cycle grafted onto {service['name']!r} "
+            f"(0.4 of the Start mass can never absorb)"
+        )
+
+    def _op_truncated_json(self, data: dict) -> tuple[str, str] | None:
+        text = json.dumps(self._base)
+        cut = int(self.rng.integers(1, max(len(text) - 1, 2)))
+        return f"document truncated at byte {cut}/{len(text)}", text[:cut]
+
+    def _op_garbage_json(self, data: dict) -> tuple[str, str] | None:
+        text = json.dumps(self._base)
+        position = int(self.rng.integers(len(text)))
+        garbage = self._choice(list("}{[]:,x\x00"))
+        mutated = text[:position] + garbage + text[position + 1:]
+        return f"byte {position} replaced with {garbage!r}", mutated
+
+
+OPERATOR_NAMES: tuple[str, ...] = tuple(
+    ModelMutator(
+        {"services": [], "bindings": []}, operators=None
+    )._all_operators()
+)

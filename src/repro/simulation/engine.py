@@ -40,12 +40,21 @@ from repro.model.assembly import Assembly
 from repro.model.flow import END, START
 from repro.model.service import CompositeService, Service, SimpleService
 from repro.model.validation import validate_assembly
+from repro.runtime.budget import EvaluationBudget
+from repro.runtime.guards import check_probability
 
 __all__ = ["SimulationResult", "MonteCarloSimulator"]
 
 #: Recursion-depth cap: the simulator supports the acyclic assemblies the
 #: recursive evaluator supports; runaway recursion indicates a cycle.
 _MAX_DEPTH = 512
+
+#: Deadline checks are amortized over batches of this many trials.
+_DEADLINE_STRIDE = 256
+
+#: Per-trial step cap: healthy flows absorb within a handful of steps, so
+#: a walk this long means the flow traps probability mass in a cycle.
+_MAX_WALK_STEPS = 100_000
 
 
 class SimulationResult:
@@ -155,6 +164,10 @@ class MonteCarloSimulator:
         assembly: the assembly to simulate.
         seed: seed for the numpy PCG64 generator (reproducible runs).
         validate: run structural validation up front.
+        budget: optional :class:`~repro.runtime.EvaluationBudget`; trials
+            are charged against the cumulative trial cap and the deadline
+            is checked every few hundred trials, raising
+            :class:`~repro.errors.BudgetExceededError`.
     """
 
     def __init__(
@@ -162,8 +175,10 @@ class MonteCarloSimulator:
         assembly: Assembly,
         seed: int | None = None,
         validate: bool = True,
+        budget: EvaluationBudget | None = None,
     ):
         self.assembly = assembly
+        self.budget = budget
         if validate:
             validate_assembly(assembly).raise_if_invalid()
         self.rng = np.random.default_rng(seed)
@@ -172,6 +187,9 @@ class MonteCarloSimulator:
 
     def simulate_once(self, service: str | Service, **actuals: float) -> bool:
         """Simulate one invocation; returns True on success."""
+        if self.budget is not None:
+            self.budget.check_deadline("simulation")
+            self.budget.charge_trials(1, "simulation")
         plan = self.compile(service, **actuals)
         return self._run(plan)
 
@@ -179,9 +197,18 @@ class MonteCarloSimulator:
         self, service: str | Service, trials: int, **actuals: float
     ) -> SimulationResult:
         """Estimate ``Pfail(service, actuals)`` over ``trials`` invocations."""
+        if self.budget is not None:
+            self.budget.check_deadline("Monte Carlo estimation")
+            self.budget.charge_trials(trials, "Monte Carlo estimation")
         plan = self.compile(service, **actuals)
         failures = 0
-        for _ in range(trials):
+        for trial in range(trials):
+            if (
+                self.budget is not None
+                and trial % _DEADLINE_STRIDE == 0
+                and trial
+            ):
+                self.budget.check_deadline("Monte Carlo estimation")
             if not self._run(plan):
                 failures += 1
         return SimulationResult(trials, failures)
@@ -204,13 +231,20 @@ class MonteCarloSimulator:
                 "acyclic assemblies only (evaluate cyclic ones with "
                 "FixedPointEvaluator)"
             )
+        if self.budget is not None:
+            self.budget.check_depth(depth + 1, "simulation plan compilation")
         key = (service.name, actuals)
         if key in memo:
             return memo[key]
         env = service.evaluation_environment(dict(actuals), check=False)
 
         if isinstance(service, SimpleService):
-            plan = _SimplePlan(float(service.failure_probability.evaluate(env)))
+            # A NaN or out-of-range draw threshold would silently bias
+            # every trial; reject it here with a typed error instead.
+            plan = _SimplePlan(check_probability(
+                f"Pfail({service.name})",
+                float(service.failure_probability.evaluate(env)),
+            ))
             memo[key] = plan
             return plan
         if not isinstance(service, CompositeService):
@@ -221,7 +255,10 @@ class MonteCarloSimulator:
             request_plans = []
             for request in state.requests:
                 resolved = self.assembly.resolve_request(service.name, request)
-                p_int = float(request.internal_failure.evaluate(env))
+                p_int = check_probability(
+                    f"internal failure of {service.name}/{state.name}",
+                    float(request.internal_failure.evaluate(env)),
+                )
                 callee_actuals = tuple(sorted(
                     (name, float(request.actuals[name].evaluate(env)))
                     for name in resolved.provider.formal_parameters
@@ -241,7 +278,10 @@ class MonteCarloSimulator:
                 request_plans.append(
                     _RequestPlan(
                         p_int, provider_plan, connector_plan,
-                        masking=float(request.masking.evaluate(env)),
+                        masking=check_probability(
+                            f"masking of {service.name}/{state.name}",
+                            float(request.masking.evaluate(env)),
+                        ),
                     )
                 )
             states[state.name] = _StatePlan(
@@ -280,7 +320,20 @@ class MonteCarloSimulator:
         if isinstance(plan, _SimplePlan):
             return bool(self.rng.random() >= plan.pfail)
         current = self._next(plan, START)
+        steps = 0
         while current != END:
+            # A flow can pass structural validation (End reachable from
+            # Start) and still hold a never-failing cycle that traps the
+            # walk; bound every trial so a corrupt model cannot hang us.
+            steps += 1
+            if steps % _DEADLINE_STRIDE == 0 and self.budget is not None:
+                self.budget.check_deadline("simulation walk")
+            if steps > _MAX_WALK_STEPS:
+                raise EvaluationError(
+                    f"simulation walk through {plan.service!r} exceeded "
+                    f"{_MAX_WALK_STEPS} steps without absorbing; the flow "
+                    f"likely traps probability mass in a cycle"
+                )
             if not self._execute_state(plan.states[current]):
                 return False
             current = self._next(plan, current)

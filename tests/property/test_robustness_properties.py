@@ -1,0 +1,60 @@
+"""Property test for the robustness contract.
+
+For *any* mutated assembly — any operator, any mutation seed — the
+hardened path (:class:`~repro.runtime.RobustEvaluator` under an
+:class:`~repro.runtime.EvaluationBudget`) must either return a
+probability in ``[0, 1]`` or raise a typed
+:class:`~repro.errors.ReproError`.  Nothing else is acceptable: no bare
+exceptions, no NaN, no probabilities outside the unit interval.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import assembly_to_dict
+from repro.errors import ReproError
+from repro.robustness import OPERATOR_NAMES, ModelMutator, default_target
+from repro.runtime import EvaluationBudget, RobustEvaluator
+from repro.scenarios import local_assembly
+
+# Built once: mutation works on the dict form, so the strategy only draws
+# seeds and operator choices.
+BASE = assembly_to_dict(local_assembly())
+SERVICE, ACTUALS = default_target(local_assembly())
+
+
+class TestMutationContract:
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        operator=st.sampled_from(OPERATOR_NAMES),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_mutation_yields_probability_or_typed_error(
+        self, seed, operator
+    ):
+        mutator = ModelMutator(BASE, seed=seed, operators=(operator,))
+        mutation = mutator.mutate()
+        budget = EvaluationBudget(
+            deadline=5.0, max_depth=64, max_sweeps=500, max_trials=2_000
+        )
+        try:
+            assembly = mutation.build()
+            result = RobustEvaluator(
+                assembly, budget=budget, trials=500, seed=seed
+            ).evaluate(SERVICE, **ACTUALS)
+        except ReproError:
+            return  # a typed refusal is a correct answer to a corrupt model
+        assert isinstance(result.pfail, float)
+        assert math.isfinite(result.pfail)
+        assert 0.0 <= result.pfail <= 1.0
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_mutation_stream_is_deterministic_per_seed(self, seed):
+        first = ModelMutator(BASE, seed=seed).mutate()
+        second = ModelMutator(BASE, seed=seed).mutate()
+        assert (first.operator, first.detail) == (
+            second.operator, second.detail
+        )

@@ -104,16 +104,17 @@ class TestEvaluate:
     def test_bad_binding_syntax(self, local_file, capsys):
         assert main(
             ["evaluate", local_file, "search", "--set", "elem"]
-        ) == 1
+        ) == 10
         assert "name=value" in capsys.readouterr().err
 
     def test_non_numeric_binding(self, local_file, capsys):
         assert main(
             ["evaluate", local_file, "search", "--set", "elem=abc"]
-        ) == 1
+        ) == 10
 
     def test_missing_actuals_reported(self, local_file, capsys):
-        assert main(["evaluate", local_file, "search"]) == 1
+        # EvaluationError maps to exit code 6 in the taxonomy
+        assert main(["evaluate", local_file, "search"]) == 6
         assert "missing" in capsys.readouterr().err
 
     def test_fixed_point_flag_on_recursive_assembly(self, tmp_path, capsys):
@@ -122,8 +123,8 @@ class TestEvaluate:
 
         path = tmp_path / "recursive.json"
         path.write_text(dump_assembly(recursive_assembly()))
-        # the default evaluator refuses
-        assert main(["evaluate", str(path), "A", "--set", "size=1"]) == 1
+        # the default evaluator refuses (EvaluationError -> exit code 6)
+        assert main(["evaluate", str(path), "A", "--set", "size=1"]) == 6
         assert "cyclic" in capsys.readouterr().err
         # the fixed-point engine solves it
         assert main(

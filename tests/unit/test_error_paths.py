@@ -1,0 +1,152 @@
+"""Unit tests for the hardened error paths: loader rejection of broken
+documents, fixed-point divergence, and absorbing-chain failure
+propagation through the evaluators.
+
+Every path must end in a typed :class:`~repro.errors.ReproError`
+subclass — never a ``KeyError``/``TypeError`` traceback leaking library
+internals to a caller who fed it a broken model.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.core import FixedPointEvaluator, ReliabilityEvaluator
+from repro.dsl import assembly_to_dict, dump_assembly
+from repro.dsl.loader import assembly_from_dict, load_assembly
+from repro.errors import (
+    FixedPointDivergenceError,
+    MarkovError,
+    ModelError,
+    NotAbsorbingError,
+    ReproError,
+)
+from repro.scenarios import local_assembly, recursive_assembly
+
+
+def healthy_document() -> dict:
+    return assembly_to_dict(local_assembly())
+
+
+class TestLoaderRejectsBrokenDocuments:
+    def test_malformed_json(self):
+        with pytest.raises(ModelError, match="not valid JSON"):
+            load_assembly("{this is not json")
+
+    def test_truncated_json(self):
+        text = dump_assembly(local_assembly())
+        for cut in (1, len(text) // 3, len(text) - 2):
+            with pytest.raises(ModelError):
+                load_assembly(text[:cut])
+
+    def test_empty_string(self):
+        with pytest.raises(ModelError):
+            load_assembly("")
+
+    def test_non_object_document(self):
+        with pytest.raises(ModelError):
+            load_assembly(json.dumps([1, 2, 3]))
+        with pytest.raises(ModelError):
+            load_assembly(json.dumps("just a string"))
+
+    def test_non_dict_argument(self):
+        with pytest.raises(ModelError):
+            assembly_from_dict(None)
+
+    def test_service_entry_must_be_a_dict(self):
+        doc = healthy_document()
+        doc["services"][0] = "not-a-service"
+        with pytest.raises(ModelError):
+            assembly_from_dict(doc)
+
+    def test_service_entry_needs_a_name(self):
+        doc = healthy_document()
+        del doc["services"][0]["name"]
+        with pytest.raises(ModelError):
+            assembly_from_dict(doc)
+
+    def test_binding_entry_must_be_a_dict(self):
+        doc = healthy_document()
+        doc["bindings"][0] = ["search", "slot", "provider"]
+        with pytest.raises(ModelError):
+            assembly_from_dict(doc)
+
+    def test_binding_entry_needs_all_fields(self):
+        for missing in ("consumer", "slot", "provider"):
+            doc = healthy_document()
+            del doc["bindings"][0][missing]
+            with pytest.raises(ModelError):
+                assembly_from_dict(doc)
+
+    def test_loader_errors_are_repro_errors(self):
+        """Callers catch one root type for the whole load path."""
+        with pytest.raises(ReproError):
+            load_assembly("{")
+
+
+class TestFixedPointDivergence:
+    def test_sweep_starved_iteration_raises_divergence(self):
+        """The recursive scenario needs dozens of Kleene sweeps; a cap of
+        2 must surface as FixedPointDivergenceError, not a wrong number."""
+        evaluator = FixedPointEvaluator(recursive_assembly(), max_iterations=2)
+        with pytest.raises(FixedPointDivergenceError) as excinfo:
+            evaluator.pfail("A", size=1)
+        assert "2" in str(excinfo.value)
+
+    def test_divergence_is_an_evaluation_error(self):
+        from repro.errors import EvaluationError
+
+        assert issubclass(FixedPointDivergenceError, EvaluationError)
+
+
+class TestNotAbsorbingPropagation:
+    def limbo_assembly(self):
+        """local assembly whose 'search' flow gains a two-state cycle that
+        is reachable from Start but can never reach End and never fails —
+        structurally valid (End stays reachable), yet the failure-augmented
+        chain traps probability mass forever, so the absorbing analysis is
+        ill-posed."""
+        doc = healthy_document()
+        flow = next(
+            s for s in doc["services"] if s.get("name") == "search"
+        )["flow"]
+        flow["states"].extend(
+            [{"name": "limbo1", "requests": []},
+             {"name": "limbo2", "requests": []}]
+        )
+        one = {"kind": "const", "value": 1.0}
+        for t in flow["transitions"]:
+            if t["source"] == "Start" and t["target"] == "sort":
+                t["probability"] = {"kind": "const", "value": 0.5}
+        flow["transitions"].extend(
+            [
+                {"source": "Start", "target": "limbo1",
+                 "probability": {"kind": "const", "value": 0.4}},
+                {"source": "limbo1", "target": "limbo2", "probability": one},
+                {"source": "limbo2", "target": "limbo1", "probability": one},
+            ]
+        )
+        return assembly_from_dict(doc)
+
+    def test_unvalidated_evaluation_raises_markov_error(self):
+        """With validation off, the broken chain reaches the absorbing
+        solver, which must refuse with a typed Markov-layer error."""
+        evaluator = ReliabilityEvaluator(self.limbo_assembly(), validate=False)
+        with pytest.raises(MarkovError):
+            evaluator.pfail("search", elem=1, list=500, res=1)
+
+    def test_not_absorbing_is_a_markov_error(self):
+        assert issubclass(NotAbsorbingError, MarkovError)
+
+    def test_robust_evaluator_refuses_with_typed_error(self):
+        """The hardened front door also never crashes on it: either a
+        validation refusal or an all-tiers failure, both typed."""
+        from repro.runtime import EvaluationBudget, RobustEvaluator
+
+        with pytest.raises(ReproError):
+            RobustEvaluator(
+                self.limbo_assembly(),
+                budget=EvaluationBudget(deadline=5.0, max_trials=500),
+                trials=200,
+            ).evaluate("search", elem=1, list=500, res=1)

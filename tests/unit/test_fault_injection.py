@@ -1,0 +1,148 @@
+"""Unit tests for the model fault-injection subsystem
+(:mod:`repro.robustness`): mutation operators, the contract harness, and
+its CLI binding (``python -m repro fuzz``).
+
+The contract under test: every corrupted model yields either a correct
+answer (``0 <= pfail <= 1``) or a typed :class:`~repro.errors.ReproError`
+— never a crash, never an out-of-range probability.
+"""
+
+import pytest
+
+from repro.cli import EXIT_FUZZ_VIOLATION, main
+from repro.dsl import assembly_to_dict
+from repro.errors import ModelError, ReproError
+from repro.robustness import (
+    OPERATOR_NAMES,
+    FuzzHarness,
+    ModelMutator,
+    default_target,
+)
+from repro.robustness.harness import CRASH, OK, OUT_OF_RANGE, TYPED_ERROR
+from repro.scenarios import local_assembly
+
+
+class TestMutator:
+    def test_thirteen_operator_classes(self):
+        assert len(OPERATOR_NAMES) == 13
+        assert "unnormalized-row" in OPERATOR_NAMES
+        assert "garbage-json" in OPERATOR_NAMES
+        assert "trap-cycle" in OPERATOR_NAMES
+
+    def test_same_seed_reproduces_the_stream(self):
+        base = local_assembly()
+        first = [
+            (m.operator, m.detail)
+            for m in ModelMutator(base, seed=42).generate(24)
+        ]
+        second = [
+            (m.operator, m.detail)
+            for m in ModelMutator(base, seed=42).generate(24)
+        ]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        base = local_assembly()
+        a = [m.detail for m in ModelMutator(base, seed=1).generate(24)]
+        b = [m.detail for m in ModelMutator(base, seed=2).generate(24)]
+        assert a != b
+
+    def test_generate_cycles_every_operator(self):
+        mutations = list(ModelMutator(local_assembly(), seed=0).generate(13))
+        assert {m.operator for m in mutations} == set(OPERATOR_NAMES)
+
+    def test_operator_restriction(self):
+        mutator = ModelMutator(
+            local_assembly(), operators=("nan-attribute",)
+        )
+        assert mutator.operator_names == ("nan-attribute",)
+        assert all(
+            m.operator == "nan-attribute" for m in mutator.generate(5)
+        )
+
+    def test_unknown_operator_set_rejected(self):
+        with pytest.raises(ValueError):
+            ModelMutator(local_assembly(), operators=("flux-capacitor",))
+
+    def test_mutation_does_not_touch_the_base(self):
+        base = assembly_to_dict(local_assembly())
+        mutator = ModelMutator(base, seed=0)
+        snapshot = assembly_to_dict(local_assembly())
+        for _ in range(12):
+            mutator.mutate()
+        assert mutator._base == snapshot
+
+    def test_text_level_corruption_is_a_typed_load_error(self):
+        mutator = ModelMutator(
+            local_assembly(), seed=3, operators=("truncated-json",)
+        )
+        mutation = mutator.mutate()
+        assert mutation.text is not None
+        with pytest.raises(ModelError):
+            mutation.build()
+
+
+class TestDefaultTarget:
+    def test_picks_top_composite_with_in_domain_actuals(self):
+        service, actuals = default_target(local_assembly())
+        assert service == "search"
+        assert set(actuals) == {"elem", "list", "res"}
+        # a healthy model must evaluate cleanly at the chosen point
+        from repro.core import ReliabilityEvaluator
+
+        pfail = ReliabilityEvaluator(local_assembly()).pfail(service, **actuals)
+        assert 0.0 <= pfail <= 1.0
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def report(self):
+        harness = FuzzHarness(
+            local_assembly(), seed=11, trials=400, deadline=5.0
+        )
+        return harness.run(24)
+
+    def test_contract_holds(self, report):
+        assert report.ok, report.summary()
+        assert report.violations == []
+        assert report.count(CRASH) == 0
+        assert report.count(OUT_OF_RANGE) == 0
+
+    def test_every_case_classified(self, report):
+        assert len(report.cases) == 24
+        assert all(c.status in (OK, TYPED_ERROR) for c in report.cases)
+        assert report.count(OK) + report.count(TYPED_ERROR) == 24
+
+    def test_corruptions_actually_bite(self, report):
+        """The mutators must not be no-ops: a healthy majority of the
+        corruption classes must provoke typed refusals."""
+        assert report.count(TYPED_ERROR) >= 8
+
+    def test_ok_cases_carry_in_range_pfail_and_tier(self, report):
+        for case in report.cases:
+            if case.status == OK:
+                assert 0.0 <= case.pfail <= 1.0
+                assert case.tier is not None
+
+    def test_by_operator_covers_all_classes(self, report):
+        assert set(report.by_operator()) == set(OPERATOR_NAMES)
+
+    def test_summary_renders_verdict(self, report):
+        text = report.summary()
+        assert "contract HELD" in text
+        assert "24 mutated models" in text
+
+
+class TestFuzzCommand:
+    def test_smoke_run_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "local.json"
+        assert main(["export-scenario", "local", "-o", str(path)]) == 0
+        code = main(
+            ["fuzz", str(path), "--count", "12", "--seed", "5", "--smoke"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "contract HELD" in out
+
+    def test_violation_exit_code_is_distinct(self):
+        assert EXIT_FUZZ_VIOLATION == 9
