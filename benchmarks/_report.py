@@ -11,6 +11,7 @@ to the timing tables.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -25,3 +26,15 @@ def emit(experiment: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
     EMITTED.append((experiment, text))
+
+
+def emit_json(experiment: str, payload: dict) -> Path:
+    """Persist one experiment's machine-readable record as
+    ``benchmarks/results/BENCH_<experiment>.json`` (e.g. the engine
+    suite's sequential-vs-parallel and cold-vs-warm-cache timings) and
+    queue a short pointer line for the terminal summary."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{experiment}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    EMITTED.append((experiment, f"wrote {path}"))
+    return path

@@ -1,0 +1,162 @@
+"""PERF — the batch-evaluation engine: plan caching and worker fan-out.
+
+Two claims of the engine layer are measured on a Figure-6-style workload
+(the local and remote configurations swept over the ``list`` grid):
+
+- **cold vs warm cache**: a cold engine compiles one plan per distinct
+  (model, service) target on every pass; a warm one compiles nothing.
+  Both the plan compilations and the underlying symbolic derivations are
+  counted, and the cold/warm ratio is recorded (the unit tests assert the
+  >= 5x bound; here the workload is bigger, so the ratio is larger).
+- **sequential vs parallel**: the same sweep grid at ``jobs=1`` and
+  ``jobs=2``, plus a two-model batch both ways.  Wall-clock numbers are
+  recorded as measured along with ``cpu_count`` — on a single-core runner
+  the parallel path cannot win and the JSON says so honestly.
+
+Everything lands in machine-readable form in
+``benchmarks/results/BENCH_engine.json`` (see docs/performance_guide.md
+for how to read it) next to the usual text table.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis import format_table, sweep_parameter
+from repro.engine import BatchEngine, PlanCache, compilation_count
+from repro.scenarios import local_assembly, remote_assembly
+
+from _report import emit, emit_json
+
+#: The Figure 6 x-axis and fixed actuals (benchmarks/test_fig6_*).
+GRID = np.linspace(1.0, 1000.0, 60)
+FIXED = {"elem": 1.0, "res": 1.0}
+
+
+def _points(grid):
+    return [{**FIXED, "list": float(v)} for v in grid]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _cache_section(assemblies):
+    """Cold vs warm: same two-model batch, fresh cache vs reused cache."""
+    points = _points(GRID)
+
+    def run_batch(engine):
+        for assembly in assemblies:
+            result = engine.evaluate(assembly, "search", points)
+            assert result.ok
+        return result
+
+    cold_engine = BatchEngine(jobs=1, cache=False)  # every pass recompiles
+    before = compilation_count()
+    _, cold_once = _timed(lambda: run_batch(cold_engine))
+    passes = 5
+    for _ in range(passes - 1):
+        run_batch(cold_engine)
+    cold_compilations = compilation_count() - before
+
+    warm_engine = BatchEngine(jobs=1, cache=PlanCache())
+    run_batch(warm_engine)  # populate
+    before = compilation_count()
+    _, warm_once = _timed(lambda: run_batch(warm_engine))
+    for _ in range(passes - 1):
+        run_batch(warm_engine)
+    warm_compilations = compilation_count() - before
+
+    return {
+        "passes": passes,
+        "entries_per_pass": len(points) * len(assemblies),
+        "cold_compilations": cold_compilations,
+        "warm_compilations": warm_compilations,
+        # warm is usually 0; divide by at least 1 to keep strict JSON
+        "compilation_ratio": cold_compilations / max(warm_compilations, 1),
+        "cold_pass_seconds": cold_once,
+        "warm_pass_seconds": warm_once,
+    }
+
+
+def _parallel_section(assemblies):
+    """The same grid sequentially and with two workers, timed honestly."""
+    out = {"cpu_count": os.cpu_count()}
+
+    sweep_seconds = {}
+    for jobs in (1, 2):
+        def run_sweeps(jobs=jobs):
+            for assembly in assemblies:
+                sweep_parameter(
+                    assembly, "search", "list", GRID, FIXED,
+                    method="numeric", jobs=jobs,
+                )
+        _, seconds = _timed(run_sweeps)
+        sweep_seconds[f"jobs{jobs}"] = seconds
+    out["numeric_sweep_seconds"] = sweep_seconds
+    out["sweep_speedup"] = sweep_seconds["jobs1"] / sweep_seconds["jobs2"]
+
+    points = _points(GRID)
+    batch_seconds = {}
+    for jobs in (1, 2):
+        engine = BatchEngine(jobs=jobs, cache=PlanCache())
+        def run_batch(engine=engine):
+            for assembly in assemblies:
+                assert engine.evaluate(assembly, "search", points).ok
+        run_batch()  # warm the plan cache so only evaluation is timed
+        _, seconds = _timed(run_batch)
+        batch_seconds[f"jobs{jobs}"] = seconds
+    out["warm_batch_seconds"] = batch_seconds
+    out["batch_speedup"] = batch_seconds["jobs1"] / batch_seconds["jobs2"]
+    return out
+
+
+def test_engine_batch(benchmark):
+    assemblies = (local_assembly(), remote_assembly())
+    warm = BatchEngine(jobs=1, cache=PlanCache())
+    points = _points(GRID)
+    warm.evaluate(assemblies[0], "search", points)
+    benchmark(lambda: warm.evaluate(assemblies[0], "search", points))
+
+    cache = _cache_section(assemblies)
+    parallel = _parallel_section(assemblies)
+    payload = {
+        "workload": {
+            "models": [a.name for a in assemblies],
+            "service": "search",
+            "parameter": "list",
+            "grid_points": len(GRID),
+            "fixed": FIXED,
+        },
+        "cache": cache,
+        "parallel": parallel,
+    }
+    emit_json("engine", payload)
+
+    rows = [
+        ("cold pass (no cache)", cache["cold_pass_seconds"] * 1e3,
+         cache["cold_compilations"]),
+        ("warm pass (plan cache)", cache["warm_pass_seconds"] * 1e3,
+         cache["warm_compilations"]),
+    ]
+    text = (
+        "PERF/engine — batch evaluation, cold vs warm plan cache "
+        f"({cache['passes']} passes x {cache['entries_per_pass']} entries)\n\n"
+        + format_table(
+            ["pass", "ms", "plan compilations"], rows, float_format="{:.4g}"
+        )
+        + "\n\nnumeric sweep: "
+        f"jobs=1 {parallel['numeric_sweep_seconds']['jobs1']:.3f}s, "
+        f"jobs=2 {parallel['numeric_sweep_seconds']['jobs2']:.3f}s "
+        f"(speedup {parallel['sweep_speedup']:.2f}x on "
+        f"{parallel['cpu_count']} core(s))"
+    )
+    emit("PERF_ENGINE", text)
+
+    # A warm cache recompiles nothing; cold pays one compilation per
+    # (model, service) target per pass.
+    assert cache["warm_compilations"] == 0
+    assert cache["cold_compilations"] == cache["passes"] * len(assemblies)

@@ -9,7 +9,9 @@ completion x sharing models, the recursive evaluation procedure
 ``Pfail_Alg`` with numeric and symbolic back-ends, a fixed-point extension
 for recursive assemblies, Monte Carlo cross-validation, related-work
 baselines, and analysis tooling (sweeps, crossovers, service selection,
-sensitivity).
+sensitivity).  The :mod:`repro.engine` layer scales all of it: compiled
+evaluation plans, a fingerprint-keyed plan cache, and parallel batch /
+sweep / simulation / fuzz execution (``--jobs N`` on the CLI).
 
 Quickstart::
 
@@ -38,6 +40,13 @@ from repro.errors import (
     NumericalInstabilityError,
     ReproError,
     SymbolicError,
+)
+from repro.engine import (
+    BatchEngine,
+    BatchRequest,
+    EvaluationPlan,
+    PlanCache,
+    compile_plan,
 )
 from repro.runtime import EvaluationBudget, EvaluationResult, RobustEvaluator
 from repro.model import (
@@ -69,6 +78,8 @@ __all__ = [
     "OR",
     "AnalyticInterface",
     "Assembly",
+    "BatchEngine",
+    "BatchRequest",
     "BudgetExceededError",
     "CompositeService",
     "CpuResource",
@@ -76,6 +87,7 @@ __all__ = [
     "Environment",
     "EvaluationBudget",
     "EvaluationError",
+    "EvaluationPlan",
     "EvaluationResult",
     "Expression",
     "FixedPointEvaluator",
@@ -88,6 +100,7 @@ __all__ = [
     "NumericalInstabilityError",
     "Parameter",
     "PerformanceEvaluator",
+    "PlanCache",
     "ReliabilityEvaluator",
     "RemoteCallConnector",
     "ReproError",
@@ -98,6 +111,7 @@ __all__ = [
     "SoftwareComponent",
     "SymbolicError",
     "SymbolicEvaluator",
+    "compile_plan",
     "parse_expression",
     "perfect_connector",
     "validate_assembly",

@@ -11,6 +11,18 @@ module runs such sweeps through either evaluation back-end:
   back-end would blow up on).
 
 Both back-ends agree to ~1e-12 — asserted by the integration tests.
+
+Sweeps plug into the engine layer two ways:
+
+- ``cache=`` reuses the closed-form derivation across sweeps of the same
+  model through a :class:`~repro.engine.PlanCache` (a Figure-6 style grid
+  of 8 sweeps over 2 assemblies derives each closed form once, not 8
+  times);
+- ``jobs=`` fans the grid across workers — chunked numpy evaluation on a
+  thread pool for the symbolic back-end, per-point recursive evaluation
+  on a process pool for the numeric one.  Chunking is contiguous, so the
+  parallel result is element-for-element identical to the sequential one
+  (asserted to 1e-12 by the integration tests).
 """
 
 from __future__ import annotations
@@ -21,9 +33,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.evaluator import ReliabilityEvaluator
-from repro.core.symbolic_evaluator import SymbolicEvaluator
 from repro.errors import EvaluationError
 from repro.model.assembly import Assembly
+from repro.runtime.budget import EvaluationBudget
 
 __all__ = ["SweepResult", "sweep_parameter", "sweep_attribute"]
 
@@ -68,6 +80,86 @@ class SweepResult:
         ]
 
 
+def _validated_grid(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    grid = np.asarray(values, dtype=float)
+    if grid.ndim != 1 or grid.size == 0:
+        raise EvaluationError("sweep values must be a non-empty 1-D sequence")
+    return grid
+
+
+def _collect_chunks(chunk_results: list) -> np.ndarray:
+    """Concatenate ordered chunk outputs, rehydrating worker failures."""
+    from repro.engine.parallel import WorkerFailure, rebuild_error
+
+    out: list[float] = []
+    for result in chunk_results:
+        if isinstance(result, WorkerFailure):
+            raise rebuild_error(result)
+        out.extend(result)
+    return np.asarray(out, dtype=float)
+
+
+def _parallel_symbolic(plan, parameter, grid, fixed, jobs, budget) -> np.ndarray:
+    from repro.engine.parallel import (
+        make_executor,
+        plan_sweep_chunk,
+        remaining_deadline,
+        split_evenly,
+    )
+
+    executor = make_executor(jobs, "thread")
+    if executor is None:
+        return plan.pfail_grid(parameter, grid, fixed, budget=budget)
+    chunks = split_evenly(list(grid), jobs)
+    with executor:
+        futures = [
+            executor.submit(
+                plan_sweep_chunk,
+                {
+                    "plan": plan,
+                    "parameter": parameter,
+                    "values": chunk,
+                    "fixed": dict(fixed),
+                    "deadline": remaining_deadline(budget),
+                },
+            )
+            for chunk in chunks
+        ]
+        return _collect_chunks([f.result() for f in futures])
+
+
+def _parallel_numeric(
+    assembly, service, parameter, grid, fixed, jobs, budget
+) -> np.ndarray:
+    from repro.engine.fingerprint import canonical_json
+    from repro.engine.parallel import (
+        make_executor,
+        numeric_sweep_chunk,
+        remaining_deadline,
+        split_evenly,
+    )
+
+    executor = make_executor(jobs, "process")
+    assembly_json = canonical_json(assembly)
+    chunks = split_evenly(list(grid), jobs)
+    with executor:
+        futures = [
+            executor.submit(
+                numeric_sweep_chunk,
+                {
+                    "assembly_json": assembly_json,
+                    "service": service,
+                    "parameter": parameter,
+                    "values": chunk,
+                    "fixed": dict(fixed),
+                    "deadline": remaining_deadline(budget),
+                },
+            )
+            for chunk in chunks
+        ]
+        return _collect_chunks([f.result() for f in futures])
+
+
 def sweep_parameter(
     assembly: Assembly,
     service: str,
@@ -75,6 +167,9 @@ def sweep_parameter(
     values: Sequence[float] | np.ndarray,
     fixed: Mapping[str, float] | None = None,
     method: str = "symbolic",
+    jobs: int = 1,
+    cache=None,
+    budget: EvaluationBudget | None = None,
 ) -> SweepResult:
     """Sweep one formal parameter of ``service`` across ``values``.
 
@@ -86,7 +181,17 @@ def sweep_parameter(
         fixed: values for the remaining formal parameters.
         method: ``"symbolic"`` (vectorized closed form) or ``"numeric"``
             (per-point recursive evaluation).
+        jobs: worker count for the grid — 1 (default) evaluates in
+            process, 0 uses every core, ``N > 1`` fans the grid across
+            ``N`` workers (threads for symbolic, processes for numeric).
+        cache: optional :class:`~repro.engine.PlanCache`; the closed-form
+            derivation is fetched from / stored into it, so repeated
+            sweeps of the same model re-derive nothing.
+        budget: optional :class:`~repro.runtime.EvaluationBudget` enforced
+            during derivation and cooperatively by every worker.
     """
+    from repro.engine.parallel import resolve_jobs
+
     svc = assembly.service(service)
     fixed = dict(fixed or {})
     if parameter not in svc.formal_parameters:
@@ -94,24 +199,34 @@ def sweep_parameter(
             f"{parameter!r} is not a formal parameter of {service!r} "
             f"(has {svc.formal_parameters})"
         )
-    grid = np.asarray(values, dtype=float)
-    if grid.ndim != 1 or grid.size == 0:
-        raise EvaluationError("sweep values must be a non-empty 1-D sequence")
+    grid = _validated_grid(values)
+    jobs = resolve_jobs(jobs)
 
     if method == "symbolic":
-        expression = SymbolicEvaluator(assembly).pfail_expression(service)
-        env = {**fixed, parameter: grid}
-        pfail = np.broadcast_to(
-            np.asarray(expression.evaluate(env), dtype=float), grid.shape
-        ).copy()
+        from repro.engine.plan import compile_plan
+
+        if cache is not None:
+            plan = cache.get_or_compile(assembly, service, backend="symbolic",
+                                        budget=budget)
+        else:
+            plan = compile_plan(assembly, service, backend="symbolic",
+                                budget=budget)
+        pfail = _parallel_symbolic(plan, parameter, grid, fixed, jobs, budget)
     elif method == "numeric":
-        evaluator = ReliabilityEvaluator(assembly, check_domains=False)
-        pfail = np.array(
-            [
-                evaluator.pfail(service, **{**fixed, parameter: float(v)})
-                for v in grid
-            ]
-        )
+        if jobs > 1:
+            pfail = _parallel_numeric(
+                assembly, service, parameter, grid, fixed, jobs, budget
+            )
+        else:
+            evaluator = ReliabilityEvaluator(
+                assembly, check_domains=False, budget=budget
+            )
+            pfail = np.array(
+                [
+                    evaluator.pfail(service, **{**fixed, parameter: float(v)})
+                    for v in grid
+                ]
+            )
     else:
         raise EvaluationError(f"unknown sweep method {method!r}")
 
@@ -124,6 +239,9 @@ def sweep_attribute(
     attribute: str,
     values: Sequence[float] | np.ndarray,
     actuals: Mapping[str, float],
+    jobs: int = 1,
+    cache=None,
+    budget: EvaluationBudget | None = None,
 ) -> SweepResult:
     """Sweep one published **interface attribute** (e.g.
     ``"net12::failure_rate"``) at fixed actual parameters.
@@ -142,29 +260,36 @@ def sweep_attribute(
             :func:`repro.core.attribute_symbol`).
         values: the attribute grid.
         actuals: the service's actual parameters, all fixed.
+        jobs: worker count for the grid (thread-chunked; 1 = in-process).
+        cache: optional :class:`~repro.engine.PlanCache` for the
+            attribute-symbolic closed form.
+        budget: optional budget enforced during derivation and evaluation.
     """
-    from repro.core.symbolic_evaluator import (
-        SymbolicEvaluator as _SymbolicEvaluator,
-        attribute_environment,
-    )
+    from repro.core.symbolic_evaluator import attribute_environment
+    from repro.engine.parallel import resolve_jobs
+    from repro.engine.plan import compile_plan
 
-    grid = np.asarray(values, dtype=float)
-    if grid.ndim != 1 or grid.size == 0:
-        raise EvaluationError("sweep values must be a non-empty 1-D sequence")
-    expression = _SymbolicEvaluator(
-        assembly, symbolic_attributes=True
-    ).pfail_expression(service)
+    grid = _validated_grid(values)
+    jobs = resolve_jobs(jobs)
+    if cache is not None:
+        plan = cache.get_or_compile(
+            assembly, service, symbolic_attributes=True, backend="symbolic",
+            budget=budget,
+        )
+    else:
+        plan = compile_plan(
+            assembly, service, symbolic_attributes=True, backend="symbolic",
+            budget=budget,
+        )
     base = dict(attribute_environment(assembly))
     if attribute not in base:
         raise EvaluationError(
             f"{attribute!r} is not a published attribute of any service in "
             f"{assembly.name!r} (expected '<service>::<attribute>')"
         )
-    env = {**base, **{k: float(v) for k, v in dict(actuals).items()}}
-    env[attribute] = grid
-    pfail = np.broadcast_to(
-        np.asarray(expression.evaluate(env), dtype=float), grid.shape
-    ).copy()
+    fixed = {**base, **{k: float(v) for k, v in dict(actuals).items()}}
+    fixed.pop(attribute)
+    pfail = _parallel_symbolic(plan, attribute, grid, fixed, jobs, budget)
     return SweepResult(
         assembly.name, service, attribute, grid, pfail, dict(actuals)
     )

@@ -13,14 +13,21 @@ section 3.3".  This CLI is that engine over the ``repro/1`` JSON form:
     python -m repro evaluate local.json search --set elem=1 list=500 res=1
     python -m repro evaluate local.json search --set ... --report
     python -m repro closed-form local.json search
+    python -m repro batch search --model local.json --model remote.json \\
+        --at elem=1 list=500 res=1 --at elem=1 list=1000 res=1 --jobs 4
     python -m repro sweep local.json search list --from 1 --to 1000 \\
-        --points 25 --set elem=1 res=1
+        --points 25 --set elem=1 res=1 --jobs 4
     python -m repro compare local.json remote.json search list \\
         --from 1 --to 1000 --points 25 --set elem=1 res=1
     python -m repro invocations local.json search --set elem=1 list=500 res=1
     python -m repro simulate local.json search --trials 20000 --seed 7 \\
-        --set elem=1 list=500 res=1
-    python -m repro fuzz local.json --count 200 --seed 7
+        --set elem=1 list=500 res=1 --jobs 2
+    python -m repro fuzz local.json --count 200 --seed 7 --jobs 2
+
+``--jobs N`` fans the command's independent work units (batch points,
+sweep grid chunks, Monte-Carlo trial blocks, fuzz cases) across ``N``
+workers through :mod:`repro.engine`; ``--jobs 0`` uses every core and the
+default ``--jobs 1`` keeps the exact sequential path.
 
 Errors never surface as tracebacks: every :class:`ReproError` subtree maps
 to its own nonzero exit code with a one-line message on stderr (see
@@ -158,6 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
             return value
         return parse
 
+    def add_jobs(sub):
+        sub.add_argument(
+            "--jobs", type=non_negative(int), default=1, metavar="N",
+            help="parallel workers (0 = all cores, 1 = sequential)",
+        )
+
     def add_budget(sub):
         sub.add_argument(
             "--deadline", type=non_negative(float), default=None,
@@ -217,6 +230,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="leave interface attributes as free 'service::attr' symbols",
     )
 
+    sub = commands.add_parser(
+        "batch",
+        help="evaluate many (model, point) pairs in one pass with plan "
+             "caching and an optional worker pool",
+    )
+    sub.add_argument("service")
+    sub.add_argument(
+        "--model", action="append", required=True, metavar="FILE",
+        help="assembly to evaluate (repeat for a multi-model batch)",
+    )
+    sub.add_argument(
+        "--at", action="append", nargs="+", default=None, metavar="NAME=VALUE",
+        help="one evaluation point per --at group (repeatable); every "
+             "model is evaluated at every point",
+    )
+    add_jobs(sub)
+    add_budget(sub)
+
     sub = commands.add_parser("sweep", help="reliability vs one parameter")
     sub.add_argument("file")
     sub.add_argument("service")
@@ -224,7 +255,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--from", dest="start", type=float, required=True)
     sub.add_argument("--to", dest="stop", type=float, required=True)
     sub.add_argument("--points", type=int, default=20)
+    sub.add_argument(
+        "--method", choices=["symbolic", "numeric"], default="symbolic",
+        help="evaluation back-end for the grid",
+    )
     add_set(sub)
+    add_jobs(sub)
+    add_budget(sub)
 
     sub = commands.add_parser(
         "compare", help="two assemblies head-to-head with crossovers"
@@ -253,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--trials", type=int, default=10_000)
     sub.add_argument("--seed", type=int, default=None)
     add_set(sub)
+    add_jobs(sub)
     add_budget(sub)
 
     sub = commands.add_parser(
@@ -283,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI smoke mode: fewer trials and a tight per-case deadline",
     )
     add_set(sub)
+    add_jobs(sub)
 
     sub = commands.add_parser(
         "performance", help="predict the expected execution time"
@@ -376,13 +415,58 @@ def _cmd_closed_form(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from repro.engine import BatchEngine, BatchRequest
+    from repro.robustness.harness import domain_representative
+
+    def default_point(assembly):
+        # no --at: evaluate each model at its domain representatives
+        service = assembly.service(args.service)
+        return {
+            p.name: domain_representative(p.domain)
+            for p in service.interface.formal_parameters
+        }
+
+    points = [_parse_bindings(group) for group in args.at] if args.at else None
+    engine = BatchEngine(jobs=args.jobs, budget=_budget_from_args(args))
+    models = [_load(path) for path in args.model]
+    requests = [
+        BatchRequest(assembly, args.service, point, label=path)
+        for path, assembly in zip(args.model, models)
+        for point in (points if points is not None else [default_point(assembly)])
+    ]
+    result = engine.run(requests)
+    for entry in result:
+        point = " ".join(
+            f"{k}={v:g}" for k, v in sorted(entry.actuals.items())
+        ) or "-"
+        if entry.ok:
+            print(
+                f"{entry.label:24s} {point:32s} "
+                f"Pfail = {entry.pfail:.9e}  [{entry.backend}]"
+            )
+        else:
+            print(
+                f"{entry.label:24s} {point:32s} "
+                f"error[{type(entry.error).__name__}]: {entry.error}"
+            )
+    stats = result.stats
+    print(
+        f"batch: {stats.entries} evaluations over {stats.plans} plans "
+        f"({stats.compilations} compiled, {stats.cache_hits} cache hits) "
+        f"with {stats.jobs} worker(s) in {stats.elapsed:.3f}s"
+    )
+    return 0 if result.ok else 1
+
+
 def _cmd_sweep(args) -> int:
     from repro.analysis import format_sweep, sweep_parameter
 
     assembly = _load(args.file)
     grid = np.linspace(args.start, args.stop, args.points)
     sweep = sweep_parameter(
-        assembly, args.service, args.parameter, grid, _parse_bindings(args.set)
+        assembly, args.service, args.parameter, grid, _parse_bindings(args.set),
+        method=args.method, jobs=args.jobs, budget=_budget_from_args(args),
     )
     print(format_sweep(sweep))
     return 0
@@ -417,7 +501,7 @@ def _cmd_simulate(args) -> int:
         _load(args.file), seed=args.seed, budget=_budget_from_args(args)
     )
     result = simulator.estimate_pfail(
-        args.service, args.trials, **_parse_bindings(args.set)
+        args.service, args.trials, jobs=args.jobs, **_parse_bindings(args.set)
     )
     low, high = result.confidence_interval()
     print(
@@ -523,7 +607,7 @@ def _cmd_fuzz(args) -> int:
         trials=trials,
         deadline=deadline,
     )
-    report = harness.run(args.count)
+    report = harness.run(args.count, jobs=args.jobs)
     print(report.summary())
     return 0 if report.ok else EXIT_FUZZ_VIOLATION
 
@@ -533,6 +617,7 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "evaluate": _cmd_evaluate,
     "closed-form": _cmd_closed_form,
+    "batch": _cmd_batch,
     "sweep": _cmd_sweep,
     "compare": _cmd_compare,
     "invocations": _cmd_invocations,

@@ -157,6 +157,9 @@ class ReliabilityEvaluator:
         self.assembly = assembly
         self.check_domains = check_domains
         self.budget = budget
+        #: Absorbing-chain solves performed (cache hits never solve); the
+        #: engine-layer cache tests assert re-evaluation costs zero solves.
+        self.solve_count = 0
         if validate:
             report = validate_assembly(assembly)
             report.raise_if_invalid()
@@ -296,6 +299,7 @@ class ReliabilityEvaluator:
             self.budget.check_states(
                 chain.matrix.shape[0], f"absorbing solve for {service_name!r}"
             )
+        self.solve_count += 1
         return AbsorbingChainAnalysis(chain)
 
     def _pfail_service(self, service: Service, actuals: tuple[tuple[str, float], ...]) -> float:

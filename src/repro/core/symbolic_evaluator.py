@@ -103,6 +103,9 @@ class SymbolicEvaluator:
         self.assembly = assembly
         self.symbolic_attributes = symbolic_attributes
         self.budget = budget
+        #: Per-service derivations actually performed (memo hits are free);
+        #: the engine-layer plan cache asserts warm reuse re-derives nothing.
+        self.derivation_count = 0
         if validate:
             validate_assembly(assembly).raise_if_invalid()
         self._cache: dict[str, Expression] = {}
@@ -133,6 +136,7 @@ class SymbolicEvaluator:
         if service.name in self._stack:
             start = self._stack.index(service.name)
             raise CyclicAssemblyError(tuple(self._stack[start:]) + (service.name,))
+        self.derivation_count += 1
         self._stack.append(service.name)
         try:
             if isinstance(service, SimpleService):

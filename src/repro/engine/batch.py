@@ -1,0 +1,361 @@
+"""The batch-evaluation engine: many models × many points, one pass.
+
+The paper frames reliability prediction as the inner loop of *runtime
+service selection* (§5): a broker holds many candidate assemblies and must
+rank them all, fast, under a deadline.  :class:`BatchEngine` is that loop's
+engine room:
+
+1. every distinct ``(model, service)`` target is compiled **once** into a
+   reusable :class:`~repro.engine.plan.EvaluationPlan` through the
+   :class:`~repro.engine.cache.PlanCache` (same fingerprint ⇒ zero
+   re-derivations, warm across requests);
+2. the evaluation points fan out across a ``concurrent.futures`` pool
+   (:mod:`repro.engine.parallel`), with the parent's
+   :class:`~repro.runtime.EvaluationBudget` enforced cooperatively — the
+   remaining deadline travels with every chunk;
+3. failures stay **per-point**: a bad point yields a typed error *entry*
+   in the :class:`BatchResult` while the rest of the batch completes —
+   the graceful-degradation contract of the runtime layer, extended to
+   batches.
+
+Typical use::
+
+    engine = BatchEngine(jobs=4)
+    result = engine.evaluate(assembly, "search", points)   # one model
+    result = engine.run([BatchRequest(a1, "s"), ...])      # many models
+
+The per-run :class:`BatchStats` (plan compilations, cache hits, wall
+clock, worker count) are the numbers ``BENCH_engine.json`` publishes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import dataclass, field
+
+from repro.engine.cache import PlanCache
+from repro.engine.parallel import (
+    WorkerFailure,
+    evaluate_plan_points,
+    make_executor,
+    rebuild_error,
+    remaining_deadline,
+    resolve_jobs,
+    split_evenly,
+)
+from repro.engine.plan import EvaluationPlan, compile_plan, compilation_count
+from repro.errors import EvaluationError, ReproError
+from repro.model.assembly import Assembly
+from repro.model.service import Service
+from repro.runtime.budget import EvaluationBudget
+
+__all__ = ["BatchEngine", "BatchEntry", "BatchRequest", "BatchResult", "BatchStats"]
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One evaluation request: a model, a target service, one point.
+
+    Attributes:
+        assembly: the assembly to evaluate (parent-side object; workers
+            receive compiled plans, never the assembly itself).
+        service: the target service name.
+        actuals: the actual parameters for this point.
+        label: optional caller tag carried through to the result entry
+            (e.g. a candidate id in a selection loop).
+    """
+
+    assembly: Assembly
+    service: str
+    actuals: Mapping[str, float] = field(default_factory=dict)
+    label: str = ""
+
+
+@dataclass
+class BatchEntry:
+    """Outcome of one request: a prediction or a typed error, never both.
+
+    Attributes:
+        index: position in the submitted batch (results keep order).
+        label: the request's caller tag.
+        service: evaluated service name.
+        actuals: the point evaluated.
+        pfail: predicted unreliability, or ``None`` on failure.
+        backend: ``"symbolic"``/``"robust"`` plan backend that served it.
+        error: the typed error for failed entries, or ``None``.
+    """
+
+    index: int
+    label: str
+    service: str
+    actuals: dict[str, float]
+    pfail: float | None = None
+    backend: str = ""
+    error: ReproError | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when a prediction was produced."""
+        return self.error is None
+
+    @property
+    def reliability(self) -> float | None:
+        """``1 - pfail`` for successful entries."""
+        return None if self.pfail is None else 1.0 - self.pfail
+
+
+@dataclass
+class BatchStats:
+    """Accounting of one batch run (the ``BENCH_engine.json`` payload).
+
+    Attributes:
+        entries: number of points evaluated.
+        plans: distinct (model, service) targets in the batch.
+        compilations: plan compilations this run actually performed —
+            with a warm cache this is 0 regardless of batch size.
+        cache_hits / cache_misses: cache traffic attributable to this run.
+        jobs: worker count used.
+        elapsed: wall-clock seconds for the whole batch.
+    """
+
+    entries: int = 0
+    plans: int = 0
+    compilations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: int = 1
+    elapsed: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict copy for JSON reporters."""
+        return {
+            "entries": self.entries,
+            "plans": self.plans,
+            "compilations": self.compilations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "jobs": self.jobs,
+            "elapsed": self.elapsed,
+        }
+
+
+class BatchResult:
+    """Ordered outcomes of a batch run plus its accounting."""
+
+    def __init__(self, entries: list[BatchEntry], stats: BatchStats):
+        self.entries = entries
+        self.stats = stats
+
+    @property
+    def ok(self) -> bool:
+        """True when every entry produced a prediction."""
+        return all(entry.ok for entry in self.entries)
+
+    @property
+    def failures(self) -> list[BatchEntry]:
+        """Entries that ended in a typed error."""
+        return [entry for entry in self.entries if not entry.ok]
+
+    def pfails(self) -> list[float | None]:
+        """Predictions in submission order (``None`` for failed entries)."""
+        return [entry.pfail for entry in self.entries]
+
+    def best(self) -> BatchEntry | None:
+        """The most reliable successful entry (selection-loop helper)."""
+        candidates = [entry for entry in self.entries if entry.ok]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda entry: entry.pfail)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+
+class BatchEngine:
+    """Parallel batch evaluation over cached plans.
+
+    Args:
+        jobs: worker count — 1 (default) runs serially in-process, 0 means
+            one worker per CPU core, ``N > 1`` fans out across ``N``
+            workers (see ``mode``).
+        mode: ``"process"`` (default; true CPU parallelism — plans are
+            pickled to workers), ``"thread"`` (cheaper startup, suits the
+            numpy-vectorized symbolic backend), or ``"serial"``.
+        cache: a :class:`~repro.engine.cache.PlanCache` to reuse plans
+            across runs, ``None`` for a private per-engine cache, or
+            ``False`` to disable caching (every point recompiles — the
+            cold baseline the benchmarks measure against).
+        budget: optional shared :class:`~repro.runtime.EvaluationBudget`;
+            the deadline is enforced in the parent at dispatch/collection
+            and cooperatively inside every worker.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        mode: str = "process",
+        cache: PlanCache | None | bool = None,
+        budget: EvaluationBudget | None = None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        if mode not in ("process", "thread", "serial"):
+            raise EvaluationError(f"unknown executor mode {mode!r}")
+        self.mode = mode
+        if cache is False:
+            self.cache = None
+        elif cache is None or cache is True:
+            self.cache = PlanCache()
+        else:
+            self.cache = cache
+        self.budget = budget
+
+    # -- public API --------------------------------------------------------
+
+    def evaluate(
+        self,
+        assembly: Assembly,
+        service: str | Service,
+        points: Sequence[Mapping[str, float]],
+        labels: Sequence[str] | None = None,
+    ) -> BatchResult:
+        """Evaluate one model at many actual-parameter points."""
+        name = service.name if isinstance(service, Service) else str(service)
+        if labels is not None and len(labels) != len(points):
+            raise EvaluationError(
+                f"got {len(labels)} labels for {len(points)} points"
+            )
+        requests = [
+            BatchRequest(
+                assembly, name, dict(point),
+                label=labels[i] if labels is not None else "",
+            )
+            for i, point in enumerate(points)
+        ]
+        return self.run(requests)
+
+    def run(self, requests: Sequence[BatchRequest]) -> BatchResult:
+        """Evaluate a heterogeneous batch (many models, many points)."""
+        started = time.monotonic()
+        if self.budget is not None:
+            self.budget.start()
+        compilations_before = compilation_count()
+        hits_before = self.cache.stats.hits if self.cache else 0
+        misses_before = self.cache.stats.misses if self.cache else 0
+
+        groups = self._compile_groups(requests)
+        entries = [
+            BatchEntry(i, r.label, r.service, dict(r.actuals))
+            for i, r in enumerate(requests)
+        ]
+        if self.jobs <= 1 or self.mode == "serial" or len(requests) <= 1:
+            self._run_serial(groups, entries)
+        else:
+            self._run_parallel(groups, entries)
+
+        stats = BatchStats(
+            entries=len(entries),
+            plans=len(groups),
+            compilations=compilation_count() - compilations_before,
+            cache_hits=(self.cache.stats.hits - hits_before) if self.cache else 0,
+            cache_misses=(
+                (self.cache.stats.misses - misses_before) if self.cache else 0
+            ),
+            jobs=self.jobs,
+            elapsed=time.monotonic() - started,
+        )
+        return BatchResult(entries, stats)
+
+    # -- internals ---------------------------------------------------------
+
+    def _plan_for(self, assembly: Assembly, service: str) -> EvaluationPlan:
+        if self.cache is not None:
+            return self.cache.get_or_compile(
+                assembly, service, budget=self.budget
+            )
+        return compile_plan(assembly, service, budget=self.budget)
+
+    def _compile_groups(
+        self, requests: Sequence[BatchRequest]
+    ) -> dict[str, tuple[EvaluationPlan, list[int]]]:
+        """Compile each distinct target once; group request indices by plan.
+
+        Plans or compilation *errors* are shared across a group: if a
+        model cannot compile, every entry of that group reports the same
+        typed error instead of the whole batch raising.
+        """
+        groups: dict[str, tuple[EvaluationPlan | ReproError, list[int]]] = {}
+        by_identity: dict[tuple[int, str], str] = {}
+        for index, request in enumerate(requests):
+            ident = (id(request.assembly), request.service)
+            fingerprint = by_identity.get(ident)
+            if fingerprint is None:
+                try:
+                    plan = self._plan_for(request.assembly, request.service)
+                    fingerprint = plan.fingerprint
+                except ReproError as exc:
+                    plan = exc
+                    fingerprint = f"error:{index}"
+                by_identity[ident] = fingerprint
+                groups.setdefault(fingerprint, (plan, []))
+            groups[fingerprint][1].append(index)
+        return groups
+
+    def _run_serial(self, groups, entries: list[BatchEntry]) -> None:
+        for plan, indices in groups.values():
+            for index in indices:
+                entry = entries[index]
+                if isinstance(plan, ReproError):
+                    entry.error = plan
+                    continue
+                entry.backend = plan.backend
+                try:
+                    if self.budget is not None:
+                        self.budget.check_deadline("batch evaluation")
+                    entry.pfail = plan.pfail(entry.actuals, budget=self.budget)
+                except ReproError as exc:
+                    entry.error = exc
+
+    def _run_parallel(self, groups, entries: list[BatchEntry]) -> None:
+        executor = make_executor(self.jobs, self.mode)
+        if executor is None:  # pragma: no cover - guarded by caller
+            return self._run_serial(groups, entries)
+        futures = {}
+        try:
+            with executor:
+                for plan, indices in groups.values():
+                    if isinstance(plan, ReproError):
+                        for index in indices:
+                            entries[index].error = plan
+                        continue
+                    for chunk in split_evenly(indices, self.jobs):
+                        payload = {
+                            "plan": plan,
+                            "points": [entries[i].actuals for i in chunk],
+                            "deadline": remaining_deadline(self.budget),
+                        }
+                        futures[executor.submit(evaluate_plan_points, payload)] = (
+                            plan,
+                            chunk,
+                        )
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    if self.budget is not None:
+                        self.budget.check_deadline("batch collection")
+                    for future in done:
+                        plan, chunk = futures[future]
+                        for index, outcome in zip(chunk, future.result()):
+                            entry = entries[index]
+                            entry.backend = plan.backend
+                            if isinstance(outcome, WorkerFailure):
+                                entry.error = rebuild_error(outcome)
+                            else:
+                                entry.pfail = float(outcome)
+        finally:
+            for future in futures:
+                future.cancel()

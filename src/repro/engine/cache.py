@@ -1,0 +1,179 @@
+"""The plan cache: one derivation per distinct model, ever.
+
+Batch workloads — multi-model comparisons, parameter grids, Monte-Carlo
+blocks, fuzzing sweeps — evaluate the *same* assembly at many points, and
+the expensive part (the symbolic derivation or solve-skeleton build) is
+identical across those points.  :class:`PlanCache` memoizes compiled
+:class:`~repro.engine.plan.EvaluationPlan` objects under their
+:func:`~repro.engine.fingerprint.plan_key`:
+
+- **hit**  — the fingerprint matches a cached plan: no derivation runs;
+- **miss** — first sight of this (model, service, mode): compile and keep;
+- **invalidation is automatic** — mutating the model (an attribute, a
+  transition, a binding) changes the fingerprint, so the stale plan is
+  simply never looked up again; a bounded cache evicts it in LRU order.
+
+The cache is thread-safe (a single lock around the index; compilation runs
+outside it so concurrent misses on *different* models don't serialize) and
+its :class:`CacheStats` are the observable the cache-correctness tests and
+``BENCH_engine.json`` report: hits, misses, evictions, and the hit rate.
+
+A process-wide default instance (:func:`default_cache`) backs the CLI and
+the convenience APIs; long-lived services embedding the engine should own
+per-tenant instances instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.engine.fingerprint import plan_key
+from repro.engine.plan import EvaluationPlan, compile_plan
+from repro.errors import EvaluationError
+from repro.model.assembly import Assembly
+from repro.model.service import Service
+from repro.runtime.budget import EvaluationBudget
+
+__all__ = ["CacheStats", "PlanCache", "default_cache"]
+
+
+@dataclass
+class CacheStats:
+    """Observable counters of one :class:`PlanCache`.
+
+    Attributes:
+        hits: lookups served from the cache (no derivation ran).
+        misses: lookups that compiled a fresh plan.
+        evictions: plans dropped by the LRU bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy (for JSON reporters and logs)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """A bounded, thread-safe, fingerprint-keyed store of compiled plans.
+
+    Args:
+        max_size: maximum number of cached plans; the least recently used
+            plan is evicted past the bound.  ``None`` means unbounded.
+    """
+
+    def __init__(self, max_size: int | None = 128):
+        if max_size is not None and max_size < 1:
+            raise EvaluationError(
+                f"plan cache max_size must be positive, got {max_size!r}"
+            )
+        self.max_size = max_size
+        self.stats = CacheStats()
+        self._plans: OrderedDict[tuple, EvaluationPlan] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(
+        self,
+        assembly: Assembly,
+        service: str | Service,
+        symbolic_attributes: bool = False,
+    ) -> EvaluationPlan | None:
+        """The cached plan for this (model, service, mode), or ``None``.
+
+        Does not update hit/miss statistics; use :meth:`get_or_compile`
+        for the accounted path.
+        """
+        key = plan_key(assembly, service, symbolic_attributes)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+            return plan
+
+    def get_or_compile(
+        self,
+        assembly: Assembly,
+        service: str | Service,
+        *,
+        symbolic_attributes: bool = False,
+        backend: str = "auto",
+        budget: EvaluationBudget | None = None,
+    ) -> EvaluationPlan:
+        """The plan for this (model, service, mode), compiling on miss.
+
+        Compilation runs outside the cache lock, so two threads missing on
+        *different* models compile concurrently; two threads racing on the
+        *same* key may both compile, and the first store wins (plans for
+        equal fingerprints are interchangeable, so this is only duplicated
+        work, never wrong answers).
+        """
+        key = plan_key(assembly, service, symbolic_attributes)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.stats.hits += 1
+                return plan
+            self.stats.misses += 1
+        plan = compile_plan(
+            assembly,
+            service,
+            symbolic_attributes=symbolic_attributes,
+            backend=backend,
+            budget=budget,
+        )
+        self.put(key, plan)
+        return plan
+
+    def put(self, key: tuple, plan: EvaluationPlan) -> None:
+        """Store a compiled plan under its key, evicting past the bound."""
+        with self._lock:
+            if key not in self._plans and self.max_size is not None:
+                while len(self._plans) >= self.max_size:
+                    self._plans.popitem(last=False)
+                    self.stats.evictions += 1
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+
+    def clear(self) -> None:
+        """Drop every cached plan (statistics are kept)."""
+        with self._lock:
+            self._plans.clear()
+
+
+_default_cache: PlanCache | None = None
+_default_lock = threading.Lock()
+
+
+def default_cache() -> PlanCache:
+    """The process-wide shared :class:`PlanCache` (created on first use)."""
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            _default_cache = PlanCache()
+        return _default_cache

@@ -1,0 +1,296 @@
+"""Worker-pool plumbing: executors, picklable workers, budget cooperation.
+
+The batch engine fans independent work units — plan evaluations, sweep
+chunks, Monte-Carlo trial blocks, fuzz cases — across a
+:mod:`concurrent.futures` pool.  This module holds everything that must be
+importable from a fresh worker process:
+
+- **executor selection** (:func:`resolve_jobs`, :func:`make_executor`):
+  ``jobs <= 1`` short-circuits to the serial path (no pool, no pickling);
+  ``mode="process"`` gives true CPU parallelism for the pure-Python solve
+  paths; ``mode="thread"`` suits the numpy-vectorized symbolic backend and
+  avoids process spin-up on small grids;
+- **module-level worker functions** (process pools can only call picklable
+  top-level callables) that receive plain-data payloads: compiled
+  :class:`~repro.engine.plan.EvaluationPlan` objects, canonical assembly
+  JSON, mutation documents — never live model objects, which do not pickle;
+- **cooperative budget semantics**: the parent computes the *remaining*
+  deadline at dispatch (:func:`remaining_deadline`) and each worker
+  enforces it locally through its own :class:`~repro.runtime.EvaluationBudget`;
+  consumption caps (Monte-Carlo trials) are charged once, in the parent,
+  before dispatch.  A worker that trips its local budget reports a typed
+  :class:`WorkerFailure` which the parent rehydrates into the original
+  error class (:func:`rebuild_error`), so ``--jobs 8`` surfaces the same
+  exit codes as ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import repro.errors as _errors
+from repro.errors import BudgetExceededError, EvaluationError, ReproError
+from repro.runtime.budget import EvaluationBudget
+
+__all__ = [
+    "WorkerFailure",
+    "evaluate_plan_points",
+    "fuzz_block",
+    "make_executor",
+    "numeric_sweep_chunk",
+    "plan_sweep_chunk",
+    "rebuild_error",
+    "remaining_deadline",
+    "resolve_jobs",
+    "simulate_block",
+    "split_evenly",
+]
+
+
+def split_evenly(items: list, parts: int) -> list[list]:
+    """Split ``items`` into at most ``parts`` contiguous, near-equal chunks.
+
+    Contiguity preserves result ordering under simple concatenation; the
+    first ``len(items) % parts`` chunks carry one extra element.  Empty
+    chunks are never produced.
+    """
+    parts = max(1, min(int(parts), len(items)))
+    base, extra = divmod(len(items), parts)
+    chunks: list[list] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` request: ``None``/1 → serial, 0 → all cores."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise EvaluationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def make_executor(jobs: int, mode: str = "process") -> Executor | None:
+    """An executor for ``jobs`` workers, or ``None`` for the serial path.
+
+    Args:
+        jobs: resolved worker count (see :func:`resolve_jobs`).
+        mode: ``"process"`` (CPU-bound pure-Python work), ``"thread"``
+            (numpy-vectorized or I/O-bound work), or ``"serial"``.
+    """
+    if mode not in ("process", "thread", "serial"):
+        raise EvaluationError(f"unknown executor mode {mode!r}")
+    if jobs <= 1 or mode == "serial":
+        return None
+    if mode == "thread":
+        return ThreadPoolExecutor(max_workers=jobs)
+    return ProcessPoolExecutor(max_workers=jobs)
+
+
+def remaining_deadline(budget: EvaluationBudget | None) -> float | None:
+    """Seconds of deadline left to hand a worker, or ``None`` if unlimited.
+
+    Checks the parent's budget first, so dispatching past the deadline
+    raises in the parent rather than fanning out doomed work.
+    """
+    if budget is None or budget.deadline is None:
+        return None
+    budget.check_deadline("parallel dispatch")
+    return budget.remaining_time()
+
+
+def worker_budget(deadline: float | None, **limits) -> EvaluationBudget | None:
+    """A worker-local budget enforcing the parent's remaining envelope."""
+    if deadline is None and not any(v is not None for v in limits.values()):
+        return None
+    return EvaluationBudget(deadline=deadline, **limits)
+
+
+# ---------------------------------------------------------------------------
+# typed-error transport
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerFailure:
+    """A typed error captured in a worker, in picklable form.
+
+    Custom :class:`~repro.errors.ReproError` subclasses take structured
+    ``__init__`` arguments, so the live exceptions do not survive pickling
+    across a process boundary; workers ship this transport record and the
+    parent rebuilds an equivalent error with :func:`rebuild_error`.
+    """
+
+    kind: str
+    message: str
+    resource: str | None = None  # BudgetExceededError fields, when present
+    limit: float | None = None
+    used: float | None = None
+
+    @classmethod
+    def from_error(cls, error: ReproError) -> "WorkerFailure":
+        if isinstance(error, BudgetExceededError):
+            return cls(
+                type(error).__name__, str(error),
+                resource=error.resource, limit=error.limit, used=error.used,
+            )
+        return cls(type(error).__name__, str(error))
+
+
+def rebuild_error(failure: WorkerFailure) -> ReproError:
+    """Rehydrate a :class:`WorkerFailure` into a raisable typed error.
+
+    Budget trips reconstruct exactly (resource/limit/used survive the
+    transport); other classes are rebuilt by name when their constructor
+    takes a bare message, and fall back to the nearest base class
+    otherwise — the CLI exit-code taxonomy keys on ``isinstance``, so a
+    base-class fallback still maps to the right exit code family.
+    """
+    if failure.resource is not None:
+        return BudgetExceededError(
+            failure.resource, failure.limit, failure.used, failure.message
+        )
+    cls = getattr(_errors, failure.kind, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        try:
+            return cls(failure.message)
+        except TypeError:
+            for base in cls.__mro__[1:]:
+                if issubclass(base, ReproError):
+                    try:
+                        return base(f"[{failure.kind}] {failure.message}")
+                    except TypeError:
+                        continue
+    return EvaluationError(f"[{failure.kind}] {failure.message}")
+
+
+# ---------------------------------------------------------------------------
+# worker functions (must stay module-level: process pools pickle by name)
+# ---------------------------------------------------------------------------
+
+
+def evaluate_plan_points(payload: dict) -> list:
+    """Evaluate one compiled plan at many actual-parameter points.
+
+    Payload: ``plan`` (:class:`EvaluationPlan`), ``points`` (list of
+    name→value dicts), ``deadline`` (remaining seconds or ``None``).
+    Returns one entry per point: a float ``Pfail`` or a
+    :class:`WorkerFailure` (per-point isolation: one bad point does not
+    poison the block).
+    """
+    plan = payload["plan"]
+    budget = worker_budget(payload.get("deadline"))
+    results: list = []
+    for point in payload["points"]:
+        try:
+            results.append(plan.pfail(point, budget=budget))
+        except ReproError as exc:
+            results.append(WorkerFailure.from_error(exc))
+    return results
+
+
+def plan_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
+    """Evaluate one grid chunk of a sweep through a compiled plan.
+
+    Payload: ``plan``, ``parameter``, ``values`` (list of floats),
+    ``fixed`` (dict), ``deadline``.
+    """
+    plan = payload["plan"]
+    budget = worker_budget(payload.get("deadline"))
+    try:
+        return list(
+            plan.pfail_grid(
+                payload["parameter"], payload["values"], payload["fixed"],
+                budget=budget,
+            )
+        )
+    except ReproError as exc:
+        return WorkerFailure.from_error(exc)
+
+
+def numeric_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
+    """Evaluate one grid chunk through the recursive numeric evaluator.
+
+    Payload: ``assembly_json`` (canonical ``repro/1`` text), ``service``,
+    ``parameter``, ``values``, ``fixed``, ``deadline``.  The assembly is
+    rebuilt from JSON because live assemblies do not pickle.
+    """
+    from repro.core.evaluator import ReliabilityEvaluator
+    from repro.dsl import load_assembly
+
+    budget = worker_budget(payload.get("deadline"))
+    try:
+        assembly = load_assembly(payload["assembly_json"])
+        evaluator = ReliabilityEvaluator(
+            assembly, validate=False, check_domains=False, budget=budget
+        )
+        fixed = payload["fixed"]
+        parameter = payload["parameter"]
+        return [
+            evaluator.pfail(
+                payload["service"], **{**fixed, parameter: float(v)}
+            )
+            for v in payload["values"]
+        ]
+    except ReproError as exc:
+        return WorkerFailure.from_error(exc)
+
+
+def simulate_block(payload: dict) -> tuple[int, int] | WorkerFailure:
+    """Run one Monte-Carlo trial block; returns ``(trials, failures)``.
+
+    Payload: ``assembly_json``, ``service``, ``actuals``, ``trials``,
+    ``seed``, ``deadline``.  Trials were already charged against the
+    parent's budget; the worker enforces only the remaining deadline.
+    """
+    from repro.dsl import load_assembly
+    from repro.simulation.engine import MonteCarloSimulator
+
+    budget = worker_budget(payload.get("deadline"))
+    try:
+        assembly = load_assembly(payload["assembly_json"])
+        simulator = MonteCarloSimulator(
+            assembly, seed=payload["seed"], validate=False, budget=budget
+        )
+        result = simulator.estimate_pfail(
+            payload["service"], payload["trials"], **payload["actuals"]
+        )
+        return result.trials, result.failures
+    except ReproError as exc:
+        return WorkerFailure.from_error(exc)
+
+
+def fuzz_block(payload: dict) -> list:
+    """Run a block of fuzz cases; returns the list of ``FuzzCase`` records.
+
+    Payload: ``cases`` (list of ``(index, mutation)`` pairs — mutations
+    are picklable documents), ``service``, ``actuals``, ``seed``,
+    ``trials``, ``deadline``.  Case classification already treats every
+    outcome as data (ok / typed-error / violation), so no failure
+    transport is needed here.
+    """
+    from repro.robustness.harness import run_fuzz_case
+
+    results = []
+    for index, mutation in payload["cases"]:
+        results.append(
+            run_fuzz_case(
+                index,
+                mutation,
+                service=payload["service"],
+                actuals=payload["actuals"],
+                seed=payload["seed"],
+                trials=payload["trials"],
+                deadline=payload["deadline"],
+            )
+        )
+    return results

@@ -1,0 +1,279 @@
+"""Reusable, picklable evaluation plans.
+
+Every evaluation backend in this library front-loads work that depends only
+on the *model* (deriving closed forms, validating structure, building solve
+skeletons) and then repeats it for every point of a sweep, every trial
+block, every batch entry.  An :class:`EvaluationPlan` hoists that
+model-dependent work out of the per-point loop once and for all:
+
+- the **symbolic** backend compiles to the service's closed-form
+  :class:`~repro.symbolic.Expression` — evaluating a point is one
+  (vectorizable) expression evaluation, no matrix solves at all;
+- the **robust** backend (the fallback for models the symbolic derivation
+  refuses, e.g. cyclic assemblies) compiles to a *solve skeleton*: the
+  canonical JSON of the assembly plus the degradation-chain configuration,
+  rebuilt into a per-process :class:`~repro.runtime.RobustEvaluator` on
+  first use.
+
+Plans are deliberately **picklable** (expressions are plain AST objects;
+assemblies travel as canonical JSON because live ``Assembly`` objects do
+not pickle), so a plan compiled once in the parent process can be shipped
+to every worker of a :class:`~repro.engine.batch.BatchEngine` pool.  Each
+plan records the :func:`~repro.engine.fingerprint.assembly_fingerprint` it
+was compiled from, which is what the plan cache keys on.
+
+Module-level counters (:func:`compilation_count`, :func:`reset_counters`)
+record how many plan compilations — i.e. real symbolic derivations or
+skeleton builds — have happened in this process.  The cache-correctness
+tests assert "warm cache ⇒ zero re-derivations" directly against them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.engine.fingerprint import canonical_json, service_fingerprint
+from repro.errors import CyclicAssemblyError, EvaluationError, SymbolicError
+from repro.model.assembly import Assembly
+from repro.model.service import Service
+from repro.runtime.budget import EvaluationBudget
+from repro.runtime.guards import check_probability
+from repro.symbolic import Expression
+
+__all__ = [
+    "EvaluationPlan",
+    "compile_plan",
+    "compilation_count",
+    "reset_counters",
+]
+
+_counter_lock = threading.Lock()
+_compilations = 0
+
+
+def compilation_count() -> int:
+    """Number of real plan compilations performed by this process."""
+    return _compilations
+
+
+def reset_counters() -> None:
+    """Zero the compilation counter (test isolation helper)."""
+    global _compilations
+    with _counter_lock:
+        _compilations = 0
+
+
+def _charge_compilation() -> None:
+    global _compilations
+    with _counter_lock:
+        _compilations += 1
+
+
+class EvaluationPlan:
+    """One compiled evaluation target, reusable across points and workers.
+
+    Attributes:
+        service: the evaluated service name.
+        fingerprint: the :func:`~repro.engine.fingerprint.service_fingerprint`
+            of the (assembly, service) pair the plan was compiled from —
+            plans with equal fingerprints are interchangeable.
+        backend: ``"symbolic"`` (closed form) or ``"robust"`` (degradation
+            chain rebuilt per process).
+        formals: the service's formal parameter names.
+        symbolic_attributes: whether interface attributes were left free
+            (``service::attribute`` symbols) at compilation.
+    """
+
+    def __init__(
+        self,
+        service: str,
+        fingerprint: str,
+        backend: str,
+        formals: tuple[str, ...],
+        expression: Expression | None = None,
+        assembly_json: str | None = None,
+        symbolic_attributes: bool = False,
+    ):
+        if backend not in ("symbolic", "robust"):
+            raise EvaluationError(f"unknown plan backend {backend!r}")
+        if backend == "symbolic" and expression is None:
+            raise EvaluationError("a symbolic plan needs an expression")
+        if backend == "robust" and assembly_json is None:
+            raise EvaluationError("a robust plan needs the assembly JSON")
+        self.service = service
+        self.fingerprint = fingerprint
+        self.backend = backend
+        self.formals = tuple(formals)
+        self.expression = expression
+        self.assembly_json = assembly_json
+        self.symbolic_attributes = bool(symbolic_attributes)
+        self._evaluator = None  # per-process, rebuilt after pickling
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_evaluator"] = None  # evaluators hold live assemblies
+        return state
+
+    # -- evaluation --------------------------------------------------------
+
+    def pfail(
+        self,
+        actuals: Mapping[str, float] | None = None,
+        *,
+        budget: EvaluationBudget | None = None,
+        **kwargs: float,
+    ) -> float:
+        """``Pfail(service, actuals)`` through the compiled backend.
+
+        Actuals may be passed as a mapping, as keyword arguments, or both
+        (keywords win).  Extra bindings are ignored by the symbolic
+        backend (closed forms often eliminate parameters), so batch
+        callers can pass one uniform binding set.
+        """
+        bound = {**(dict(actuals) if actuals else {}), **kwargs}
+        if budget is not None:
+            budget.check_deadline(f"plan evaluation of {self.service!r}")
+        if self.backend == "symbolic":
+            env = {name: float(value) for name, value in bound.items()}
+            value = float(np.asarray(self.expression.evaluate(env), dtype=float))
+            return check_probability(f"Pfail({self.service})", value)
+        evaluator = self._robust_evaluator(budget)
+        relevant = {k: v for k, v in bound.items() if k in self.formals}
+        return float(evaluator.evaluate(self.service, **relevant).pfail)
+
+    def reliability(
+        self,
+        actuals: Mapping[str, float] | None = None,
+        *,
+        budget: EvaluationBudget | None = None,
+        **kwargs: float,
+    ) -> float:
+        """``1 - Pfail`` through the compiled backend."""
+        return 1.0 - self.pfail(actuals, budget=budget, **kwargs)
+
+    def pfail_grid(
+        self,
+        parameter: str,
+        values: Sequence[float] | np.ndarray,
+        fixed: Mapping[str, float] | None = None,
+        *,
+        budget: EvaluationBudget | None = None,
+    ) -> np.ndarray:
+        """``Pfail`` over a whole grid of one parameter.
+
+        The symbolic backend evaluates the closed form vectorized over the
+        numpy array (one expression evaluation for the entire grid); the
+        robust backend falls back to a per-point loop with cooperative
+        deadline checks.
+        """
+        grid = np.asarray(values, dtype=float)
+        if grid.ndim != 1 or grid.size == 0:
+            raise EvaluationError("grid values must be a non-empty 1-D sequence")
+        fixed = dict(fixed or {})
+        if budget is not None:
+            budget.check_deadline(f"grid evaluation of {self.service!r}")
+        if self.backend == "symbolic":
+            env = {**{k: float(v) for k, v in fixed.items()}, parameter: grid}
+            return np.broadcast_to(
+                np.asarray(self.expression.evaluate(env), dtype=float),
+                grid.shape,
+            ).copy()
+        out = np.empty(grid.shape, dtype=float)
+        for i, value in enumerate(grid):
+            out[i] = self.pfail(
+                {**fixed, parameter: float(value)}, budget=budget
+            )
+        return out
+
+    # -- internals ---------------------------------------------------------
+
+    def _robust_evaluator(self, budget: EvaluationBudget | None):
+        from repro.dsl import load_assembly
+        from repro.runtime.robust import RobustEvaluator
+
+        if self._evaluator is None:
+            assembly = load_assembly(self.assembly_json)
+            self._evaluator = RobustEvaluator(assembly, budget=budget)
+        elif budget is not None:
+            self._evaluator.budget = budget
+        return self._evaluator
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationPlan({self.service!r}, backend={self.backend!r}, "
+            f"fingerprint={self.fingerprint[:12]}...)"
+        )
+
+
+def compile_plan(
+    assembly: Assembly,
+    service: str | Service,
+    *,
+    symbolic_attributes: bool = False,
+    backend: str = "auto",
+    budget: EvaluationBudget | None = None,
+) -> EvaluationPlan:
+    """Compile an (assembly, service) pair into an :class:`EvaluationPlan`.
+
+    Args:
+        assembly: the assembly to compile against.
+        service: the evaluation target.
+        symbolic_attributes: leave interface attributes free (for
+            attribute sweeps/sensitivities); symbolic backend only.
+        backend: ``"symbolic"``, ``"robust"``, or ``"auto"`` (try the
+            closed-form derivation, fall back to the robust skeleton when
+            the assembly is cyclic or the derivation fails with a typed
+            symbolic error).
+        budget: optional budget charged during the derivation.
+
+    Every call performs real work and bumps :func:`compilation_count`;
+    reuse compiled plans through :class:`repro.engine.cache.PlanCache`
+    rather than calling this in a loop.
+    """
+    from repro.core.symbolic_evaluator import SymbolicEvaluator
+
+    name = service.name if isinstance(service, Service) else str(service)
+    svc = assembly.service(name)
+    fingerprint = service_fingerprint(assembly, name)
+    if backend not in ("auto", "symbolic", "robust"):
+        raise EvaluationError(f"unknown plan backend {backend!r}")
+
+    _charge_compilation()
+
+    if backend in ("auto", "symbolic"):
+        try:
+            expression = SymbolicEvaluator(
+                assembly,
+                symbolic_attributes=symbolic_attributes,
+                budget=budget,
+            ).pfail_expression(name)
+        except (CyclicAssemblyError, SymbolicError):
+            if backend == "symbolic":
+                raise
+        else:
+            return EvaluationPlan(
+                name,
+                fingerprint,
+                "symbolic",
+                svc.formal_parameters,
+                expression=expression,
+                symbolic_attributes=symbolic_attributes,
+            )
+
+    if symbolic_attributes:
+        raise EvaluationError(
+            "symbolic_attributes requires the symbolic backend; the robust "
+            "skeleton binds attributes numerically"
+        )
+    return EvaluationPlan(
+        name,
+        fingerprint,
+        "robust",
+        svc.formal_parameters,
+        assembly_json=canonical_json(assembly),
+    )

@@ -31,7 +31,14 @@ from repro.robustness.mutator import ModelMutator, Mutation
 from repro.runtime.budget import EvaluationBudget
 from repro.runtime.robust import RobustEvaluator
 
-__all__ = ["FuzzCase", "FuzzHarness", "FuzzReport", "default_target"]
+__all__ = [
+    "FuzzCase",
+    "FuzzHarness",
+    "FuzzReport",
+    "default_target",
+    "domain_representative",
+    "run_fuzz_case",
+]
 
 OK = "ok"
 TYPED_ERROR = "typed-error"
@@ -106,7 +113,9 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def _domain_representative(domain) -> float:
+def domain_representative(domain) -> float:
+    """A safe in-domain value: first finite choice, smallest positive
+    integer, or interval midpoint — so any healthy model evaluates."""
     if isinstance(domain, FiniteDomain):
         return float(domain.values[0])
     if isinstance(domain, IntegerDomain):
@@ -138,10 +147,66 @@ def default_target(assembly: Assembly) -> tuple[str, dict[str, float]]:
         raise ReproError("assembly has no composite service to fuzz")
     top = max(composites, key=lambda s: levels.get(s.name, 0))
     actuals = {
-        p.name: _domain_representative(p.domain)
+        p.name: domain_representative(p.domain)
         for p in top.interface.formal_parameters
     }
     return top.name, actuals
+
+
+def run_fuzz_case(
+    index: int,
+    mutation: Mutation,
+    *,
+    service: str,
+    actuals: dict[str, float],
+    seed: int,
+    trials: int,
+    deadline: float,
+) -> FuzzCase:
+    """Evaluate one mutated model and classify the outcome.
+
+    Module-level (and driven entirely by picklable arguments — mutations
+    are plain documents) so the engine's process-pool worker
+    (:func:`repro.engine.parallel.fuzz_block`) can run cases remotely;
+    :meth:`FuzzHarness.run_case` delegates here.
+    """
+    try:
+        assembly = mutation.build()
+        budget = EvaluationBudget(
+            deadline=deadline,
+            max_depth=64,
+            max_sweeps=1_000,
+            max_trials=trials * 4,
+        )
+        evaluator = RobustEvaluator(
+            assembly, budget=budget, trials=trials,
+            seed=seed + index,
+        )
+        result = evaluator.evaluate(service, **actuals)
+    except ReproError as exc:
+        return FuzzCase(
+            index, mutation.operator, mutation.detail, TYPED_ERROR,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    except Exception as exc:  # the contract violation we hunt
+        return FuzzCase(
+            index, mutation.operator, mutation.detail, CRASH,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    if not (
+        isinstance(result.pfail, float)
+        and math.isfinite(result.pfail)
+        and 0.0 <= result.pfail <= 1.0
+    ):
+        return FuzzCase(
+            index, mutation.operator, mutation.detail, OUT_OF_RANGE,
+            pfail=result.pfail, tier=result.tier,
+            error=f"pfail={result.pfail!r}",
+        )
+    return FuzzCase(
+        index, mutation.operator, mutation.detail, OK,
+        pfail=result.pfail, tier=result.tier,
+    )
 
 
 class FuzzHarness:
@@ -183,49 +248,61 @@ class FuzzHarness:
 
     def run_case(self, index: int, mutation: Mutation) -> FuzzCase:
         """Evaluate one mutated model and classify the outcome."""
-        try:
-            assembly = mutation.build()
-            budget = EvaluationBudget(
-                deadline=self.deadline,
-                max_depth=64,
-                max_sweeps=1_000,
-                max_trials=self.trials * 4,
-            )
-            evaluator = RobustEvaluator(
-                assembly, budget=budget, trials=self.trials,
-                seed=self.seed + index,
-            )
-            result = evaluator.evaluate(self.service, **self.actuals)
-        except ReproError as exc:
-            return FuzzCase(
-                index, mutation.operator, mutation.detail, TYPED_ERROR,
-                error=f"{type(exc).__name__}: {exc}",
-            )
-        except Exception as exc:  # the contract violation we hunt
-            return FuzzCase(
-                index, mutation.operator, mutation.detail, CRASH,
-                error=f"{type(exc).__name__}: {exc}",
-            )
-        if not (
-            isinstance(result.pfail, float)
-            and math.isfinite(result.pfail)
-            and 0.0 <= result.pfail <= 1.0
-        ):
-            return FuzzCase(
-                index, mutation.operator, mutation.detail, OUT_OF_RANGE,
-                pfail=result.pfail, tier=result.tier,
-                error=f"pfail={result.pfail!r}",
-            )
-        return FuzzCase(
-            index, mutation.operator, mutation.detail, OK,
-            pfail=result.pfail, tier=result.tier,
+        return run_fuzz_case(
+            index,
+            mutation,
+            service=self.service,
+            actuals=self.actuals,
+            seed=self.seed,
+            trials=self.trials,
+            deadline=self.deadline,
         )
 
-    def run(self, count: int = 200) -> FuzzReport:
-        """Run ``count`` mutated models and aggregate the outcomes."""
+    def run(self, count: int = 200, jobs: int = 1) -> FuzzReport:
+        """Run ``count`` mutated models and aggregate the outcomes.
+
+        With ``jobs > 1`` the mutations are still generated here, in
+        order (so the corpus is identical regardless of worker count),
+        then sharded across a process pool; cases land in the report in
+        index order either way, and each case's simulation seed depends
+        only on its index, so classification matches the serial run
+        exactly.
+        """
+        from repro.engine.parallel import resolve_jobs
+
         started = time.monotonic()
         report = FuzzReport()
-        for index, mutation in enumerate(self.mutator.generate(count)):
-            report.cases.append(self.run_case(index, mutation))
+        mutations = list(enumerate(self.mutator.generate(count)))
+        jobs = resolve_jobs(jobs)
+        if jobs > 1 and len(mutations) > 1:
+            report.cases = self._run_parallel(mutations, jobs)
+        else:
+            report.cases = [
+                self.run_case(index, mutation) for index, mutation in mutations
+            ]
         report.elapsed = time.monotonic() - started
         return report
+
+    def _run_parallel(self, mutations: list, jobs: int) -> list[FuzzCase]:
+        from repro.engine.parallel import fuzz_block, make_executor, split_evenly
+
+        executor = make_executor(jobs, "process")
+        cases: list[FuzzCase] = []
+        with executor:
+            futures = [
+                executor.submit(
+                    fuzz_block,
+                    {
+                        "cases": shard,
+                        "service": self.service,
+                        "actuals": self.actuals,
+                        "seed": self.seed,
+                        "trials": self.trials,
+                        "deadline": self.deadline,
+                    },
+                )
+                for shard in split_evenly(mutations, jobs)
+            ]
+            for future in futures:
+                cases.extend(future.result())
+        return sorted(cases, key=lambda case: case.index)

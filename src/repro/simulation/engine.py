@@ -181,6 +181,10 @@ class MonteCarloSimulator:
         self.budget = budget
         if validate:
             validate_assembly(assembly).raise_if_invalid()
+        # Kept for parallel estimation: worker blocks derive their streams
+        # from SeedSequence(seed).spawn(), so runs stay reproducible per
+        # (seed, jobs) pair.
+        self._seed = seed
         self.rng = np.random.default_rng(seed)
 
     # -- public API ----------------------------------------------------------
@@ -194,12 +198,30 @@ class MonteCarloSimulator:
         return self._run(plan)
 
     def estimate_pfail(
-        self, service: str | Service, trials: int, **actuals: float
+        self,
+        service: str | Service,
+        trials: int,
+        *,
+        jobs: int = 1,
+        **actuals: float,
     ) -> SimulationResult:
-        """Estimate ``Pfail(service, actuals)`` over ``trials`` invocations."""
+        """Estimate ``Pfail(service, actuals)`` over ``trials`` invocations.
+
+        With ``jobs > 1`` the trials are split into near-equal blocks and
+        run on a process pool, each block with an independent child stream
+        spawned from this simulator's seed (``SeedSequence.spawn``), so an
+        estimate is reproducible for a given ``(seed, jobs)`` pair.  The
+        trial cap is charged once here, in the parent; workers enforce
+        only the remaining deadline.
+        """
+        from repro.engine.parallel import resolve_jobs
+
         if self.budget is not None:
             self.budget.check_deadline("Monte Carlo estimation")
             self.budget.charge_trials(trials, "Monte Carlo estimation")
+        jobs = resolve_jobs(jobs)
+        if jobs > 1 and trials > 1:
+            return self._estimate_parallel(service, trials, jobs, actuals)
         plan = self.compile(service, **actuals)
         failures = 0
         for trial in range(trials):
@@ -212,6 +234,50 @@ class MonteCarloSimulator:
             if not self._run(plan):
                 failures += 1
         return SimulationResult(trials, failures)
+
+    def _estimate_parallel(
+        self, service: str | Service, trials: int, jobs: int, actuals: dict
+    ) -> SimulationResult:
+        from repro.engine.fingerprint import canonical_json
+        from repro.engine.parallel import (
+            WorkerFailure,
+            make_executor,
+            rebuild_error,
+            remaining_deadline,
+            simulate_block,
+        )
+
+        name = service.name if isinstance(service, Service) else str(service)
+        blocks = min(jobs, trials)
+        base, extra = divmod(trials, blocks)
+        sizes = [base + (1 if i < extra else 0) for i in range(blocks)]
+        seeds = np.random.SeedSequence(self._seed).spawn(blocks)
+        assembly_json = canonical_json(self.assembly)
+        executor = make_executor(jobs, "process")
+        total_trials = total_failures = 0
+        with executor:
+            futures = [
+                executor.submit(
+                    simulate_block,
+                    {
+                        "assembly_json": assembly_json,
+                        "service": name,
+                        "actuals": dict(actuals),
+                        "trials": size,
+                        "seed": seed,
+                        "deadline": remaining_deadline(self.budget),
+                    },
+                )
+                for size, seed in zip(sizes, seeds)
+            ]
+            for future in futures:
+                outcome = future.result()
+                if isinstance(outcome, WorkerFailure):
+                    raise rebuild_error(outcome)
+                block_trials, block_failures = outcome
+                total_trials += block_trials
+                total_failures += block_failures
+        return SimulationResult(total_trials, total_failures)
 
     def compile(self, service: str | Service, **actuals: float):
         """Compile the invocation of ``service`` with ``actuals`` into a

@@ -213,3 +213,79 @@ class TestPerformance:
         assert "E[T](search)" in out
         assert "per-state breakdown" in out
         assert "sort" in out
+
+
+class TestBatch:
+    def test_multi_model_multi_point(self, local_file, remote_file, capsys):
+        assert main(
+            ["batch", "search", "--model", local_file, "--model", remote_file,
+             "--at", "elem=1", "list=500", "res=1",
+             "--at", "elem=1", "list=1000", "res=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        # 2 models x 2 points, plus the stats footer
+        assert out.count("Pfail = ") == 4
+        assert "4 evaluations over 2 plans" in out
+        expected = ReliabilityEvaluator(local_assembly()).pfail(
+            "search", elem=1, list=500, res=1
+        )
+        assert f"{expected:.9e}" in out
+
+    def test_parallel_matches_serial_output(self, local_file, capsys):
+        argv = ["batch", "search", "--model", local_file,
+                "--at", "elem=1", "list=500", "res=1",
+                "--at", "elem=1", "list=1000", "res=1"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # identical per-entry lines; only the stats footer may differ
+        assert (
+            [l for l in serial.splitlines() if "Pfail" in l]
+            == [l for l in parallel.splitlines() if "Pfail" in l]
+        )
+
+    def test_default_point_from_domains(self, local_file, capsys):
+        assert main(["batch", "search", "--model", local_file]) == 0
+        assert "Pfail = " in capsys.readouterr().out
+
+    def test_entry_failure_sets_exit_code(self, local_file, capsys):
+        assert main(
+            ["batch", "search", "--model", local_file,
+             "--at", "elem=1", "list=nan", "res=1"]
+        ) != 0
+        assert "error[" in capsys.readouterr().out
+
+    def test_expired_deadline_exits_with_budget_code(self, local_file, capsys):
+        code = main(
+            ["batch", "search", "--model", local_file,
+             "--at", "elem=1", "list=500", "res=1",
+             "--deadline", "0.0"]
+        )
+        assert code != 0
+
+
+class TestJobsFlag:
+    def test_sweep_jobs_matches_serial(self, local_file, capsys):
+        argv = ["sweep", local_file, "search", "list",
+                "--from", "1", "--to", "1000", "--points", "7",
+                "--set", "elem=1", "res=1"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_simulate_jobs_accepted(self, local_file, capsys):
+        assert main(
+            ["simulate", local_file, "search", "--trials", "400",
+             "--seed", "1", "--jobs", "2",
+             "--set", "elem=1", "list=500", "res=1"]
+        ) == 0
+        assert "Wilson" in capsys.readouterr().out
+
+    def test_negative_jobs_is_usage_error(self, local_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", local_file, "search", "list",
+                  "--from", "1", "--to", "10", "--points", "3",
+                  "--set", "elem=1", "res=1", "--jobs", "-2"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,37 @@
+"""The documentation is part of the contract: links resolve, examples run.
+
+Thin pytest binding over ``tools/check_docs.py`` (the same script the CI
+``docs`` job runs) so doc drift fails the tier-1 suite, not just CI.
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_every_page_exists():
+    for name in check_docs.PAGES:
+        assert (ROOT / name).exists(), name
+
+
+def test_no_dead_links():
+    problems = []
+    for name in check_docs.PAGES:
+        problems.extend(check_docs.check_links(ROOT / name))
+    assert problems == []
+
+
+def test_guide_doctests_pass():
+    problems = []
+    for name in check_docs.DOCTESTED:
+        problems.extend(check_docs.check_doctests(ROOT / name))
+    assert problems == []
+
+
+def test_checker_main_is_clean(capsys):
+    assert check_docs.main() == 0
+    assert "docs ok" in capsys.readouterr().out

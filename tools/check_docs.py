@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Documentation health check: dead links and broken doctest examples.
+
+Run from the repository root (CI runs it in the ``docs`` job)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Two passes over every tracked markdown file:
+
+1. **Link check** — every relative markdown link and every backticked
+   repository path (````docs/...` ``, ````src/repro/...` ``, ...) must
+   resolve to an existing file.  External ``http(s)`` links are *not*
+   fetched (CI must stay hermetic); anchors are stripped before the
+   existence test.
+2. **Doctest check** — ``>>>`` examples embedded in the guides are run
+   with ``doctest`` exactly as ``python -m doctest <file>`` would, so
+   the documented numbers can never silently drift from the code.
+
+Exit status is the number of failing files (0 = healthy docs).
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# every shipped markdown page; new guides must be added here and to CI
+PAGES = [
+    "README.md",
+    "docs/architecture.md",
+    "docs/modeling_guide.md",
+    "docs/paper_mapping.md",
+    "docs/performance_guide.md",
+    "docs/robustness_guide.md",
+]
+
+# guides whose ``>>>`` examples are executable (kept fast on purpose)
+DOCTESTED = [
+    "docs/architecture.md",
+    "docs/performance_guide.md",
+]
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+BACKTICK_PATH = re.compile(
+    r"`((?:docs|src|tests|benchmarks|examples|tools)/[A-Za-z0-9_/.-]+"
+    r"\.(?:md|py|json|txt|yml))`"
+)
+
+
+def check_links(page: Path) -> list[str]:
+    """Return a list of human-readable problems for one page."""
+    problems = []
+    text = page.read_text(encoding="utf-8")
+    targets = set(MARKDOWN_LINK.findall(text)) | set(BACKTICK_PATH.findall(text))
+    for target in sorted(targets):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = (page.parent / target).resolve()
+        if not resolved.exists():
+            # backticked paths are repo-root relative in our house style
+            if (ROOT / target).exists():
+                continue
+            problems.append(f"{page.relative_to(ROOT)}: dead link -> {target}")
+    return problems
+
+
+def check_doctests(page: Path) -> list[str]:
+    failures, tests = doctest.testfile(
+        str(page), module_relative=False, verbose=False,
+        optionflags=doctest.ELLIPSIS,
+    )
+    if failures:
+        return [f"{page.relative_to(ROOT)}: {failures}/{tests} doctest(s) failed"]
+    return []
+
+
+def main() -> int:
+    problems: list[str] = []
+    for name in PAGES:
+        page = ROOT / name
+        if not page.exists():
+            problems.append(f"missing page: {name}")
+            continue
+        problems.extend(check_links(page))
+    for name in DOCTESTED:
+        problems.extend(check_doctests(ROOT / name))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"docs ok: {len(PAGES)} pages, {len(DOCTESTED)} doctested")
+    return min(len(problems), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
