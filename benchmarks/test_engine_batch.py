@@ -25,13 +25,19 @@ import numpy as np
 
 from repro.analysis import format_table, sweep_parameter
 from repro.engine import BatchEngine, PlanCache, compilation_count
+from repro.engine.plan import compile_plan
 from repro.scenarios import local_assembly, remote_assembly
+from repro.symbolic import compile_expression
 
 from _report import emit, emit_json
 
 #: The Figure 6 x-axis and fixed actuals (benchmarks/test_fig6_*).
 GRID = np.linspace(1.0, 1000.0, 60)
 FIXED = {"elem": 1.0, "res": 1.0}
+
+#: The kernel benchmark sweeps a denser Figure 6 grid (the acceptance
+#: workload: >= 200 points) so per-point costs dominate fixed overhead.
+KERNEL_GRID = np.linspace(1.0, 1000.0, 240)
 
 
 def _points(grid):
@@ -160,3 +166,107 @@ def test_engine_batch(benchmark):
     # (model, service) target per pass.
     assert cache["warm_compilations"] == 0
     assert cache["cold_compilations"] == cache["passes"] * len(assemblies)
+
+
+def _interleaved_best(contenders, repeats=100, rounds=5):
+    """Best per-call seconds for each contender, measured in interleaved
+    rounds (A/B/A/B...) so load drift on a busy runner hits every
+    contender equally instead of biasing whichever ran last."""
+    best = {name: float("inf") for name, _fn in contenders}
+    for _ in range(rounds):
+        for name, fn in contenders:
+            start = time.perf_counter()
+            for _ in range(repeats):
+                fn()
+            per_call = (time.perf_counter() - start) / repeats
+            best[name] = min(best[name], per_call)
+    return best
+
+
+def test_kernel_compilation():
+    """PERF — compiled kernels vs the recursive tree walk (no fixtures, so
+    the CI smoke job can run it with plain pytest via ``-k kernel``)."""
+    sections = {}
+    speedups = {}
+    for assembly in (local_assembly(), remote_assembly()):
+        plan = compile_plan(assembly, "search")
+        expression, kernel = plan.expression, plan.kernel()
+        env = {**FIXED, "list": KERNEL_GRID}
+        # equivalence on the benchmark workload itself, bit for bit
+        tree_value = np.broadcast_to(
+            np.asarray(expression.evaluate(env), dtype=float),
+            KERNEL_GRID.shape,
+        )
+        kernel_value = np.broadcast_to(
+            np.asarray(kernel.evaluate(env), dtype=float), KERNEL_GRID.shape
+        )
+        assert np.array_equal(tree_value, kernel_value)
+
+        best = _interleaved_best(
+            [
+                ("tree_walk", lambda: expression.evaluate(env)),
+                ("compiled", lambda: kernel.evaluate(env)),
+            ]
+        )
+        speedup = best["tree_walk"] / best["compiled"]
+        speedups[assembly.name] = speedup
+        sections[assembly.name] = {
+            "grid_points": len(KERNEL_GRID),
+            "tree_walk_ns_per_point": best["tree_walk"] / len(KERNEL_GRID) * 1e9,
+            "compiled_ns_per_point": best["compiled"] / len(KERNEL_GRID) * 1e9,
+            "speedup": speedup,
+            "tree_nodes": kernel.tree_nodes,
+            "dag_nodes": kernel.dag_nodes,
+            "executed_ops": kernel.op_count,
+            "folded_constants": kernel.folded,
+        }
+
+    # CSE on the eq. 18 closed form: composition by substitution repeats
+    # N = list*log2(list), so the executed tape must be smaller than the tree
+    from repro.core.symbolic_evaluator import SymbolicEvaluator
+
+    sort_expression = SymbolicEvaluator(local_assembly()).pfail_expression(
+        "sort1"
+    )
+    sort_kernel = compile_expression(sort_expression, cache=False)
+    cse = {
+        "tree_nodes": sort_kernel.tree_nodes,
+        "dag_nodes": sort_kernel.dag_nodes,
+        "executed_ops": sort_kernel.op_count,
+        "reduction": 1.0 - sort_kernel.op_count / sort_kernel.tree_nodes,
+    }
+
+    payload = {
+        "workload": {
+            "service": "search",
+            "parameter": "list",
+            "grid_points": len(KERNEL_GRID),
+            "fixed": FIXED,
+        },
+        "assemblies": sections,
+        "cse_eq18": cse,
+    }
+    emit_json("kernel", payload)
+
+    rows = [
+        (name, s["tree_walk_ns_per_point"], s["compiled_ns_per_point"],
+         s["speedup"], s["tree_nodes"], s["executed_ops"])
+        for name, s in sections.items()
+    ]
+    emit(
+        "PERF_KERNEL",
+        "PERF/kernel — compiled kernels vs tree walk "
+        f"(Figure 6 sweep, {len(KERNEL_GRID)} points)\n\n"
+        + format_table(
+            ["model", "tree ns/pt", "kernel ns/pt", "speedup",
+             "tree nodes", "ops"],
+            rows,
+            float_format="{:.4g}",
+        ),
+    )
+
+    # the PR's acceptance bar: >= 3x on the Figure 6 sweep workload, and
+    # CSE strictly reduces executed ops vs raw tree node count
+    for name, speedup in speedups.items():
+        assert speedup >= 3.0, f"{name}: {speedup:.2f}x < 3x"
+    assert cse["executed_ops"] < cse["tree_nodes"]

@@ -99,7 +99,9 @@ def _collect_chunks(chunk_results: list) -> np.ndarray:
     return np.asarray(out, dtype=float)
 
 
-def _parallel_symbolic(plan, parameter, grid, fixed, jobs, budget) -> np.ndarray:
+def _parallel_symbolic(
+    plan, parameter, grid, fixed, jobs, budget, use_kernel=True
+) -> np.ndarray:
     from repro.engine.parallel import (
         make_executor,
         plan_sweep_chunk,
@@ -109,7 +111,9 @@ def _parallel_symbolic(plan, parameter, grid, fixed, jobs, budget) -> np.ndarray
 
     executor = make_executor(jobs, "thread")
     if executor is None:
-        return plan.pfail_grid(parameter, grid, fixed, budget=budget)
+        return plan.pfail_grid(
+            parameter, grid, fixed, budget=budget, use_kernel=use_kernel
+        )
     chunks = split_evenly(list(grid), jobs)
     with executor:
         futures = [
@@ -121,6 +125,7 @@ def _parallel_symbolic(plan, parameter, grid, fixed, jobs, budget) -> np.ndarray
                     "values": chunk,
                     "fixed": dict(fixed),
                     "deadline": remaining_deadline(budget),
+                    "use_kernel": use_kernel,
                 },
             )
             for chunk in chunks
@@ -170,6 +175,7 @@ def sweep_parameter(
     jobs: int = 1,
     cache=None,
     budget: EvaluationBudget | None = None,
+    compile: bool = True,
 ) -> SweepResult:
     """Sweep one formal parameter of ``service`` across ``values``.
 
@@ -189,6 +195,8 @@ def sweep_parameter(
             sweeps of the same model re-derive nothing.
         budget: optional :class:`~repro.runtime.EvaluationBudget` enforced
             during derivation and cooperatively by every worker.
+        compile: evaluate the closed form through its compiled numpy
+            kernel (default); ``False`` forces the recursive tree walk.
     """
     from repro.engine.parallel import resolve_jobs
 
@@ -211,7 +219,9 @@ def sweep_parameter(
         else:
             plan = compile_plan(assembly, service, backend="symbolic",
                                 budget=budget)
-        pfail = _parallel_symbolic(plan, parameter, grid, fixed, jobs, budget)
+        pfail = _parallel_symbolic(
+            plan, parameter, grid, fixed, jobs, budget, use_kernel=compile
+        )
     elif method == "numeric":
         if jobs > 1:
             pfail = _parallel_numeric(
@@ -242,6 +252,7 @@ def sweep_attribute(
     jobs: int = 1,
     cache=None,
     budget: EvaluationBudget | None = None,
+    compile: bool = True,
 ) -> SweepResult:
     """Sweep one published **interface attribute** (e.g.
     ``"net12::failure_rate"``) at fixed actual parameters.
@@ -264,6 +275,8 @@ def sweep_attribute(
         cache: optional :class:`~repro.engine.PlanCache` for the
             attribute-symbolic closed form.
         budget: optional budget enforced during derivation and evaluation.
+        compile: evaluate through the compiled kernel (default) or the
+            recursive tree walk (``False``).
     """
     from repro.core.symbolic_evaluator import attribute_environment
     from repro.engine.parallel import resolve_jobs
@@ -289,7 +302,9 @@ def sweep_attribute(
         )
     fixed = {**base, **{k: float(v) for k, v in dict(actuals).items()}}
     fixed.pop(attribute)
-    pfail = _parallel_symbolic(plan, attribute, grid, fixed, jobs, budget)
+    pfail = _parallel_symbolic(
+        plan, attribute, grid, fixed, jobs, budget, use_kernel=compile
+    )
     return SweepResult(
         assembly.name, service, attribute, grid, pfail, dict(actuals)
     )

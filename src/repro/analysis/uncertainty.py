@@ -36,6 +36,7 @@ from repro.core.symbolic_evaluator import (
 )
 from repro.errors import EvaluationError
 from repro.model.assembly import Assembly
+from repro.symbolic.compiler import compile_expression, gradient_kernels
 
 __all__ = ["UncertaintyEstimate", "delta_method", "sample_uncertainty"]
 
@@ -95,6 +96,7 @@ def delta_method(
     service: str,
     actuals: Mapping[str, float],
     relative_std: float | Mapping[str, float] = 0.1,
+    compile: bool = True,
 ) -> UncertaintyEstimate:
     """First-order uncertainty propagation via symbolic derivatives.
 
@@ -107,21 +109,33 @@ def delta_method(
             ``service::attribute`` symbols to per-attribute relative
             standard deviations (attributes not listed are treated as
             exact).
+        compile: evaluate the closed form and its derivatives through
+            compiled kernels (default; derivative expressions are
+            differentiated and compiled once per attribute, ever);
+            ``False`` re-walks the trees.
     """
     evaluator = SymbolicEvaluator(assembly, symbolic_attributes=True)
     expression = evaluator.pfail_expression(service)
     base = dict(attribute_environment(assembly))
     env = {**base, **{k: float(v) for k, v in dict(actuals).items()}}
-    pfail = float(expression.evaluate(env))
+    target = compile_expression(expression) if compile else expression
+    pfail = float(target.evaluate(env))
 
     sigmas = _resolve_uncertainties(assembly, relative_std, base)
     variance = 0.0
     pieces: dict[str, float] = {}
     free = expression.free_parameters()
-    for symbol, sigma in sigmas.items():
-        if sigma == 0.0 or symbol not in free:
-            continue
-        slope = float(expression.differentiate(symbol).evaluate(env))
+    symbols = [
+        s for s, sigma in sigmas.items() if sigma != 0.0 and s in free
+    ]
+    slopes = (
+        gradient_kernels(expression, symbols)
+        if compile
+        else {s: expression.differentiate(s) for s in symbols}
+    )
+    for symbol in symbols:
+        sigma = sigmas[symbol]
+        slope = float(slopes[symbol].evaluate(env))
         piece = (slope * sigma) ** 2
         variance += piece
         pieces[symbol] = piece
@@ -143,6 +157,7 @@ def sample_uncertainty(
     samples: int = 10_000,
     seed: int | None = None,
     percentiles: tuple[float, ...] = (5.0, 25.0, 50.0, 75.0, 95.0),
+    compile: bool = True,
 ) -> UncertaintyEstimate:
     """Monte Carlo propagation: lognormal attribute priors, one vectorized
     closed-form evaluation.
@@ -150,7 +165,8 @@ def sample_uncertainty(
     The lognormal for an attribute with published value ``v`` and relative
     standard deviation ``r`` has median ``v`` and log-space sigma
     ``sqrt(log(1 + r^2))`` — for small ``r`` this matches the delta
-    method to first order (property-tested).
+    method to first order (property-tested); ``compile=False`` swaps
+    the compiled kernel for the recursive tree walk.
     """
     if samples < 2:
         raise EvaluationError("sample_uncertainty needs at least 2 samples")
@@ -170,16 +186,17 @@ def sample_uncertainty(
         log_sigma = float(np.sqrt(np.log1p(rel * rel)))
         env[name] = value * rng.lognormal(mean=0.0, sigma=log_sigma, size=samples)
 
+    target = compile_expression(expression) if compile else expression
     draws = np.clip(
         np.broadcast_to(
-            np.asarray(expression.evaluate(env), dtype=float), (samples,)
+            np.asarray(target.evaluate(env), dtype=float), (samples,)
         ),
         0.0,
         1.0,
     )
     point_env = {**base, **{k: float(v) for k, v in dict(actuals).items()}}
     return UncertaintyEstimate(
-        pfail=float(expression.evaluate(point_env)),
+        pfail=float(target.evaluate(point_env)),
         std=float(draws.std(ddof=1)),
         percentiles={
             float(p): float(np.percentile(draws, p)) for p in percentiles

@@ -1,0 +1,138 @@
+"""Shared LRU cache machinery with hit/miss statistics.
+
+Two layers of the library memoize expensive compilation artifacts under
+structural keys: the engine's :class:`~repro.engine.cache.PlanCache`
+(closed-form derivations keyed by assembly fingerprint) and the symbolic
+compiler's :class:`~repro.symbolic.compiler.KernelCache` (numpy kernels
+keyed by expression).  Both need the same substrate — a bounded, thread-safe
+mapping with LRU eviction and observable counters — so it lives here, below
+both of them in the layering (this module imports nothing but
+:mod:`repro.errors`).
+
+Design points shared by every user:
+
+- **lookups never block on computation**: :meth:`LRUCache.get_or_create`
+  runs the factory *outside* the lock, so two threads missing on different
+  keys compute concurrently; two threads racing on the *same* key may both
+  compute and the first store wins — duplicated work, never wrong answers
+  (cached values for equal keys must be interchangeable);
+- **statistics are monotone counters** (:class:`CacheStats`): hits, misses,
+  evictions, and the derived hit rate, snapshot-able for JSON reporters;
+- ``clear()`` drops entries but keeps the statistics, so warm-up accounting
+  survives test-isolation resets.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import EvaluationError
+
+__all__ = ["CacheStats", "LRUCache"]
+
+
+@dataclass
+class CacheStats:
+    """Observable counters of one cache.
+
+    Attributes:
+        hits: lookups served from the cache (no computation ran).
+        misses: lookups that computed a fresh value.
+        evictions: entries dropped by the LRU bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy (for JSON reporters and logs)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """A bounded, thread-safe mapping with LRU eviction and statistics.
+
+    Args:
+        max_size: maximum number of cached entries; the least recently
+            used entry is evicted past the bound.  ``None`` means
+            unbounded.
+    """
+
+    def __init__(self, max_size: int | None = 128):
+        if max_size is not None and max_size < 1:
+            raise EvaluationError(
+                f"cache max_size must be positive, got {max_size!r}"
+            )
+        self.max_size = max_size
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value for ``key`` or ``None``, without touching the
+        hit/miss statistics; use :meth:`get_or_create` for the accounted
+        path."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """The value for ``key``, calling ``factory`` on miss.
+
+        The factory runs outside the cache lock: concurrent misses on
+        different keys compute in parallel, and a race on the same key
+        performs duplicate work with the first store winning.
+        """
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return value
+            self.stats.misses += 1
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store a value under its key, evicting past the bound."""
+        with self._lock:
+            if key not in self._entries and self.max_size is not None:
+                while len(self._entries) >= self.max_size:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+
+    def clear(self) -> None:
+        """Drop every cached entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()

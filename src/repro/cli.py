@@ -171,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="parallel workers (0 = all cores, 1 = sequential)",
         )
 
+    def add_compile(sub):
+        sub.add_argument(
+            "--no-compile", action="store_true",
+            help="evaluate closed forms by recursive tree walk instead of "
+                 "compiled numpy kernels (escape hatch; slower)",
+        )
+
     def add_budget(sub):
         sub.add_argument(
             "--deadline", type=non_negative(float), default=None,
@@ -247,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs(sub)
     add_budget(sub)
+    add_compile(sub)
 
     sub = commands.add_parser("sweep", help="reliability vs one parameter")
     sub.add_argument("file")
@@ -262,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_set(sub)
     add_jobs(sub)
     add_budget(sub)
+    add_compile(sub)
 
     sub = commands.add_parser(
         "compare", help="two assemblies head-to-head with crossovers"
@@ -415,6 +424,21 @@ def _cmd_closed_form(args) -> int:
     return 0
 
 
+def _kernel_stats_line(enabled: bool) -> str:
+    """One-line summary of the process-wide kernel cache for batch/sweep
+    output (hit/miss counters of :func:`repro.symbolic.kernel_cache_stats`)."""
+    if not enabled:
+        return "kernel cache: compilation disabled (--no-compile)"
+    from repro.symbolic import default_kernel_cache
+
+    cache = default_kernel_cache()
+    stats = cache.stats
+    return (
+        f"kernel cache: {stats.hits} hits, {stats.misses} misses, "
+        f"{len(cache)} kernel(s) cached"
+    )
+
+
 def _cmd_batch(args) -> int:
     from repro.engine import BatchEngine, BatchRequest
     from repro.robustness.harness import domain_representative
@@ -428,7 +452,11 @@ def _cmd_batch(args) -> int:
         }
 
     points = [_parse_bindings(group) for group in args.at] if args.at else None
-    engine = BatchEngine(jobs=args.jobs, budget=_budget_from_args(args))
+    engine = BatchEngine(
+        jobs=args.jobs,
+        budget=_budget_from_args(args),
+        compile=not args.no_compile,
+    )
     models = [_load(path) for path in args.model]
     requests = [
         BatchRequest(assembly, args.service, point, label=path)
@@ -456,6 +484,7 @@ def _cmd_batch(args) -> int:
         f"({stats.compilations} compiled, {stats.cache_hits} cache hits) "
         f"with {stats.jobs} worker(s) in {stats.elapsed:.3f}s"
     )
+    print(_kernel_stats_line(enabled=not args.no_compile))
     return 0 if result.ok else 1
 
 
@@ -467,8 +496,10 @@ def _cmd_sweep(args) -> int:
     sweep = sweep_parameter(
         assembly, args.service, args.parameter, grid, _parse_bindings(args.set),
         method=args.method, jobs=args.jobs, budget=_budget_from_args(args),
+        compile=not args.no_compile,
     )
     print(format_sweep(sweep))
+    print(_kernel_stats_line(enabled=not args.no_compile))
     return 0
 
 

@@ -28,6 +28,7 @@ from repro.core.symbolic_evaluator import (
 )
 from repro.model.assembly import Assembly
 from repro.symbolic import Environment
+from repro.symbolic.compiler import compile_expression, gradient_kernels
 
 __all__ = [
     "SensitivityResult",
@@ -67,17 +68,28 @@ def parameter_sensitivities(
     assembly: Assembly,
     service: str,
     actuals: Mapping[str, float],
+    compile: bool = True,
 ) -> list[SensitivityResult]:
     """Sensitivity of ``Pfail(service)`` to each formal parameter, ranked by
-    absolute elasticity (descending)."""
+    absolute elasticity (descending).
+
+    With ``compile`` (the default) the closed form and each gradient are
+    differentiated and compiled to numpy kernels once per parameter, ever
+    — repeated probes of the same design re-walk nothing.
+    """
     evaluator = SymbolicEvaluator(assembly)
     pfail_expr = evaluator.pfail_expression(service)
     env = Environment(dict(actuals))
-    pfail = float(pfail_expr.evaluate(env))
+    formals = assembly.service(service).formal_parameters
+    if compile:
+        pfail = float(compile_expression(pfail_expr).evaluate(env))
+        gradients = gradient_kernels(pfail_expr, formals)
+    else:
+        pfail = float(pfail_expr.evaluate(env))
+        gradients = {n: pfail_expr.differentiate(n) for n in formals}
     results = []
-    for name in assembly.service(service).formal_parameters:
-        derivative_expr = pfail_expr.differentiate(name)
-        derivative = float(derivative_expr.evaluate(env))
+    for name in formals:
+        derivative = float(gradients[name].evaluate(env))
         value = float(actuals[name])
         results.append(
             SensitivityResult(name, value, derivative, _elasticity(value, pfail, derivative))
@@ -91,6 +103,7 @@ def attribute_sensitivities(
     service: str,
     actuals: Mapping[str, float],
     top: int | None = None,
+    compile: bool = True,
 ) -> list[SensitivityResult]:
     """Sensitivity of ``Pfail(service)`` to every interface attribute in the
     assembly (``service::attribute`` symbols), ranked by absolute
@@ -104,12 +117,18 @@ def attribute_sensitivities(
     pfail_expr = evaluator.pfail_expression(service)
     attr_env = attribute_environment(assembly)
     env = Environment({**dict(attr_env), **dict(actuals)})
-    pfail = float(pfail_expr.evaluate(env))
+    symbols = [
+        s for s in sorted(pfail_expr.free_parameters()) if "::" in s
+    ]  # formal parameters are handled by parameter_sensitivities
+    if compile:
+        pfail = float(compile_expression(pfail_expr).evaluate(env))
+        gradients = gradient_kernels(pfail_expr, symbols)
+    else:
+        pfail = float(pfail_expr.evaluate(env))
+        gradients = {s: pfail_expr.differentiate(s) for s in symbols}
     results = []
-    for symbol in sorted(pfail_expr.free_parameters()):
-        if "::" not in symbol:
-            continue  # a formal parameter, handled by parameter_sensitivities
-        derivative = float(pfail_expr.differentiate(symbol).evaluate(env))
+    for symbol in symbols:
+        derivative = float(gradients[symbol].evaluate(env))
         value = float(env[symbol])
         results.append(
             SensitivityResult(symbol, value, derivative, _elasticity(value, pfail, derivative))

@@ -109,6 +109,7 @@ class SymbolicEvaluator:
         if validate:
             validate_assembly(assembly).raise_if_invalid()
         self._cache: dict[str, Expression] = {}
+        self._kernels: dict[str, "CompiledKernel"] = {}
         self._stack: list[str] = []
 
     # -- public API ----------------------------------------------------------
@@ -118,6 +119,19 @@ class SymbolicEvaluator:
         (plus ``service::attribute`` symbols when ``symbolic_attributes``)."""
         svc = service if isinstance(service, Service) else self.assembly.service(service)
         return self._pfail(svc)
+
+    def pfail_kernel(self, service: str | Service) -> "CompiledKernel":
+        """The compiled numpy kernel of ``Pfail(S, fp)`` — derived and
+        compiled on first request, memoized alongside the closed form (and
+        shared process-wide through the default kernel cache)."""
+        from repro.symbolic.compiler import compile_expression
+
+        name = service.name if isinstance(service, Service) else str(service)
+        kernel = self._kernels.get(name)
+        if kernel is None:
+            kernel = compile_expression(self.pfail_expression(name))
+            self._kernels[name] = kernel
+        return kernel
 
     def reliability_expression(self, service: str | Service) -> Expression:
         """``1 - Pfail(S, fp)`` as an expression."""

@@ -193,6 +193,9 @@ class BatchEngine:
         budget: optional shared :class:`~repro.runtime.EvaluationBudget`;
             the deadline is enforced in the parent at dispatch/collection
             and cooperatively inside every worker.
+        compile: evaluate symbolic plans through compiled numpy kernels
+            (default); ``False`` forces the recursive tree walk (the
+            ``--no-compile`` escape hatch).
     """
 
     def __init__(
@@ -201,6 +204,7 @@ class BatchEngine:
         mode: str = "process",
         cache: PlanCache | None | bool = None,
         budget: EvaluationBudget | None = None,
+        compile: bool = True,
     ):
         self.jobs = resolve_jobs(jobs)
         if mode not in ("process", "thread", "serial"):
@@ -213,6 +217,7 @@ class BatchEngine:
         else:
             self.cache = cache
         self.budget = budget
+        self.compile = bool(compile)
 
     # -- public API --------------------------------------------------------
 
@@ -316,7 +321,9 @@ class BatchEngine:
                 try:
                     if self.budget is not None:
                         self.budget.check_deadline("batch evaluation")
-                    entry.pfail = plan.pfail(entry.actuals, budget=self.budget)
+                    entry.pfail = plan.pfail(
+                        entry.actuals, budget=self.budget, use_kernel=self.compile
+                    )
                 except ReproError as exc:
                     entry.error = exc
 
@@ -337,6 +344,7 @@ class BatchEngine:
                             "plan": plan,
                             "points": [entries[i].actuals for i in chunk],
                             "deadline": remaining_deadline(self.budget),
+                            "use_kernel": self.compile,
                         }
                         futures[executor.submit(evaluate_plan_points, payload)] = (
                             plan,

@@ -13,10 +13,12 @@ identical across those points.  :class:`PlanCache` memoizes compiled
   transition, a binding) changes the fingerprint, so the stale plan is
   simply never looked up again; a bounded cache evicts it in LRU order.
 
-The cache is thread-safe (a single lock around the index; compilation runs
-outside it so concurrent misses on *different* models don't serialize) and
-its :class:`CacheStats` are the observable the cache-correctness tests and
-``BENCH_engine.json`` report: hits, misses, evictions, and the hit rate.
+The LRU substrate (thread-safe index, factory-outside-the-lock miss
+handling, hit/miss/eviction statistics) is the shared
+:class:`repro.caching.LRUCache` — the same machinery that backs the
+symbolic compiler's :class:`~repro.symbolic.compiler.KernelCache` — so the
+:class:`~repro.caching.CacheStats` observable here and in
+``BENCH_engine.json`` reads identically across both caches.
 
 A process-wide default instance (:func:`default_cache`) backs the CLI and
 the convenience APIs; long-lived services embedding the engine should own
@@ -26,9 +28,8 @@ per-tenant instances instead.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
-from dataclasses import dataclass, field
 
+from repro.caching import CacheStats, LRUCache
 from repro.engine.fingerprint import plan_key
 from repro.engine.plan import EvaluationPlan, compile_plan
 from repro.errors import EvaluationError
@@ -37,43 +38,6 @@ from repro.model.service import Service
 from repro.runtime.budget import EvaluationBudget
 
 __all__ = ["CacheStats", "PlanCache", "default_cache"]
-
-
-@dataclass
-class CacheStats:
-    """Observable counters of one :class:`PlanCache`.
-
-    Attributes:
-        hits: lookups served from the cache (no derivation ran).
-        misses: lookups that compiled a fresh plan.
-        evictions: plans dropped by the LRU bound.
-    """
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
-
-    @property
-    def lookups(self) -> int:
-        """Total lookups (hits + misses)."""
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when unused)."""
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def snapshot(self) -> dict[str, float]:
-        """A plain-dict copy (for JSON reporters and logs)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
 
 
 class PlanCache:
@@ -89,13 +53,19 @@ class PlanCache:
             raise EvaluationError(
                 f"plan cache max_size must be positive, got {max_size!r}"
             )
-        self.max_size = max_size
-        self.stats = CacheStats()
-        self._plans: OrderedDict[tuple, EvaluationPlan] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lru = LRUCache(max_size)
+
+    @property
+    def max_size(self) -> int | None:
+        return self._lru.max_size
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of this cache."""
+        return self._lru.stats
 
     def __len__(self) -> int:
-        return len(self._plans)
+        return len(self._lru)
 
     def get(
         self,
@@ -108,12 +78,7 @@ class PlanCache:
         Does not update hit/miss statistics; use :meth:`get_or_compile`
         for the accounted path.
         """
-        key = plan_key(assembly, service, symbolic_attributes)
-        with self._lock:
-            plan = self._plans.get(key)
-            if plan is not None:
-                self._plans.move_to_end(key)
-            return plan
+        return self._lru.get(plan_key(assembly, service, symbolic_attributes))
 
     def get_or_compile(
         self,
@@ -133,37 +98,24 @@ class PlanCache:
         work, never wrong answers).
         """
         key = plan_key(assembly, service, symbolic_attributes)
-        with self._lock:
-            plan = self._plans.get(key)
-            if plan is not None:
-                self._plans.move_to_end(key)
-                self.stats.hits += 1
-                return plan
-            self.stats.misses += 1
-        plan = compile_plan(
-            assembly,
-            service,
-            symbolic_attributes=symbolic_attributes,
-            backend=backend,
-            budget=budget,
+        return self._lru.get_or_create(
+            key,
+            lambda: compile_plan(
+                assembly,
+                service,
+                symbolic_attributes=symbolic_attributes,
+                backend=backend,
+                budget=budget,
+            ),
         )
-        self.put(key, plan)
-        return plan
 
     def put(self, key: tuple, plan: EvaluationPlan) -> None:
         """Store a compiled plan under its key, evicting past the bound."""
-        with self._lock:
-            if key not in self._plans and self.max_size is not None:
-                while len(self._plans) >= self.max_size:
-                    self._plans.popitem(last=False)
-                    self.stats.evictions += 1
-            self._plans[key] = plan
-            self._plans.move_to_end(key)
+        self._lru.put(key, plan)
 
     def clear(self) -> None:
         """Drop every cached plan (statistics are kept)."""
-        with self._lock:
-            self._plans.clear()
+        self._lru.clear()
 
 
 _default_cache: PlanCache | None = None

@@ -27,6 +27,7 @@ importable from a fresh worker process:
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -68,14 +69,30 @@ def split_evenly(items: list, parts: int) -> list[list]:
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``--jobs`` request: ``None``/1 → serial, 0 → all cores."""
+    """Normalize a ``--jobs`` request: ``None``/1 → serial, 0 → all cores.
+
+    Explicit requests are clamped to ``os.cpu_count()`` with a
+    :class:`RuntimeWarning` — benchmarking showed an oversubscribed pool
+    is strictly *slower* than a right-sized one on this workload (workers
+    are CPU-bound; extra processes only add spawn and pickling overhead).
+    """
     if jobs is None:
         return 1
     jobs = int(jobs)
     if jobs < 0:
         raise EvaluationError(f"jobs must be >= 0, got {jobs}")
+    cores = os.cpu_count() or 1
     if jobs == 0:
-        return os.cpu_count() or 1
+        return cores
+    if jobs > cores:
+        warnings.warn(
+            f"requested jobs={jobs} exceeds the {cores} available core(s); "
+            f"clamping to {cores} (oversubscribed pools are slower, not "
+            f"faster, on CPU-bound evaluation)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return cores
     return jobs
 
 
@@ -182,17 +199,19 @@ def evaluate_plan_points(payload: dict) -> list:
     """Evaluate one compiled plan at many actual-parameter points.
 
     Payload: ``plan`` (:class:`EvaluationPlan`), ``points`` (list of
-    name→value dicts), ``deadline`` (remaining seconds or ``None``).
+    name→value dicts), ``deadline`` (remaining seconds or ``None``),
+    ``use_kernel`` (compiled-kernel evaluation, default on).
     Returns one entry per point: a float ``Pfail`` or a
     :class:`WorkerFailure` (per-point isolation: one bad point does not
     poison the block).
     """
     plan = payload["plan"]
     budget = worker_budget(payload.get("deadline"))
+    use_kernel = payload.get("use_kernel", True)
     results: list = []
     for point in payload["points"]:
         try:
-            results.append(plan.pfail(point, budget=budget))
+            results.append(plan.pfail(point, budget=budget, use_kernel=use_kernel))
         except ReproError as exc:
             results.append(WorkerFailure.from_error(exc))
     return results
@@ -202,7 +221,7 @@ def plan_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
     """Evaluate one grid chunk of a sweep through a compiled plan.
 
     Payload: ``plan``, ``parameter``, ``values`` (list of floats),
-    ``fixed`` (dict), ``deadline``.
+    ``fixed`` (dict), ``deadline``, ``use_kernel``.
     """
     plan = payload["plan"]
     budget = worker_budget(payload.get("deadline"))
@@ -211,6 +230,7 @@ def plan_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
             plan.pfail_grid(
                 payload["parameter"], payload["values"], payload["fixed"],
                 budget=budget,
+                use_kernel=payload.get("use_kernel", True),
             )
         )
     except ReproError as exc:

@@ -42,6 +42,7 @@ from repro.model.service import Service
 from repro.runtime.budget import EvaluationBudget
 from repro.runtime.guards import check_probability
 from repro.symbolic import Expression
+from repro.symbolic.compiler import CompiledKernel, compile_expression
 
 __all__ = [
     "EvaluationPlan",
@@ -111,21 +112,33 @@ class EvaluationPlan:
         self.assembly_json = assembly_json
         self.symbolic_attributes = bool(symbolic_attributes)
         self._evaluator = None  # per-process, rebuilt after pickling
+        self._kernel_obj = None  # lazy CompiledKernel, rebuilt after pickling
 
     # -- pickling ----------------------------------------------------------
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_evaluator"] = None  # evaluators hold live assemblies
+        state["_kernel_obj"] = None  # kernels hold thread-local buffers
         return state
 
     # -- evaluation --------------------------------------------------------
+
+    def kernel(self) -> CompiledKernel | None:
+        """The compiled numpy kernel of a symbolic plan (lazy, memoized
+        through the process-wide kernel cache; ``None`` for robust plans)."""
+        if self.backend != "symbolic":
+            return None
+        if self._kernel_obj is None:
+            self._kernel_obj = compile_expression(self.expression)
+        return self._kernel_obj
 
     def pfail(
         self,
         actuals: Mapping[str, float] | None = None,
         *,
         budget: EvaluationBudget | None = None,
+        use_kernel: bool = True,
         **kwargs: float,
     ) -> float:
         """``Pfail(service, actuals)`` through the compiled backend.
@@ -133,14 +146,16 @@ class EvaluationPlan:
         Actuals may be passed as a mapping, as keyword arguments, or both
         (keywords win).  Extra bindings are ignored by the symbolic
         backend (closed forms often eliminate parameters), so batch
-        callers can pass one uniform binding set.
+        callers can pass one uniform binding set.  ``use_kernel=False``
+        forces the recursive tree walk instead of the compiled kernel.
         """
         bound = {**(dict(actuals) if actuals else {}), **kwargs}
         if budget is not None:
             budget.check_deadline(f"plan evaluation of {self.service!r}")
         if self.backend == "symbolic":
             env = {name: float(value) for name, value in bound.items()}
-            value = float(np.asarray(self.expression.evaluate(env), dtype=float))
+            target = self.kernel() if use_kernel else self.expression
+            value = float(np.asarray(target.evaluate(env), dtype=float))
             return check_probability(f"Pfail({self.service})", value)
         evaluator = self._robust_evaluator(budget)
         relevant = {k: v for k, v in bound.items() if k in self.formals}
@@ -163,11 +178,13 @@ class EvaluationPlan:
         fixed: Mapping[str, float] | None = None,
         *,
         budget: EvaluationBudget | None = None,
+        use_kernel: bool = True,
     ) -> np.ndarray:
         """``Pfail`` over a whole grid of one parameter.
 
         The symbolic backend evaluates the closed form vectorized over the
-        numpy array (one expression evaluation for the entire grid); the
+        numpy array — through the compiled kernel by default
+        (``use_kernel=False`` falls back to the recursive tree walk); the
         robust backend falls back to a per-point loop with cooperative
         deadline checks.
         """
@@ -179,8 +196,9 @@ class EvaluationPlan:
             budget.check_deadline(f"grid evaluation of {self.service!r}")
         if self.backend == "symbolic":
             env = {**{k: float(v) for k, v in fixed.items()}, parameter: grid}
+            target = self.kernel() if use_kernel else self.expression
             return np.broadcast_to(
-                np.asarray(self.expression.evaluate(env), dtype=float),
+                np.asarray(target.evaluate(env), dtype=float),
                 grid.shape,
             ).copy()
         out = np.empty(grid.shape, dtype=float)

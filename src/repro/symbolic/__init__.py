@@ -13,9 +13,21 @@ Public surface:
 - :class:`Environment` for evaluation;
 - :func:`parse_expression` for textual forms;
 - :func:`simplify` and :func:`differentiate` passes;
-- :func:`register_function` to extend the function library.
+- :func:`register_function` to extend the function library;
+- :func:`compile_expression` / :class:`CompiledKernel` — the kernel
+  compiler (CSE + constant folding + flat numpy tape) with its shared
+  :func:`default_kernel_cache`.
 """
 
+from repro.symbolic.compiler import (
+    CompiledKernel,
+    KernelCache,
+    compile_expression,
+    default_kernel_cache,
+    gradient_kernels,
+    kernel_cache_stats,
+    reset_default_kernel_cache,
+)
 from repro.symbolic.derivative import differentiate
 from repro.symbolic.environment import Environment
 from repro.symbolic.expr import (
@@ -41,19 +53,26 @@ from repro.symbolic.simplify import simplify
 __all__ = [
     "Binary",
     "Call",
+    "CompiledKernel",
     "Constant",
     "Environment",
     "Expression",
     "ExpressionLike",
     "FunctionSpec",
+    "KernelCache",
     "Parameter",
     "Unary",
     "Value",
     "as_expression",
+    "compile_expression",
+    "default_kernel_cache",
     "differentiate",
     "function_names",
     "get_function",
+    "gradient_kernels",
+    "kernel_cache_stats",
     "parse_expression",
     "register_function",
+    "reset_default_kernel_cache",
     "simplify",
 ]

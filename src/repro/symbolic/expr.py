@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Union
 
 import numpy as np
@@ -95,6 +95,41 @@ class Expression:
     """Base class for all expression nodes.  Instances are immutable."""
 
     __slots__ = ()
+
+    # -- structural hashing --------------------------------------------------
+    #
+    # Expressions are hashed constantly: evaluator memoization, kernel-cache
+    # lookups, and the compiler's DAG builder all key dictionaries on nodes.
+    # A naive dataclass hash re-walks the whole subtree on every call, which
+    # is quadratic over the deep trees composition-by-substitution produces;
+    # instead each node memoizes its hash in a ``_shash`` slot on first use
+    # (immutability makes the memo safe forever).
+
+    def _structural_key(self) -> tuple:
+        """The (kind, payload, children...) tuple this node hashes as."""
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        cached = self._shash
+        if cached is None:
+            cached = hash(self._structural_key())
+            object.__setattr__(self, "_shash", cached)
+        return cached
+
+    def structural_hash(self) -> int:
+        """The memoized structural hash (same value as ``hash(self)``)."""
+        return self.__hash__()
+
+    def node_count(self) -> int:
+        """Number of nodes in this expression *tree* (shared subtrees are
+        counted once per occurrence — the raw size CSE is measured against)."""
+        count = 0
+        stack: list[Expression] = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children())
+        return count
 
     # -- core protocol ----------------------------------------------------
 
@@ -219,6 +254,14 @@ class Constant(Expression):
     """A numeric literal."""
 
     value: float
+    _shash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    __hash__ = Expression.__hash__
+
+    def _structural_key(self) -> tuple:
+        return ("const", self.value)
 
     def __post_init__(self) -> None:
         if not isinstance(self.value, (int, float)) or isinstance(self.value, bool):
@@ -248,6 +291,14 @@ class Parameter(Expression):
     """A named formal parameter of a service's analytic interface."""
 
     name: str
+    _shash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    __hash__ = Expression.__hash__
+
+    def _structural_key(self) -> tuple:
+        return ("param", self.name)
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -281,6 +332,14 @@ class Binary(Expression):
     op: str
     left: Expression
     right: Expression
+    _shash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    __hash__ = Expression.__hash__
+
+    def _structural_key(self) -> tuple:
+        return ("binary", self.op, self.left, self.right)
 
     def __post_init__(self) -> None:
         if self.op not in _BINARY_OPS:
@@ -320,6 +379,14 @@ class Unary(Expression):
     """Arithmetic negation of a sub-expression."""
 
     operand: Expression
+    _shash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    __hash__ = Expression.__hash__
+
+    def _structural_key(self) -> tuple:
+        return ("unary", self.operand)
 
     def __post_init__(self) -> None:
         if not isinstance(self.operand, Expression):
@@ -353,6 +420,14 @@ class Call(Expression):
 
     name: str
     args: tuple[Expression, ...]
+    _shash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    __hash__ = Expression.__hash__
+
+    def _structural_key(self) -> tuple:
+        return ("call", self.name, self.args)
 
     def __post_init__(self) -> None:
         spec = get_function(self.name)  # raises UnknownFunctionError early

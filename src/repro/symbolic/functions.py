@@ -25,7 +25,7 @@ from repro.errors import UnknownFunctionError
 __all__ = ["FunctionSpec", "get_function", "register_function", "function_names"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FunctionSpec:
     """A named scalar function with optional symbolic derivative rule.
 

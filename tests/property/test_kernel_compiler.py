@@ -1,0 +1,134 @@
+"""Property tests for the kernel compiler's equivalence contract.
+
+The compiler promises that a :class:`CompiledKernel` is observationally
+identical to ``Expression.evaluate``: same values (bitwise — CSE never
+reorders operations and constant folding uses the same ufuncs), same
+broadcasting, same guarded-function clamps at domain edges, and the same
+:class:`UnboundParameterError` on missing bindings.  Random trees over
+both tame and edge-case domains assert exactly that.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnboundParameterError
+from repro.symbolic import (
+    Binary,
+    Call,
+    Constant,
+    Expression,
+    Parameter,
+    compile_expression,
+)
+
+NAMES = ("x", "y", "z")
+
+#: Includes domain edges on purpose: 0 and negatives under log hit the
+#: clamp guards, 0 divisors produce infs, inf-inf produces nans — the
+#: kernel must reproduce every one of those behaviors, not avoid them.
+edge_values = st.one_of(
+    st.floats(min_value=0.1, max_value=4.0),
+    st.sampled_from([0.0, -1.0, -0.25, 2.0]),
+)
+
+
+def expressions(max_depth: int = 4) -> st.SearchStrategy[Expression]:
+    leaves = st.one_of(
+        st.floats(min_value=-4.0, max_value=4.0).map(Constant),
+        st.sampled_from(NAMES).map(Parameter),
+    )
+
+    def extend(children):
+        binary = st.builds(
+            Binary,
+            st.sampled_from(["+", "-", "*", "/", "**"]),
+            children,
+            children,
+        )
+        call = st.builds(
+            lambda name, arg: Call(name, (arg,)),
+            st.sampled_from(["log", "log2", "exp", "sqrt", "abs", "floor"]),
+            children,
+        )
+        unary = children.map(lambda c: -c)
+        return st.one_of(binary, call, unary)
+
+    return st.recursive(leaves, extend, max_leaves=2**max_depth)
+
+
+def identical(a, b) -> bool:
+    """Bitwise-or-both-nan equality for scalars and arrays."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return a.shape == b.shape and bool(np.array_equal(a, b, equal_nan=True))
+
+
+class TestTreeWalkEquivalence:
+    @given(expressions(), st.tuples(edge_values, edge_values, edge_values))
+    @settings(max_examples=250)
+    def test_scalar_env(self, expr, point):
+        kernel = compile_expression(expr, cache=False)
+        env = dict(zip(NAMES, point))
+        with np.errstate(all="ignore"):
+            expected = expr.evaluate(env)
+            got = kernel.evaluate(env)
+        assert identical(got, expected)
+
+    @given(
+        expressions(),
+        st.lists(edge_values, min_size=1, max_size=8),
+        st.tuples(edge_values, edge_values),
+        st.sampled_from(NAMES),
+    )
+    @settings(max_examples=250)
+    def test_array_env(self, expr, grid, rest, array_name):
+        kernel = compile_expression(expr, cache=False)
+        env = dict(zip([n for n in NAMES if n != array_name], rest))
+        env[array_name] = np.asarray(grid, dtype=float)
+        with np.errstate(all="ignore"):
+            expected = expr.evaluate(env)
+            got = kernel.evaluate(env)
+        if isinstance(expected, np.ndarray):
+            assert identical(got, expected)
+        else:
+            # the array parameter was eliminated (e.g. folded x*0): both
+            # routes must then degrade to the same scalar
+            assert not isinstance(got, np.ndarray)
+            assert identical(got, expected)
+
+    @given(expressions(), st.tuples(edge_values, edge_values, edge_values))
+    @settings(max_examples=100)
+    def test_all_arrays_broadcast(self, expr, point):
+        kernel = compile_expression(expr, cache=False)
+        env = {
+            name: np.full(5, value) for name, value in zip(NAMES, point)
+        }
+        with np.errstate(all="ignore"):
+            expected = expr.evaluate(env)
+            got = kernel.evaluate(env)
+        assert identical(got, expected)
+
+    @given(expressions())
+    @settings(max_examples=100)
+    def test_missing_binding_raises_identically(self, expr):
+        free = sorted(expr.free_parameters())
+        if not free:
+            return
+        kernel = compile_expression(expr, cache=False)
+        env = {name: 1.0 for name in free[1:]}  # drop one binding
+        with pytest.raises(UnboundParameterError):
+            with np.errstate(all="ignore"):
+                expr.evaluate(env)
+        with pytest.raises(UnboundParameterError):
+            kernel.evaluate(env)
+
+    @given(expressions())
+    @settings(max_examples=100)
+    def test_compiled_statistics_are_consistent(self, expr):
+        kernel = compile_expression(expr, cache=False)
+        assert kernel.tree_nodes == expr.node_count()
+        assert kernel.dag_nodes <= kernel.tree_nodes
+        assert kernel.op_count <= kernel.dag_nodes
+        assert set(kernel.parameters) == expr.free_parameters()

@@ -13,10 +13,20 @@ POINTS = [{"elem": 1.0, "list": float(v), "res": 1.0} for v in (1, 100, 500, 100
 
 class TestHelpers:
     def test_resolve_jobs(self):
+        import os
+        import warnings
+
+        cores = os.cpu_count() or 1
         assert resolve_jobs(None) == 1
         assert resolve_jobs(1) == 1
-        assert resolve_jobs(3) == 3
-        assert resolve_jobs(0) >= 1  # all cores
+        assert resolve_jobs(0) == cores  # all cores, no warning
+        # an explicit in-range request passes through untouched
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs(cores) == cores
+        # oversubscription clamps to the core count and warns
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            assert resolve_jobs(cores + 5) == cores
         with pytest.raises(EvaluationError):
             resolve_jobs(-2)
 
