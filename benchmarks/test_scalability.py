@@ -7,13 +7,19 @@ how ``Pfail_Alg`` scales along the two structural axes:
 - **depth**: a linear chain of composite services (each requiring the
   next), depth 1..64 — the recursion-level axis of section 4;
 - **width**: one composite whose flow has many states with many requests —
-  the per-flow Markov-solve axis.
+  the per-flow Markov-solve axis;
+- **flow size**: single absorbing solves on synthetic sparse flows up to
+  10^4 states through the pluggable solver backends, with peak-RSS
+  tracking (the production-scale axis the sparse backend exists for).
 
 Both the numeric and symbolic back-ends are timed (the numeric-vs-symbolic
 ablation of DESIGN.md §5).
 """
 
+import resource
 import time
+
+import pytest
 
 from repro.analysis import format_table
 from repro.core import ReliabilityEvaluator, SymbolicEvaluator
@@ -155,3 +161,40 @@ def test_width_scaling(benchmark):
     )
     emit("PERF_WIDTH", text)
     assert all(0.0 <= row[3] <= 1.0 for row in rows)
+
+
+def test_flow_size_scaling():
+    """Single absorbing solves on 10^3..10^4-state sparse flows, with the
+    auto-selected backend and peak RSS per solve."""
+    from repro.markov import AbsorbingChainAnalysis, scipy_available
+
+    from test_solver_backend import sparse_flow
+
+    if not scipy_available():
+        pytest.skip("large-flow scaling needs the sparse backend (scipy)")
+
+    rows = []
+    for states in (1_000, 4_000, 10_000):
+        chain = sparse_flow(states)
+        start = time.perf_counter()
+        analysis = AbsorbingChainAnalysis(chain, solver="auto",
+                                          solver_cache=False)
+        pfail = analysis.absorption_probability("s0", "Fail")
+        elapsed = time.perf_counter() - start
+        peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        rows.append(
+            (states, analysis.solver_backend, pfail, elapsed * 1e3, peak_mb)
+        )
+        assert 0.0 <= pfail <= 1.0
+    text = (
+        "PERF/flow-size — synthetic sparse flows through the auto solver\n"
+        "(peak RSS is cumulative for the process, reported at each size)\n\n"
+        + format_table(
+            ["states", "backend", "Pfail(s0 -> Fail)", "solve ms",
+             "peak RSS MB"],
+            rows,
+            float_format="{:.4g}",
+        )
+    )
+    emit("PERF_FLOWSIZE", text)
+    assert all(row[1].startswith("sparse") for row in rows)

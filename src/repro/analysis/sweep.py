@@ -134,7 +134,7 @@ def _parallel_symbolic(
 
 
 def _parallel_numeric(
-    assembly, service, parameter, grid, fixed, jobs, budget
+    assembly, service, parameter, grid, fixed, jobs, budget, solver="auto"
 ) -> np.ndarray:
     from repro.engine.fingerprint import canonical_json
     from repro.engine.parallel import (
@@ -158,6 +158,7 @@ def _parallel_numeric(
                     "values": chunk,
                     "fixed": dict(fixed),
                     "deadline": remaining_deadline(budget),
+                    "solver": solver,
                 },
             )
             for chunk in chunks
@@ -176,6 +177,7 @@ def sweep_parameter(
     cache=None,
     budget: EvaluationBudget | None = None,
     compile: bool = True,
+    solver: str = "auto",
 ) -> SweepResult:
     """Sweep one formal parameter of ``service`` across ``values``.
 
@@ -197,6 +199,9 @@ def sweep_parameter(
             during derivation and cooperatively by every worker.
         compile: evaluate the closed form through its compiled numpy
             kernel (default); ``False`` forces the recursive tree walk.
+        solver: linear-solver backend for the numeric method's absorbing
+            solves (``"auto"``, ``"dense"`` or ``"sparse"``; the symbolic
+            method never solves numerically and ignores it).
     """
     from repro.engine.parallel import resolve_jobs
 
@@ -225,11 +230,12 @@ def sweep_parameter(
     elif method == "numeric":
         if jobs > 1:
             pfail = _parallel_numeric(
-                assembly, service, parameter, grid, fixed, jobs, budget
+                assembly, service, parameter, grid, fixed, jobs, budget,
+                solver=solver,
             )
         else:
             evaluator = ReliabilityEvaluator(
-                assembly, check_domains=False, budget=budget
+                assembly, check_domains=False, budget=budget, solver=solver
             )
             pfail = np.array(
                 [

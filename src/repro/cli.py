@@ -178,6 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
                  "compiled numpy kernels (escape hatch; slower)",
         )
 
+    def add_solver(sub):
+        sub.add_argument(
+            "--solver", choices=["auto", "dense", "sparse"], default="auto",
+            help="linear-solver backend for absorbing-chain solves: auto "
+                 "(structure-aware; default), dense (numpy), sparse "
+                 "(CSR + splu / triangular fast path; needs scipy)",
+        )
+
     def add_budget(sub):
         sub.add_argument(
             "--deadline", type=non_negative(float), default=None,
@@ -212,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("service")
     add_set(sub)
     add_budget(sub)
+    add_solver(sub)
     sub.add_argument(
         "--report", action="store_true",
         help="include the per-state failure breakdown",
@@ -255,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(sub)
     add_budget(sub)
     add_compile(sub)
+    add_solver(sub)
 
     sub = commands.add_parser("sweep", help="reliability vs one parameter")
     sub.add_argument("file")
@@ -271,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(sub)
     add_budget(sub)
     add_compile(sub)
+    add_solver(sub)
 
     sub = commands.add_parser(
         "compare", help="two assemblies head-to-head with crossovers"
@@ -397,11 +408,11 @@ def _cmd_evaluate(args) -> int:
     if args.robust:
         from repro.runtime import RobustEvaluator
 
-        evaluator = RobustEvaluator(assembly, budget=budget)
+        evaluator = RobustEvaluator(assembly, budget=budget, solver=args.solver)
         print(evaluator.evaluate(args.service, **bindings))
         return 0
     cls = FixedPointEvaluator if args.fixed_point else ReliabilityEvaluator
-    evaluator = cls(assembly, budget=budget)
+    evaluator = cls(assembly, budget=budget, solver=args.solver)
     if args.report:
         print(evaluator.report(args.service, **bindings))
     else:
@@ -456,6 +467,7 @@ def _cmd_batch(args) -> int:
         jobs=args.jobs,
         budget=_budget_from_args(args),
         compile=not args.no_compile,
+        solver=args.solver,
     )
     models = [_load(path) for path in args.model]
     requests = [
@@ -496,7 +508,7 @@ def _cmd_sweep(args) -> int:
     sweep = sweep_parameter(
         assembly, args.service, args.parameter, grid, _parse_bindings(args.set),
         method=args.method, jobs=args.jobs, budget=_budget_from_args(args),
-        compile=not args.no_compile,
+        compile=not args.no_compile, solver=args.solver,
     )
     print(format_sweep(sweep))
     print(_kernel_stats_line(enabled=not args.no_compile))

@@ -145,6 +145,9 @@ class ReliabilityEvaluator:
             evaluator load-sheds with
             :class:`~repro.errors.BudgetExceededError` when the deadline,
             recursion-depth or DTMC-state limits trip.
+        solver: linear-solver backend for the absorbing solves —
+            ``"auto"`` (default; structure-aware), ``"dense"`` or
+            ``"sparse"``; see :mod:`repro.markov.solvers`.
     """
 
     def __init__(
@@ -153,10 +156,14 @@ class ReliabilityEvaluator:
         validate: bool = True,
         check_domains: bool = True,
         budget: EvaluationBudget | None = None,
+        solver: str = "auto",
     ):
+        from repro.markov.solvers import validate_solver
+
         self.assembly = assembly
         self.check_domains = check_domains
         self.budget = budget
+        self.solver = validate_solver(solver)
         #: Absorbing-chain solves performed (cache hits never solve); the
         #: engine-layer cache tests assert re-evaluation costs zero solves.
         self.solve_count = 0
@@ -300,7 +307,7 @@ class ReliabilityEvaluator:
                 chain.matrix.shape[0], f"absorbing solve for {service_name!r}"
             )
         self.solve_count += 1
-        return AbsorbingChainAnalysis(chain)
+        return AbsorbingChainAnalysis(chain, solver=self.solver)
 
     def _pfail_service(self, service: Service, actuals: tuple[tuple[str, float], ...]) -> float:
         self._budget_check()

@@ -63,10 +63,11 @@ class FixedPointEvaluator(ReliabilityEvaluator):
         validate: bool = True,
         check_domains: bool = True,
         budget: EvaluationBudget | None = None,
+        solver: str = "auto",
     ):
         super().__init__(
             assembly, validate=validate, check_domains=check_domains,
-            budget=budget,
+            budget=budget, solver=solver,
         )
         if tolerance <= 0:
             raise FixedPointDivergenceError("tolerance must be positive")

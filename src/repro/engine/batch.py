@@ -196,6 +196,9 @@ class BatchEngine:
         compile: evaluate symbolic plans through compiled numpy kernels
             (default); ``False`` forces the recursive tree walk (the
             ``--no-compile`` escape hatch).
+        solver: linear-solver backend threaded into every compiled plan
+            (``"auto"``, ``"dense"`` or ``"sparse"``; see
+            :mod:`repro.markov.solvers`).
     """
 
     def __init__(
@@ -205,8 +208,12 @@ class BatchEngine:
         cache: PlanCache | None | bool = None,
         budget: EvaluationBudget | None = None,
         compile: bool = True,
+        solver: str = "auto",
     ):
+        from repro.markov.solvers import validate_solver
+
         self.jobs = resolve_jobs(jobs)
+        self.solver = validate_solver(solver)
         if mode not in ("process", "thread", "serial"):
             raise EvaluationError(f"unknown executor mode {mode!r}")
         self.mode = mode
@@ -280,9 +287,11 @@ class BatchEngine:
     def _plan_for(self, assembly: Assembly, service: str) -> EvaluationPlan:
         if self.cache is not None:
             return self.cache.get_or_compile(
-                assembly, service, budget=self.budget
+                assembly, service, budget=self.budget, solver=self.solver
             )
-        return compile_plan(assembly, service, budget=self.budget)
+        return compile_plan(
+            assembly, service, budget=self.budget, solver=self.solver
+        )
 
     def _compile_groups(
         self, requests: Sequence[BatchRequest]

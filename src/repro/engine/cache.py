@@ -72,13 +72,16 @@ class PlanCache:
         assembly: Assembly,
         service: str | Service,
         symbolic_attributes: bool = False,
+        solver: str = "auto",
     ) -> EvaluationPlan | None:
         """The cached plan for this (model, service, mode), or ``None``.
 
         Does not update hit/miss statistics; use :meth:`get_or_compile`
         for the accounted path.
         """
-        return self._lru.get(plan_key(assembly, service, symbolic_attributes))
+        return self._lru.get(
+            plan_key(assembly, service, symbolic_attributes, solver)
+        )
 
     def get_or_compile(
         self,
@@ -88,6 +91,7 @@ class PlanCache:
         symbolic_attributes: bool = False,
         backend: str = "auto",
         budget: EvaluationBudget | None = None,
+        solver: str = "auto",
     ) -> EvaluationPlan:
         """The plan for this (model, service, mode), compiling on miss.
 
@@ -97,7 +101,7 @@ class PlanCache:
         equal fingerprints are interchangeable, so this is only duplicated
         work, never wrong answers).
         """
-        key = plan_key(assembly, service, symbolic_attributes)
+        key = plan_key(assembly, service, symbolic_attributes, solver)
         return self._lru.get_or_create(
             key,
             lambda: compile_plan(
@@ -106,6 +110,7 @@ class PlanCache:
                 symbolic_attributes=symbolic_attributes,
                 backend=backend,
                 budget=budget,
+                solver=solver,
             ),
         )
 

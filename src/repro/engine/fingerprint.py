@@ -89,12 +89,17 @@ def plan_key(
     assembly: Assembly,
     service: str | Service,
     symbolic_attributes: bool = False,
-) -> tuple[str, str, bool]:
+    solver: str = "auto",
+) -> tuple[str, str, bool, str]:
     """The cache key of one evaluation plan.
 
-    A triple ``(assembly digest, service name, symbolic_attributes)`` —
-    attribute-symbolic plans answer different questions (attribute sweeps,
-    sensitivities) than fully bound ones, so they cache separately.
+    A tuple ``(assembly digest, service name, symbolic_attributes,
+    solver)`` — attribute-symbolic plans answer different questions
+    (attribute sweeps, sensitivities) than fully bound ones, and robust
+    plans carry their solver backend, so each caches separately.
     """
     name = service.name if isinstance(service, Service) else str(service)
-    return (assembly_fingerprint(assembly), name, bool(symbolic_attributes))
+    return (
+        assembly_fingerprint(assembly), name, bool(symbolic_attributes),
+        str(solver),
+    )

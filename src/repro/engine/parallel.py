@@ -241,8 +241,9 @@ def numeric_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
     """Evaluate one grid chunk through the recursive numeric evaluator.
 
     Payload: ``assembly_json`` (canonical ``repro/1`` text), ``service``,
-    ``parameter``, ``values``, ``fixed``, ``deadline``.  The assembly is
-    rebuilt from JSON because live assemblies do not pickle.
+    ``parameter``, ``values``, ``fixed``, ``deadline``, optional
+    ``solver``.  The assembly is rebuilt from JSON because live
+    assemblies do not pickle.
     """
     from repro.core.evaluator import ReliabilityEvaluator
     from repro.dsl import load_assembly
@@ -251,7 +252,8 @@ def numeric_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
     try:
         assembly = load_assembly(payload["assembly_json"])
         evaluator = ReliabilityEvaluator(
-            assembly, validate=False, check_domains=False, budget=budget
+            assembly, validate=False, check_domains=False, budget=budget,
+            solver=payload.get("solver", "auto"),
         )
         fixed = payload["fixed"]
         parameter = payload["parameter"]

@@ -86,6 +86,9 @@ class EvaluationPlan:
         formals: the service's formal parameter names.
         symbolic_attributes: whether interface attributes were left free
             (``service::attribute`` symbols) at compilation.
+        solver: linear-solver backend used by a robust plan's numeric
+            tiers (``"auto"``, ``"dense"`` or ``"sparse"``; symbolic
+            plans never solve, so they merely record it).
     """
 
     def __init__(
@@ -97,6 +100,7 @@ class EvaluationPlan:
         expression: Expression | None = None,
         assembly_json: str | None = None,
         symbolic_attributes: bool = False,
+        solver: str = "auto",
     ):
         if backend not in ("symbolic", "robust"):
             raise EvaluationError(f"unknown plan backend {backend!r}")
@@ -111,6 +115,9 @@ class EvaluationPlan:
         self.expression = expression
         self.assembly_json = assembly_json
         self.symbolic_attributes = bool(symbolic_attributes)
+        from repro.markov.solvers import validate_solver
+
+        self.solver = validate_solver(solver)
         self._evaluator = None  # per-process, rebuilt after pickling
         self._kernel_obj = None  # lazy CompiledKernel, rebuilt after pickling
 
@@ -216,7 +223,9 @@ class EvaluationPlan:
 
         if self._evaluator is None:
             assembly = load_assembly(self.assembly_json)
-            self._evaluator = RobustEvaluator(assembly, budget=budget)
+            self._evaluator = RobustEvaluator(
+                assembly, budget=budget, solver=self.solver
+            )
         elif budget is not None:
             self._evaluator.budget = budget
         return self._evaluator
@@ -235,6 +244,7 @@ def compile_plan(
     symbolic_attributes: bool = False,
     backend: str = "auto",
     budget: EvaluationBudget | None = None,
+    solver: str = "auto",
 ) -> EvaluationPlan:
     """Compile an (assembly, service) pair into an :class:`EvaluationPlan`.
 
@@ -248,6 +258,8 @@ def compile_plan(
             the assembly is cyclic or the derivation fails with a typed
             symbolic error).
         budget: optional budget charged during the derivation.
+        solver: linear-solver backend recorded on the plan and used by
+            robust plans' numeric tiers (see :mod:`repro.markov.solvers`).
 
     Every call performs real work and bumps :func:`compilation_count`;
     reuse compiled plans through :class:`repro.engine.cache.PlanCache`
@@ -281,6 +293,7 @@ def compile_plan(
                 svc.formal_parameters,
                 expression=expression,
                 symbolic_attributes=symbolic_attributes,
+                solver=solver,
             )
 
     if symbolic_attributes:
@@ -294,4 +307,5 @@ def compile_plan(
         "robust",
         svc.formal_parameters,
         assembly_json=canonical_json(assembly),
+        solver=solver,
     )

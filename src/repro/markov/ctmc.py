@@ -176,10 +176,9 @@ class ContinuousTimeMarkovChain:
                         frontier.append(int(k))
             if len(reach) != n:
                 raise MarkovError("steady state requires an irreducible CTMC")
-        system = np.vstack([self._generator.T, np.ones((1, n))])
-        rhs = np.zeros(n + 1)
-        rhs[-1] = 1.0
-        solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+        from repro.markov.stationary import _solve_normalized_nullspace
+
+        solution = _solve_normalized_nullspace(self._generator.T.copy())
         solution = np.clip(solution, 0.0, None)
         solution = solution / solution.sum()
         return {s: float(solution[i]) for i, s in enumerate(self._states)}
@@ -197,11 +196,15 @@ class ContinuousTimeMarkovChain:
         absorbing = [s for s in self._states if self.is_absorbing_state(s)]
         if not absorbing:
             raise MarkovError("chain has no absorbing state")
+        from repro.markov import solvers
+
         idx = [self.index(s) for s in transient]
         block = self._generator[np.ix_(idx, idx)]
         try:
-            tau = np.linalg.solve(block, -np.ones(len(idx)))
-        except np.linalg.LinAlgError as exc:
+            tau = np.asarray(
+                solvers.factorize(block).solve(-np.ones(len(idx)))
+            )
+        except solvers.SingularSystemError as exc:
             raise MarkovError(
                 "some transient state cannot reach an absorbing state"
             ) from exc

@@ -1,0 +1,651 @@
+"""Pluggable linear-solver backends for Markov-chain analysis.
+
+The analytic core of the library is the absorbing solve ``(I - Q) x = r``
+(eqs. 6-8): every composite-service evaluation, every sweep point and every
+batch entry funnels into it.  The historical implementation was dense —
+``numpy.linalg.solve`` against full matrices plus an exact ``O(n^3)``
+condition number — which is fine for paper-sized flows and hopeless for the
+production-scale ones the ROADMAP targets, where a state calls a handful of
+services and ``nnz(Q) << n^2``.
+
+This module makes the solve *pluggable* and *structure-aware*:
+
+- **dense** — the compatibility backend.  ``numpy.linalg.solve`` semantics;
+  when scipy is importable the LU factors are computed once
+  (``scipy.linalg.lu_factor``) and reused across absorption, visits, steps
+  and the condition estimate.
+- **sparse** — assemble ``I - Q`` in CSR and factor once with
+  ``scipy.sparse.linalg.splu``; every subsequent right-hand side is a pair
+  of triangular substitutions.  Requires scipy.
+- **sparse triangular fast path** — when the transient graph (minus
+  self-loops) is a DAG — the common case for composed service usage
+  profiles — a topological permutation makes ``I - Q`` triangular, so each
+  solve is a single ``O(nnz)`` substitution and **no numeric factorization
+  ever happens**.
+- ``auto`` picks per system: dense below :data:`SPARSE_THRESHOLD` states or
+  above :data:`SPARSE_DENSITY` fill, dense whenever scipy is missing,
+  sparse (triangular when possible) otherwise.
+
+The exact condition number is replaced everywhere by a 1-norm *estimate*
+(``scipy.sparse.linalg.onenormest`` over the factorization, or a pure-numpy
+Hager estimator without scipy) — a handful of extra solves instead of an
+extra ``O(n^3)`` inversion.
+
+**Structural plan cache.**  The value-independent part of a solve — the
+transient/absorbing partition, the sparsity pattern of ``Q``, the
+topological permutation, the backend choice — is captured in a
+:class:`ChainSolvePlan` and cached on the shared
+:class:`repro.caching.LRUCache` under a structural fingerprint (shape +
+nonzero pattern + absorbing mask).  A sweep that varies only rates hits the
+cache on every point: the DAG fast path then re-solves in ``O(nnz)`` with
+zero re-factorization, and the LU paths skip all pattern/permutation work.
+Hit/miss counters (:func:`solver_cache_stats`) and the
+:func:`plan_count` / :func:`factorization_count` monotone counters make
+that reuse assertable in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import warnings
+
+import numpy as np
+
+from repro.caching import CacheStats, LRUCache
+from repro.errors import EvaluationError
+
+try:  # pragma: no cover - exercised through both branches in CI
+    import scipy.linalg as _scipy_linalg
+    import scipy.sparse as _scipy_sparse
+    import scipy.sparse.linalg as _scipy_sparse_linalg
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - the numpy-only environment
+    _scipy_linalg = None
+    _scipy_sparse = None
+    _scipy_sparse_linalg = None
+    _HAVE_SCIPY = False
+
+__all__ = [
+    "SOLVERS",
+    "SPARSE_DENSITY",
+    "SPARSE_THRESHOLD",
+    "ChainSolvePlan",
+    "Factorization",
+    "SingularSystemError",
+    "chain_fingerprint",
+    "chain_plan",
+    "default_solver_cache",
+    "factorization_count",
+    "factorize",
+    "factorize_chain",
+    "plan_count",
+    "reset_counters",
+    "scipy_available",
+    "solver_cache_stats",
+    "validate_solver",
+]
+
+#: The recognized solver-backend requests.
+SOLVERS = ("auto", "dense", "sparse")
+
+#: Systems below this order stay dense under ``auto`` — LAPACK on a tiny
+#: dense block beats any sparse setup cost.
+SPARSE_THRESHOLD = 256
+
+#: Fill ratio (``nnz / n^2``) above which ``auto`` stays dense even for
+#: large systems; past it the CSR indirection stops paying for itself.
+SPARSE_DENSITY = 0.25
+
+#: Dense systems up to this order get the exact ``np.linalg.cond`` check
+#: (cheap at this size, and bit-compatible with the historical guard);
+#: larger systems use the 1-norm estimate.
+EXACT_COND_SIZE = 512
+
+
+class SingularSystemError(Exception):
+    """The system factored exactly singular.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: what a singular
+    system *means* depends on the caller (a trapped transient state for the
+    absorbing solve, a reducible chain for the stationary one), so callers
+    catch this and raise their own typed error.
+    """
+
+
+def scipy_available() -> bool:
+    """True when the sparse backend can be used in this environment."""
+    return _HAVE_SCIPY
+
+
+def validate_solver(solver: str) -> str:
+    """Normalize and validate a solver request (typed error otherwise)."""
+    name = str(solver).lower()
+    if name not in SOLVERS:
+        raise EvaluationError(
+            f"unknown solver backend {solver!r} (expected one of {SOLVERS})"
+        )
+    if name == "sparse" and not _HAVE_SCIPY:
+        raise EvaluationError(
+            "solver 'sparse' requires scipy, which is not installed; "
+            "use 'auto' (falls back to dense) or 'dense'"
+        )
+    return name
+
+
+# ---------------------------------------------------------------------------
+# counters (test/benchmark observability, same pattern as engine.plan)
+# ---------------------------------------------------------------------------
+
+_counter_lock = threading.Lock()
+_plans = 0
+_factorizations = 0
+
+
+def plan_count() -> int:
+    """Structural solve plans actually built (cache hits never build)."""
+    return _plans
+
+
+def factorization_count() -> int:
+    """Numeric LU factorizations performed in this process.
+
+    The triangular fast path never increments it — a permuted triangular
+    system is solved by substitution alone — which is exactly what the
+    "sweeps skip re-factorization" benchmark asserts.
+    """
+    return _factorizations
+
+
+def reset_counters() -> None:
+    """Zero both counters (test isolation helper)."""
+    global _plans, _factorizations
+    with _counter_lock:
+        _plans = 0
+        _factorizations = 0
+
+
+def _charge(counter: str) -> None:
+    global _plans, _factorizations
+    with _counter_lock:
+        if counter == "plans":
+            _plans += 1
+        else:
+            _factorizations += 1
+
+
+# ---------------------------------------------------------------------------
+# condition estimation
+# ---------------------------------------------------------------------------
+
+
+def _hager_inverse_norm(solve, solve_transpose, n: int, itmax: int = 5) -> float:
+    """Hager's 1-norm estimator for ``||A^{-1}||_1`` from solves only.
+
+    The classic LAPACK ``xLACON`` scheme: a forward solve scores a
+    candidate, a transpose solve picks the next coordinate direction.  A
+    lower bound in theory, near-exact in practice for the diagonally
+    dominant systems this library produces.
+    """
+    if n == 0:
+        return 0.0
+    x = np.full(n, 1.0 / n)
+    estimate = 0.0
+    visited: set[int] = set()
+    for _ in range(itmax):
+        y = np.asarray(solve(x), dtype=float)
+        if not np.all(np.isfinite(y)):
+            return float("inf")
+        estimate = max(estimate, float(np.abs(y).sum()))
+        sign = np.where(y >= 0.0, 1.0, -1.0)
+        z = np.asarray(solve_transpose(sign), dtype=float)
+        if not np.all(np.isfinite(z)):
+            return float("inf")
+        j = int(np.argmax(np.abs(z)))
+        if float(np.abs(z[j])) <= float(z @ x) or j in visited:
+            break
+        visited.add(j)
+        x = np.zeros(n)
+        x[j] = 1.0
+    return estimate
+
+
+def _inverse_norm_estimate(fact: "Factorization") -> float:
+    """Estimated ``||A^{-1}||_1`` through a factorization's solves."""
+    n = fact.n
+    if n == 0:
+        return 0.0
+    if n <= 4:
+        # exact at trivial size: solve the identity and read the norm
+        inverse = fact.solve(np.eye(n))
+        if not np.all(np.isfinite(inverse)):
+            return float("inf")
+        return float(np.abs(inverse).sum(axis=0).max())
+    if _HAVE_SCIPY:
+        operator = _scipy_sparse_linalg.LinearOperator(
+            (n, n),
+            matvec=lambda v: fact.solve(np.asarray(v, dtype=float).ravel()),
+            rmatvec=lambda v: fact.solve_transpose(
+                np.asarray(v, dtype=float).ravel()
+            ),
+        )
+        try:
+            return float(_scipy_sparse_linalg.onenormest(operator))
+        except (ValueError, RuntimeError):  # pragma: no cover - defensive
+            pass
+    return _hager_inverse_norm(fact.solve, fact.solve_transpose, n)
+
+
+# ---------------------------------------------------------------------------
+# factorizations
+# ---------------------------------------------------------------------------
+
+
+class Factorization:
+    """A reusable factorization of one square system ``A``.
+
+    Subclasses implement :meth:`solve`, :meth:`solve_transpose` and
+    :meth:`matvec`; the 1-norm condition estimate is computed lazily from
+    those and memoized.
+
+    Attributes:
+        n: the system order.
+        method: ``"dense"``, ``"sparse-lu"`` or ``"sparse-tri"``.
+        reusable: True when additional right-hand sides are cheap (a kept
+            factorization or a triangular substitution) — callers use this
+            to pick between per-column and batched lazy strategies.
+    """
+
+    method = "abstract"
+    reusable = False
+
+    def __init__(self, n: int):
+        self.n = int(n)
+        self._condition: float | None = None
+        self._norm1: float | None = None
+
+    # -- interface ---------------------------------------------------------
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` (vector or matrix right-hand side)."""
+        raise NotImplementedError
+
+    def solve_transpose(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A^T x = rhs`` (used by the condition estimator)."""
+        raise NotImplementedError
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` (for residual checks, without re-densifying)."""
+        raise NotImplementedError
+
+    def norm1(self) -> float:
+        """``||A||_1`` (exact; cheap for every representation)."""
+        raise NotImplementedError
+
+    # -- shared ------------------------------------------------------------
+
+    def condition_estimate(self) -> float:
+        """Estimated 1-norm condition number, memoized per factorization."""
+        if self._condition is None:
+            self._condition = float(self.norm1() * _inverse_norm_estimate(self))
+        return self._condition
+
+
+class _DenseFactorization(Factorization):
+    """Dense backend: LAPACK via numpy, LU kept when scipy is importable.
+
+    Without scipy every solve re-factors (exactly the historical
+    ``numpy.linalg.solve`` behavior, preserved on purpose); with scipy the
+    ``getrf`` factors are computed once and reused by ``getrs``.
+    """
+
+    method = "dense"
+
+    def __init__(self, system: np.ndarray):
+        super().__init__(system.shape[0])
+        self._system = system
+        self._lu_piv = None
+        if _HAVE_SCIPY and self.n:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")  # lu_factor warns, we raise
+                lu, piv = _scipy_linalg.lu_factor(system, check_finite=False)
+            _charge("factorizations")
+            if not np.all(np.isfinite(lu)) or np.any(np.diag(lu) == 0.0):
+                raise SingularSystemError("dense LU factored singular")
+            self._lu_piv = (lu, piv)
+            self.reusable = True
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        if self._lu_piv is not None:
+            return _scipy_linalg.lu_solve(
+                self._lu_piv, rhs, check_finite=False
+            )
+        try:
+            _charge("factorizations")
+            return np.linalg.solve(self._system, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularSystemError(str(exc)) from exc
+
+    def solve_transpose(self, rhs: np.ndarray) -> np.ndarray:
+        if self._lu_piv is not None:
+            return _scipy_linalg.lu_solve(
+                self._lu_piv, rhs, trans=1, check_finite=False
+            )
+        try:
+            return np.linalg.solve(self._system.T, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularSystemError(str(exc)) from exc
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self._system @ x
+
+    def norm1(self) -> float:
+        if self._norm1 is None:
+            self._norm1 = float(
+                np.abs(self._system).sum(axis=0).max(initial=0.0)
+            )
+        return self._norm1
+
+    def condition_estimate(self) -> float:
+        if self._condition is None and self.n <= EXACT_COND_SIZE:
+            # exact at small size — bit-compatible with the historical guard
+            try:
+                self._condition = float(np.linalg.cond(self._system, 1))
+            except np.linalg.LinAlgError:  # pragma: no cover - defensive
+                self._condition = float("inf")
+        return super().condition_estimate()
+
+
+class _SparseLUFactorization(Factorization):
+    """CSR assembly + one ``splu`` factorization, reused for every RHS."""
+
+    method = "sparse-lu"
+    reusable = True
+
+    def __init__(self, system_csr):
+        super().__init__(system_csr.shape[0])
+        self._csr = system_csr
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                self._lu = _scipy_sparse_linalg.splu(system_csr.tocsc())
+        except RuntimeError as exc:  # splu signals exact singularity this way
+            raise SingularSystemError(str(exc)) from exc
+        _charge("factorizations")
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return self._lu.solve(np.asarray(rhs, dtype=float))
+
+    def solve_transpose(self, rhs: np.ndarray) -> np.ndarray:
+        return self._lu.solve(np.asarray(rhs, dtype=float), trans="T")
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self._csr @ x
+
+    def norm1(self) -> float:
+        if self._norm1 is None:
+            sums = np.asarray(np.abs(self._csr).sum(axis=0)).ravel()
+            self._norm1 = float(np.max(sums, initial=0.0))
+        return self._norm1
+
+
+class _SparseTriangularFactorization(Factorization):
+    """The DAG fast path: permuted ``I - Q`` is upper triangular.
+
+    With the transient states in topological order every edge points
+    forward, so the permuted system is upper triangular with diagonal
+    ``1 - Q_ii > 0`` — each right-hand side is one ``O(nnz)`` back
+    substitution and there is *nothing to factor*.
+    """
+
+    method = "sparse-tri"
+    reusable = True
+
+    def __init__(self, system_csr, order: np.ndarray):
+        super().__init__(system_csr.shape[0])
+        self._order = order
+        self._inverse = np.empty_like(order)
+        self._inverse[order] = np.arange(order.size)
+        permuted = system_csr[order][:, order].tocsr()
+        diagonal = permuted.diagonal()
+        if np.any(diagonal == 0.0):
+            raise SingularSystemError(
+                "triangular system has a zero diagonal entry"
+            )
+        self._permuted = permuted
+        self._permuted_t = None  # lazily built for the condition estimate
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        solution = _scipy_sparse_linalg.spsolve_triangular(
+            self._permuted, rhs[self._order], lower=False
+        )
+        return solution[self._inverse]
+
+    def solve_transpose(self, rhs: np.ndarray) -> np.ndarray:
+        if self._permuted_t is None:
+            self._permuted_t = self._permuted.T.tocsr()
+        rhs = np.asarray(rhs, dtype=float)
+        solution = _scipy_sparse_linalg.spsolve_triangular(
+            self._permuted_t, rhs[self._order], lower=True
+        )
+        return solution[self._inverse]
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        return (self._permuted @ x[self._order])[self._inverse]
+
+    def norm1(self) -> float:
+        if self._norm1 is None:
+            sums = np.asarray(np.abs(self._permuted).sum(axis=0)).ravel()
+            self._norm1 = float(np.max(sums, initial=0.0))
+        return self._norm1
+
+
+# ---------------------------------------------------------------------------
+# structural plans + cache
+# ---------------------------------------------------------------------------
+
+
+class ChainSolvePlan:
+    """The value-independent structure of one absorbing solve.
+
+    Everything here depends only on the chain's *shape* — which states are
+    absorbing, where ``Q`` has nonzeros, the topological permutation — so a
+    plan computed once serves every re-solve of a structurally identical
+    chain (a sweep varying only rates, a fixed-point iteration, a batch of
+    same-flow models).
+
+    Attributes:
+        fingerprint: the structural digest this plan was built from.
+        backend: resolved backend (``"dense"``, ``"sparse-lu"``,
+            ``"sparse-tri"``).
+        transient / absorbing: original state indices of each class.
+        q_rows / q_cols: the sparsity pattern of ``Q`` in transient-local
+            coordinates (unused by the dense backend).
+        order: topological permutation of the transient states
+            (``"sparse-tri"`` only).
+    """
+
+    __slots__ = (
+        "fingerprint", "backend", "transient", "absorbing",
+        "q_rows", "q_cols", "order",
+    )
+
+    def __init__(self, fingerprint, backend, transient, absorbing,
+                 q_rows, q_cols, order):
+        self.fingerprint = fingerprint
+        self.backend = backend
+        self.transient = transient
+        self.absorbing = absorbing
+        self.q_rows = q_rows
+        self.q_cols = q_cols
+        self.order = order
+
+
+_default_cache: LRUCache | None = None
+_default_cache_lock = threading.Lock()
+
+
+def default_solver_cache() -> LRUCache:
+    """The process-wide structural-plan cache (created on first use)."""
+    global _default_cache
+    with _default_cache_lock:
+        if _default_cache is None:
+            _default_cache = LRUCache(max_size=256)
+        return _default_cache
+
+
+def solver_cache_stats() -> CacheStats:
+    """Hit/miss/eviction counters of the default structural-plan cache."""
+    return default_solver_cache().stats
+
+
+def chain_fingerprint(matrix: np.ndarray, absorbing_mask: np.ndarray) -> str:
+    """Structural digest of one chain: shape + nonzero pattern + partition.
+
+    Two chains share a fingerprint exactly when they have the same order,
+    the same transient/absorbing split and the same ``Q`` sparsity pattern
+    — i.e. when one :class:`ChainSolvePlan` serves both.  Values do *not*
+    enter the digest: that is the point (sweeps vary values only).
+    """
+    digest = hashlib.sha256()
+    digest.update(np.int64(matrix.shape[0]).tobytes())
+    digest.update(np.packbits(matrix != 0.0, axis=None).tobytes())
+    digest.update(np.packbits(np.asarray(absorbing_mask, dtype=bool)).tobytes())
+    return digest.hexdigest()
+
+
+def _topological_order(
+    m: int, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray | None:
+    """Topological permutation of the transient graph minus self-loops,
+    or ``None`` when it has a cycle (Kahn's algorithm on index arrays)."""
+    off = rows != cols
+    rows, cols = rows[off], cols[off]
+    if rows.size == 0:
+        return np.arange(m)
+    sort = np.argsort(rows, kind="stable")
+    rows_sorted, cols_sorted = rows[sort], cols[sort]
+    starts = np.searchsorted(rows_sorted, np.arange(m + 1))
+    indegree = np.bincount(cols_sorted, minlength=m)
+    stack = [int(i) for i in np.flatnonzero(indegree == 0)]
+    order: list[int] = []
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        for target in cols_sorted[starts[node]:starts[node + 1]]:
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                stack.append(int(target))
+    if len(order) != m:
+        return None
+    return np.asarray(order, dtype=np.int64)
+
+
+def _resolve_backend(solver: str, m: int, nnz: int) -> str:
+    """Backend choice (before the DAG refinement) for one system."""
+    if solver == "dense":
+        return "dense"
+    if solver == "sparse":
+        return "sparse"
+    # auto: structure-aware heuristic with a dense fallback
+    if not _HAVE_SCIPY or m < SPARSE_THRESHOLD:
+        return "dense"
+    if m and nnz / (m * m) > SPARSE_DENSITY:
+        return "dense"
+    return "sparse"
+
+
+def chain_plan(
+    matrix: np.ndarray,
+    absorbing_mask: np.ndarray,
+    solver: str = "auto",
+    cache: LRUCache | None = None,
+) -> ChainSolvePlan:
+    """The (cached) structural solve plan for one chain matrix.
+
+    Args:
+        matrix: the full row-stochastic transition matrix.
+        absorbing_mask: boolean mask of absorbing states, aligned with
+            ``matrix`` rows.
+        solver: ``"auto"``, ``"dense"`` or ``"sparse"`` (validated).
+        cache: the structural-plan :class:`~repro.caching.LRUCache`;
+            ``None`` uses the process-wide default, ``False`` disables
+            caching for this call.
+    """
+    solver = validate_solver(solver)
+    mask = np.asarray(absorbing_mask, dtype=bool)
+    key = (solver, chain_fingerprint(matrix, mask))
+    if cache is False:
+        return _build_plan(matrix, mask, solver, key[1])
+    lru = cache if cache is not None else default_solver_cache()
+    return lru.get_or_create(
+        key, lambda: _build_plan(matrix, mask, solver, key[1])
+    )
+
+
+def _build_plan(
+    matrix: np.ndarray, mask: np.ndarray, solver: str, fingerprint: str
+) -> ChainSolvePlan:
+    _charge("plans")
+    transient = np.flatnonzero(~mask)
+    absorbing = np.flatnonzero(mask)
+    m = transient.size
+    q_block = matrix[np.ix_(transient, transient)]
+    q_rows, q_cols = np.nonzero(q_block)
+    backend = _resolve_backend(solver, m, q_rows.size)
+    order = None
+    if backend == "sparse":
+        order = _topological_order(m, q_rows, q_cols)
+        backend = "sparse-tri" if order is not None else "sparse-lu"
+    return ChainSolvePlan(
+        fingerprint, backend, transient, absorbing, q_rows, q_cols, order
+    )
+
+
+def factorize_chain(matrix: np.ndarray, plan: ChainSolvePlan) -> Factorization:
+    """Factor ``I - Q`` for the *values* in ``matrix`` along a structural
+    plan.
+
+    This is the per-solve (value-dependent) half of the split: a cached
+    plan makes it ``O(nnz)`` gather + assembly for the sparse backends —
+    and for ``"sparse-tri"`` nothing is numerically factored at all.
+
+    Raises :class:`SingularSystemError` when the system is exactly
+    singular (the caller decides what that means).
+    """
+    transient = plan.transient
+    m = transient.size
+    if plan.backend == "dense":
+        system = np.eye(m) - matrix[np.ix_(transient, transient)]
+        return _DenseFactorization(system)
+    values = matrix[transient[plan.q_rows], transient[plan.q_cols]]
+    q_sparse = _scipy_sparse.csr_matrix(
+        (values, (plan.q_rows, plan.q_cols)), shape=(m, m)
+    )
+    system = (_scipy_sparse.identity(m, format="csr") - q_sparse).tocsr()
+    if plan.backend == "sparse-tri":
+        return _SparseTriangularFactorization(system, plan.order)
+    return _SparseLUFactorization(system)
+
+
+def factorize(a: np.ndarray, solver: str = "auto") -> Factorization:
+    """Factor an arbitrary square dense-input system through the backend
+    heuristic (no structural cache — for one-off systems like the
+    stationary-distribution solve).
+
+    Raises :class:`SingularSystemError` on exact singularity.
+    """
+    solver = validate_solver(solver)
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise EvaluationError(
+            f"factorize expects a square matrix, got shape {a.shape}"
+        )
+    n = a.shape[0]
+    backend = _resolve_backend(solver, n, int(np.count_nonzero(a)))
+    if backend == "dense":
+        return _DenseFactorization(a)
+    return _SparseLUFactorization(_scipy_sparse.csr_matrix(a))

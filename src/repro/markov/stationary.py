@@ -29,22 +29,57 @@ def is_irreducible(chain: DiscreteTimeMarkovChain) -> bool:
     return True
 
 
-def stationary_distribution(chain: DiscreteTimeMarkovChain) -> dict[Hashable, float]:
+def _solve_normalized_nullspace(
+    deficient: np.ndarray, solver: str = "auto"
+) -> np.ndarray:
+    """Solve ``deficient @ x = 0`` with ``sum(x) = 1`` through the solver
+    backend, falling back to least squares when the square system misfires.
+
+    ``deficient`` is a rank-``n-1`` matrix (``P^T - I`` or a CTMC generator
+    transpose): replacing its last row with the normalization constraint
+    makes the system square and — for irreducible inputs — nonsingular, so
+    the pluggable backend applies.  Degenerate inputs fall back to the
+    historical overdetermined ``lstsq`` form rather than failing.
+    """
+    from repro.markov import solvers
+
+    n = deficient.shape[0]
+    square = deficient.copy()
+    square[-1, :] = 1.0
+    rhs = np.zeros(n)
+    rhs[-1] = 1.0
+    try:
+        solution = np.asarray(solvers.factorize(square, solver).solve(rhs))
+        residual = float(np.max(np.abs(square @ solution - rhs), initial=0.0))
+        if np.all(np.isfinite(solution)) and residual <= 1e-8:
+            return solution
+    except solvers.SingularSystemError:
+        pass
+    stacked = np.vstack([deficient, np.ones((1, n))])
+    stacked_rhs = np.zeros(n + 1)
+    stacked_rhs[-1] = 1.0
+    solution, *_ = np.linalg.lstsq(stacked, stacked_rhs, rcond=None)
+    return solution
+
+
+def stationary_distribution(
+    chain: DiscreteTimeMarkovChain, solver: str = "auto"
+) -> dict[Hashable, float]:
     """The stationary distribution ``pi`` with ``pi P = pi``.
 
-    Solved as the null space of ``(P^T - I)`` augmented with the
-    normalization constraint.  Raises :class:`MarkovError` for reducible
-    chains (the distribution would not be unique).
+    Solved as the null space of ``(P^T - I)`` with the last equation
+    replaced by the normalization constraint — a square system the
+    pluggable :mod:`repro.markov.solvers` backend handles (``lstsq`` on the
+    overdetermined form remains the fallback for degenerate inputs).
+    Raises :class:`MarkovError` for reducible chains (the distribution
+    would not be unique).
     """
     if not is_irreducible(chain):
         raise MarkovError(
             "stationary distribution requires an irreducible chain"
         )
     n = len(chain)
-    system = np.vstack([chain.matrix.T - np.eye(n), np.ones((1, n))])
-    rhs = np.zeros(n + 1)
-    rhs[-1] = 1.0
-    solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+    solution = _solve_normalized_nullspace(chain.matrix.T - np.eye(n), solver)
     solution = np.clip(solution, 0.0, None)
     solution = solution / solution.sum()
     return {s: float(solution[i]) for i, s in enumerate(chain.states)}

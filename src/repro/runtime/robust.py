@@ -159,6 +159,9 @@ class RobustEvaluator:
         retries: extra attempts for the retrying tiers (fixed-point
             tolerance relaxation, Monte Carlo reseeding).
         validate: validate the assembly up front (recommended).
+        solver: linear-solver backend for the numeric/fixed-point tiers
+            (``"auto"``, ``"dense"`` or ``"sparse"``; see
+            :mod:`repro.markov.solvers`).
     """
 
     def __init__(
@@ -170,7 +173,10 @@ class RobustEvaluator:
         seed: int = 0,
         retries: int = 2,
         validate: bool = True,
+        solver: str = "auto",
     ):
+        from repro.markov.solvers import validate_solver
+
         unknown = [t for t in tiers if t not in DEFAULT_TIERS]
         if unknown:
             raise EvaluationError(f"unknown evaluation tiers {unknown}")
@@ -180,6 +186,7 @@ class RobustEvaluator:
         self.trials = int(trials)
         self.seed = int(seed)
         self.retries = int(retries)
+        self.solver = validate_solver(solver)
         if validate:
             try:
                 validate_assembly(assembly).raise_if_invalid()
@@ -271,7 +278,8 @@ class RobustEvaluator:
 
         if self._numeric_evaluator is None:
             self._numeric_evaluator = ReliabilityEvaluator(
-                self.assembly, validate=False, budget=self.budget
+                self.assembly, validate=False, budget=self.budget,
+                solver=self.solver,
             )
         value = self._numeric_evaluator.pfail(service, **actuals)
         return check_probability(f"Pfail({service})", value), None, 0.0, None
@@ -284,7 +292,7 @@ class RobustEvaluator:
         for _ in range(self.retries + 1):
             evaluator = FixedPointEvaluator(
                 self.assembly, tolerance=tolerance, validate=False,
-                budget=self.budget,
+                budget=self.budget, solver=self.solver,
             )
             try:
                 value = evaluator.pfail(service, **actuals)

@@ -233,7 +233,12 @@ class CompiledKernel:
                 names[slot] = f"c{j}"
                 is_array[slot] = False
                 const_slots.add(slot)
-                ns[f"c{j}"] = value
+                # np.float64 (not float) so a const operand mixed with a
+                # scalar op output keeps numpy arithmetic semantics
+                # (0.0 / 0.0 -> nan, not ZeroDivisionError)
+                ns[f"c{j}"] = (
+                    np.float64(value) if isinstance(value, float) else value
+                )
                 defaults.append(f"c{j}=c{j}")
             args: list[str] = []
             for i, ((_name, slot), arr) in enumerate(zip(self._params, sig)):

@@ -75,14 +75,16 @@ def _safe_log(x):
     """
     x = np.asarray(x, dtype=float)
     out = np.where(x > 0.0, np.log(np.where(x > 0.0, x, 1.0)), 0.0)
-    return out if out.shape else float(out)
+    # np.float64 (not float) for scalars: downstream compiled kernels rely
+    # on every operand staying numpy-typed for numpy arithmetic semantics
+    return out if out.shape else out[()]
 
 
 def _safe_log2(x):
     """Base-2 log with the same zero-guard as :func:`_safe_log`."""
     x = np.asarray(x, dtype=float)
     out = np.where(x > 0.0, np.log2(np.where(x > 0.0, x, 1.0)), 0.0)
-    return out if out.shape else float(out)
+    return out if out.shape else out[()]
 
 
 def _install_defaults() -> None:

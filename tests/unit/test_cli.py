@@ -300,3 +300,42 @@ class TestJobsFlag:
                   "--from", "1", "--to", "10", "--points", "3",
                   "--set", "elem=1", "res=1", "--jobs", "-2"])
         assert excinfo.value.code == 2
+
+
+class TestSolverFlag:
+    EVALUATE = ["search", "--set", "elem=1", "list=500", "res=1"]
+
+    def test_dense_matches_default(self, local_file, capsys):
+        assert main(["evaluate", local_file] + self.EVALUATE) == 0
+        default = capsys.readouterr().out
+        assert main(
+            ["evaluate", local_file, "--solver", "dense"] + self.EVALUATE
+        ) == 0
+        assert capsys.readouterr().out == default
+
+    def test_sparse_matches_default(self, local_file, capsys):
+        from repro.markov import scipy_available
+
+        if not scipy_available():
+            pytest.skip("sparse backend requires scipy")
+        assert main(["evaluate", local_file] + self.EVALUATE) == 0
+        default = capsys.readouterr().out
+        assert main(
+            ["evaluate", local_file, "--solver", "sparse"] + self.EVALUATE
+        ) == 0
+        assert capsys.readouterr().out == default
+
+    def test_unknown_solver_is_usage_error(self, local_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["evaluate", local_file, "--solver", "banded"]
+                 + self.EVALUATE)
+        assert excinfo.value.code == 2
+
+    def test_sweep_numeric_solver_matches(self, local_file, capsys):
+        argv = ["sweep", local_file, "search", "list",
+                "--from", "1", "--to", "1000", "--points", "5",
+                "--method", "numeric", "--set", "elem=1", "res=1"]
+        assert main(argv) == 0
+        default = capsys.readouterr().out
+        assert main(argv + ["--solver", "dense"]) == 0
+        assert capsys.readouterr().out == default
