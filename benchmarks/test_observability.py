@@ -1,0 +1,151 @@
+"""OBS — cost of the observability layer on the Figure 6 workload.
+
+The instrumentation contract is "free until you turn it on": every
+``obs.count``/``obs.span`` call site short-circuits on one module-global
+flag while observability is disabled (the default).  This benchmark prices
+that promise on the paper's headline workload — a Figure 6 sweep of the
+local and remote assemblies over the ``list`` grid via the numeric
+evaluator, the path with the densest instrumentation (solver, cache and
+evaluator call sites all fire on every point).
+
+Three variants of the identical sweep are timed, interleaved round-robin
+so drift hits all of them equally, best-of-N so scheduler noise drops out:
+
+- ``stubbed`` — the facade helpers are replaced with bare no-ops: the
+  cheapest conceivable call site, standing in for uninstrumented code;
+- ``disabled`` — the real facade with observability off (the shipped
+  default; one branch per call site);
+- ``enabled`` — full collection: registry, tracer and an in-memory sink.
+
+``BENCH_observability.json`` records all three and the derived overheads;
+the test asserts the acceptance bound: disabled-mode overhead <= 2 %.
+"""
+
+import time
+
+import numpy as np
+
+from repro import observability as obs
+from repro.core import ReliabilityEvaluator
+from repro.observability import InMemorySink
+from repro.observability.tracing import NO_SPAN
+from repro.scenarios import (
+    SearchSortParameters,
+    local_assembly,
+    remote_assembly,
+)
+
+from _report import emit_json
+
+#: Figure 6 x-axis (trimmed: long enough to dominate fixed costs, short
+#: enough that best-of-N repeats stay cheap) and fixed actuals.
+GRID = np.unique(np.rint(np.linspace(1.0, 1000.0, 40)))  # integer domain
+FIXED = {"elem": 1.0, "res": 1.0}
+REPEATS = 7
+OVERHEAD_BOUND_PCT = 2.0
+
+
+def _sweep() -> float:
+    """One Figure 6 pass: both assemblies, numeric evaluation per point."""
+    params = SearchSortParameters().with_figure6_point(1e-6, 5e-3)
+    total = 0.0
+    for assembly in (local_assembly(params), remote_assembly(params)):
+        evaluator = ReliabilityEvaluator(assembly)
+        for value in GRID:
+            total += evaluator.pfail("search", list=float(value), **FIXED)
+    return total
+
+
+class _FacadeStub:
+    """Swap the facade helpers for bare no-ops and restore on exit."""
+
+    NAMES = ("count", "gauge", "observe", "span")
+
+    def __enter__(self):
+        self.saved = {name: getattr(obs, name) for name in self.NAMES}
+        for name in ("count", "gauge", "observe"):
+            setattr(obs, name, lambda *args, **kwargs: None)
+        obs.span = lambda *args, **kwargs: NO_SPAN
+        return self
+
+    def __exit__(self, *exc_info):
+        for name, fn in self.saved.items():
+            setattr(obs, name, fn)
+        return False
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure():
+    obs.reset()
+    _sweep()  # warm caches/allocators once outside the timed region
+
+    timings = {"stubbed": float("inf"), "disabled": float("inf"),
+               "enabled": float("inf")}
+    for _ in range(REPEATS):  # interleaved: one round of each per pass
+        with _FacadeStub():
+            timings["stubbed"] = min(timings["stubbed"], _best_of(_sweep, 1))
+        obs.reset()
+        timings["disabled"] = min(timings["disabled"], _best_of(_sweep, 1))
+        obs.reset()
+        obs.enable(hooks=[InMemorySink()])
+        try:
+            timings["enabled"] = min(timings["enabled"], _best_of(_sweep, 1))
+        finally:
+            obs.reset()
+    return timings
+
+
+def test_observability_overhead():
+    timings = _measure()
+
+    overhead_disabled_pct = 100.0 * (
+        timings["disabled"] / timings["stubbed"] - 1.0
+    )
+    overhead_enabled_pct = 100.0 * (
+        timings["enabled"] / timings["stubbed"] - 1.0
+    )
+
+    # prove the enabled run actually collected on this exact workload
+    obs.reset()
+    obs.enable()
+    try:
+        _sweep()
+        counters = obs.registry().snapshot()["counters"]
+    finally:
+        obs.reset()
+    assert counters.get("solver.backend.dense", 0) > 0  # solves instrumented
+
+    emit_json("observability", {
+        "workload": {
+            "figure": "fig6",
+            "assemblies": ["local", "remote"],
+            "points_per_assembly": int(GRID.size),
+            "evaluator": "numeric",
+            "repeats": REPEATS,
+            "timing": "best-of-N, interleaved",
+        },
+        "seconds": {k: round(v, 6) for k, v in timings.items()},
+        "overhead_pct": {
+            "disabled": round(overhead_disabled_pct, 3),
+            "enabled": round(overhead_enabled_pct, 3),
+        },
+        "bound_pct": {"disabled": OVERHEAD_BOUND_PCT},
+        "instrumented_counters_sampled": {
+            name: counters[name] for name in sorted(counters)[:8]
+        },
+    })
+
+    assert overhead_disabled_pct <= OVERHEAD_BOUND_PCT, (
+        f"disabled-mode observability overhead {overhead_disabled_pct:.2f}% "
+        f"exceeds the {OVERHEAD_BOUND_PCT}% acceptance bound "
+        f"(stubbed {timings['stubbed']:.4f}s vs disabled "
+        f"{timings['disabled']:.4f}s)"
+    )

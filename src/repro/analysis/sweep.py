@@ -27,11 +27,13 @@ Sweeps plug into the engine layer two ways:
 
 from __future__ import annotations
 
+import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observability as obs
 from repro.core.evaluator import ReliabilityEvaluator
 from repro.errors import EvaluationError
 from repro.model.assembly import Assembly
@@ -89,10 +91,15 @@ def _validated_grid(values: Sequence[float] | np.ndarray) -> np.ndarray:
 
 def _collect_chunks(chunk_results: list) -> np.ndarray:
     """Concatenate ordered chunk outputs, rehydrating worker failures."""
-    from repro.engine.parallel import WorkerFailure, rebuild_error
+    from repro.engine.parallel import (
+        WorkerFailure,
+        rebuild_error,
+        unpack_worker_payload,
+    )
 
     out: list[float] = []
     for result in chunk_results:
+        result = unpack_worker_payload(result)
         if isinstance(result, WorkerFailure):
             raise rebuild_error(result)
         out.extend(result)
@@ -126,6 +133,8 @@ def _parallel_symbolic(
                     "fixed": dict(fixed),
                     "deadline": remaining_deadline(budget),
                     "use_kernel": use_kernel,
+                    "observe": obs.enabled(),
+                    "dispatched_at": time.time(),
                 },
             )
             for chunk in chunks
@@ -159,6 +168,8 @@ def _parallel_numeric(
                     "fixed": dict(fixed),
                     "deadline": remaining_deadline(budget),
                     "solver": solver,
+                    "observe": obs.enabled(),
+                    "dispatched_at": time.time(),
                 },
             )
             for chunk in chunks
@@ -215,36 +226,40 @@ def sweep_parameter(
     grid = _validated_grid(values)
     jobs = resolve_jobs(jobs)
 
-    if method == "symbolic":
-        from repro.engine.plan import compile_plan
+    with obs.span(
+        "sweep.run", service=service, parameter=parameter, method=method,
+        points=int(grid.size), jobs=jobs,
+    ):
+        if method == "symbolic":
+            from repro.engine.plan import compile_plan
 
-        if cache is not None:
-            plan = cache.get_or_compile(assembly, service, backend="symbolic",
-                                        budget=budget)
+            if cache is not None:
+                plan = cache.get_or_compile(assembly, service,
+                                            backend="symbolic", budget=budget)
+            else:
+                plan = compile_plan(assembly, service, backend="symbolic",
+                                    budget=budget)
+            pfail = _parallel_symbolic(
+                plan, parameter, grid, fixed, jobs, budget, use_kernel=compile
+            )
+        elif method == "numeric":
+            if jobs > 1:
+                pfail = _parallel_numeric(
+                    assembly, service, parameter, grid, fixed, jobs, budget,
+                    solver=solver,
+                )
+            else:
+                evaluator = ReliabilityEvaluator(
+                    assembly, check_domains=False, budget=budget, solver=solver
+                )
+                pfail = np.array(
+                    [
+                        evaluator.pfail(service, **{**fixed, parameter: float(v)})
+                        for v in grid
+                    ]
+                )
         else:
-            plan = compile_plan(assembly, service, backend="symbolic",
-                                budget=budget)
-        pfail = _parallel_symbolic(
-            plan, parameter, grid, fixed, jobs, budget, use_kernel=compile
-        )
-    elif method == "numeric":
-        if jobs > 1:
-            pfail = _parallel_numeric(
-                assembly, service, parameter, grid, fixed, jobs, budget,
-                solver=solver,
-            )
-        else:
-            evaluator = ReliabilityEvaluator(
-                assembly, check_domains=False, budget=budget, solver=solver
-            )
-            pfail = np.array(
-                [
-                    evaluator.pfail(service, **{**fixed, parameter: float(v)})
-                    for v in grid
-                ]
-            )
-    else:
-        raise EvaluationError(f"unknown sweep method {method!r}")
+            raise EvaluationError(f"unknown sweep method {method!r}")
 
     return SweepResult(assembly.name, service, parameter, grid, pfail, fixed)
 

@@ -20,6 +20,14 @@ Design points shared by every user:
   evictions, and the derived hit rate, snapshot-able for JSON reporters;
 - ``clear()`` drops entries but keeps the statistics, so warm-up accounting
   survives test-isolation resets.
+
+**Observability.**  A cache constructed with a ``name`` additionally mirrors
+every hit/miss/eviction onto the process metrics registry as
+``cache.<name>.hits`` / ``.misses`` / ``.evictions``
+(:mod:`repro.observability`; free while collection is disabled).  The
+per-instance :class:`CacheStats` attributes remain the compatibility
+surface older tests and reporters read — the registry counters are the
+aggregated, cross-process-mergeable view.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from collections.abc import Callable, Hashable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import observability as obs
 from repro.errors import EvaluationError
 
 __all__ = ["CacheStats", "LRUCache"]
@@ -79,17 +88,25 @@ class LRUCache:
         max_size: maximum number of cached entries; the least recently
             used entry is evicted past the bound.  ``None`` means
             unbounded.
+        name: optional metric name; when set, hits/misses/evictions are
+            mirrored onto the metrics registry as ``cache.<name>.*``.
     """
 
-    def __init__(self, max_size: int | None = 128):
+    def __init__(self, max_size: int | None = 128, name: str | None = None):
         if max_size is not None and max_size < 1:
             raise EvaluationError(
                 f"cache max_size must be positive, got {max_size!r}"
             )
         self.max_size = max_size
+        self.name = name
         self.stats = CacheStats()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
+        self._metric_prefix = f"cache.{name}" if name else None
+
+    def _emit(self, event: str, amount: int = 1) -> None:
+        if self._metric_prefix is not None:
+            obs.count(f"{self._metric_prefix}.{event}", amount)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -116,21 +133,27 @@ class LRUCache:
             if value is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                self._emit("hits")
                 return value
             self.stats.misses += 1
+        self._emit("misses")
         value = factory()
         self.put(key, value)
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store a value under its key, evicting past the bound."""
+        evicted = 0
         with self._lock:
             if key not in self._entries and self.max_size is not None:
                 while len(self._entries) >= self.max_size:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
+                    evicted += 1
             self._entries[key] = value
             self._entries.move_to_end(key)
+        if evicted:
+            self._emit("evictions", evicted)
 
     def clear(self) -> None:
         """Drop every cached entry (statistics are kept)."""

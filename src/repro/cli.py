@@ -29,6 +29,14 @@ sweep grid chunks, Monte-Carlo trial blocks, fuzz cases) across ``N``
 workers through :mod:`repro.engine`; ``--jobs 0`` uses every core and the
 default ``--jobs 1`` keeps the exact sequential path.
 
+``--metrics summary`` (on ``evaluate``/``batch``/``sweep``/``fuzz``)
+prints a per-span profile table and the counter/gauge values collected by
+:mod:`repro.observability`; ``--metrics json:PATH`` writes the snapshot as
+``repro/metrics/1`` JSON; ``--trace PATH`` appends one JSON line per
+finished span.  Worker processes ship their metrics and spans back to the
+parent, so the output aggregates the whole pool.  Both flags default to
+off, in which case the instrumentation short-circuits to no-ops.
+
 Errors never surface as tracebacks: every :class:`ReproError` subtree maps
 to its own nonzero exit code with a one-line message on stderr (see
 ``EXIT_CODES`` / ``--help``), so unattended callers can branch on the
@@ -186,6 +194,26 @@ def build_parser() -> argparse.ArgumentParser:
                  "(CSR + splu / triangular fast path; needs scipy)",
         )
 
+    def metrics_mode(text: str) -> str:
+        if text in ("off", "summary") or text.startswith("json:"):
+            return text
+        raise argparse.ArgumentTypeError(
+            f"expected off, summary or json:PATH, got {text!r}"
+        )
+
+    def add_observability(sub):
+        sub.add_argument(
+            "--metrics", type=metrics_mode, default="off",
+            metavar="{off,summary,json:PATH}",
+            help="collect evaluation metrics: 'summary' prints a profile "
+                 "table and counter list, 'json:PATH' writes a metrics "
+                 "snapshot as JSON (schema repro/metrics/1)",
+        )
+        sub.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="append one JSON line per finished span to PATH",
+        )
+
     def add_budget(sub):
         sub.add_argument(
             "--deadline", type=non_negative(float), default=None,
@@ -235,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the graceful-degradation chain (symbolic -> numeric -> "
              "fixed-point -> Monte Carlo) and report the serving tier",
     )
+    add_observability(sub)
 
     sub = commands.add_parser(
         "closed-form", help="derive the symbolic Pfail expression"
@@ -265,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_budget(sub)
     add_compile(sub)
     add_solver(sub)
+    add_observability(sub)
 
     sub = commands.add_parser("sweep", help="reliability vs one parameter")
     sub.add_argument("file")
@@ -282,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_budget(sub)
     add_compile(sub)
     add_solver(sub)
+    add_observability(sub)
 
     sub = commands.add_parser(
         "compare", help="two assemblies head-to-head with crossovers"
@@ -342,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_set(sub)
     add_jobs(sub)
+    add_observability(sub)
 
     sub = commands.add_parser(
         "performance", help="predict the expected execution time"
@@ -655,6 +687,65 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else EXIT_FUZZ_VIOLATION
 
 
+def _begin_observation(args):
+    """Enable metrics/trace collection when the command asked for it.
+
+    Returns the state tuple :func:`_finish_observation` needs, or ``None``
+    when both flags are off (the zero-overhead default).
+    """
+    metrics = getattr(args, "metrics", "off")
+    trace = getattr(args, "trace", None)
+    if metrics == "off" and trace is None:
+        return None
+    from repro import observability as obs
+    from repro.observability.hooks import JsonlSink
+
+    obs.reset()
+    sink = None
+    hooks = []
+    if trace is not None:
+        sink = JsonlSink(trace)
+        hooks.append(sink)
+    obs.enable(hooks=hooks)
+    return metrics, trace, sink
+
+
+def _finish_observation(state) -> None:
+    """Emit the requested metrics/trace outputs and disable collection.
+
+    Runs in a ``finally`` so a failing command still flushes what it
+    collected — the profile of a run that tripped its budget is exactly
+    the interesting one.
+    """
+    if state is None:
+        return
+    metrics, trace, sink = state
+    from repro import observability as obs
+    from repro.observability.hooks import SummarySink
+
+    if metrics == "summary":
+        summary = SummarySink()
+        summary.merge_records([s.to_dict() for s in obs.tracer().finished])
+        print(summary.render(), file=sys.stderr)
+        snapshot = obs.registry().snapshot()
+        for name, value in sorted(snapshot["counters"].items()):
+            print(f"  {name} = {value}", file=sys.stderr)
+        for name, value in sorted(snapshot["gauges"].items()):
+            print(f"  {name} = {value:g}", file=sys.stderr)
+    elif metrics.startswith("json:"):
+        Path(metrics[len("json:"):]).write_text(
+            obs.registry().to_json() + "\n"
+        )
+    if sink is not None:
+        sink.close()
+        if sink.write_errors:
+            print(
+                f"warning: {sink.write_errors} trace write error(s) on "
+                f"{trace}", file=sys.stderr,
+            )
+    obs.reset()
+
+
 _COMMANDS = {
     "validate": _cmd_validate,
     "describe": _cmd_describe,
@@ -681,6 +772,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    observation = _begin_observation(args)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
@@ -689,6 +781,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        _finish_observation(observation)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,6 +32,7 @@ from collections.abc import Mapping
 
 import numpy as np
 
+from repro import observability as obs
 from repro.errors import (
     CyclicAssemblyError,
     EvaluationError,
@@ -178,7 +179,8 @@ class ReliabilityEvaluator:
     def pfail(self, service: str | Service, **actuals: float) -> float:
         """``Pfail(S, fp)`` for concrete actual parameters."""
         svc = self._coerce(service)
-        return self._pfail_service(svc, self._normalize(svc, actuals))
+        with obs.span("evaluator.pfail", service=svc.name):
+            return self._pfail_service(svc, self._normalize(svc, actuals))
 
     def reliability(self, service: str | Service, **actuals: float) -> float:
         """``1 - Pfail(S, fp)``."""

@@ -35,6 +35,7 @@ from collections.abc import Mapping, Sequence
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 
+from repro import observability as obs
 from repro.engine.cache import PlanCache
 from repro.engine.parallel import (
     WorkerFailure,
@@ -44,6 +45,7 @@ from repro.engine.parallel import (
     remaining_deadline,
     resolve_jobs,
     split_evenly,
+    unpack_worker_payload,
 )
 from repro.engine.plan import EvaluationPlan, compile_plan, compilation_count
 from repro.errors import EvaluationError, ReproError
@@ -259,15 +261,24 @@ class BatchEngine:
         hits_before = self.cache.stats.hits if self.cache else 0
         misses_before = self.cache.stats.misses if self.cache else 0
 
-        groups = self._compile_groups(requests)
-        entries = [
-            BatchEntry(i, r.label, r.service, dict(r.actuals))
-            for i, r in enumerate(requests)
-        ]
-        if self.jobs <= 1 or self.mode == "serial" or len(requests) <= 1:
-            self._run_serial(groups, entries)
-        else:
-            self._run_parallel(groups, entries)
+        serial = self.jobs <= 1 or self.mode == "serial" or len(requests) <= 1
+        obs.gauge("batch.jobs", 1 if serial else self.jobs)
+        with obs.span(
+            "batch.run", entries=len(requests), mode=self.mode
+        ) as run_span:
+            groups = self._compile_groups(requests)
+            entries = [
+                BatchEntry(i, r.label, r.service, dict(r.actuals))
+                for i, r in enumerate(requests)
+            ]
+            if serial:
+                self._run_serial(groups, entries)
+            else:
+                self._run_parallel(groups, entries)
+            run_span.set_tag(
+                plans=len(groups),
+                failures=sum(1 for e in entries if not e.ok),
+            )
 
         stats = BatchStats(
             entries=len(entries),
@@ -327,6 +338,7 @@ class BatchEngine:
                     entry.error = plan
                     continue
                 entry.backend = plan.backend
+                t0 = time.perf_counter()
                 try:
                     if self.budget is not None:
                         self.budget.check_deadline("batch evaluation")
@@ -335,6 +347,7 @@ class BatchEngine:
                     )
                 except ReproError as exc:
                     entry.error = exc
+                obs.observe("batch.entry.seconds", time.perf_counter() - t0)
 
     def _run_parallel(self, groups, entries: list[BatchEntry]) -> None:
         executor = make_executor(self.jobs, self.mode)
@@ -354,6 +367,8 @@ class BatchEngine:
                             "points": [entries[i].actuals for i in chunk],
                             "deadline": remaining_deadline(self.budget),
                             "use_kernel": self.compile,
+                            "observe": obs.enabled(),
+                            "dispatched_at": time.time(),
                         }
                         futures[executor.submit(evaluate_plan_points, payload)] = (
                             plan,
@@ -366,7 +381,8 @@ class BatchEngine:
                         self.budget.check_deadline("batch collection")
                     for future in done:
                         plan, chunk = futures[future]
-                        for index, outcome in zip(chunk, future.result()):
+                        outcomes = unpack_worker_payload(future.result())
+                        for index, outcome in zip(chunk, outcomes):
                             entry = entries[index]
                             entry.backend = plan.backend
                             if isinstance(outcome, WorkerFailure):

@@ -53,7 +53,7 @@ class PlanCache:
             raise EvaluationError(
                 f"plan cache max_size must be positive, got {max_size!r}"
             )
-        self._lru = LRUCache(max_size)
+        self._lru = LRUCache(max_size, name="plan")
 
     @property
     def max_size(self) -> int | None:

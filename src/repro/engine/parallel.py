@@ -27,12 +27,19 @@ importable from a fresh worker process:
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import repro.errors as _errors
-from repro.errors import BudgetExceededError, EvaluationError, ReproError
+from repro import observability as obs
+from repro.errors import (
+    BudgetExceededError,
+    EvaluationError,
+    ReproError,
+    error_chain,
+)
 from repro.runtime.budget import EvaluationBudget
 
 __all__ = [
@@ -47,6 +54,7 @@ __all__ = [
     "resolve_jobs",
     "simulate_block",
     "split_evenly",
+    "unpack_worker_payload",
 ]
 
 
@@ -145,6 +153,11 @@ class WorkerFailure:
     ``__init__`` arguments, so the live exceptions do not survive pickling
     across a process boundary; workers ship this transport record and the
     parent rebuilds an equivalent error with :func:`rebuild_error`.
+
+    ``cause_chain`` carries the stringified ``__cause__``/``__context__``
+    chain of the original error (outermost first), so nested failures keep
+    their root cause across the process boundary instead of flattening to
+    the outer message alone.
     """
 
     kind: str
@@ -152,15 +165,18 @@ class WorkerFailure:
     resource: str | None = None  # BudgetExceededError fields, when present
     limit: float | None = None
     used: float | None = None
+    cause_chain: tuple[str, ...] = field(default_factory=tuple)
 
     @classmethod
     def from_error(cls, error: ReproError) -> "WorkerFailure":
+        chain = error_chain(error)[1:]  # [0] repeats kind/message
         if isinstance(error, BudgetExceededError):
             return cls(
                 type(error).__name__, str(error),
                 resource=error.resource, limit=error.limit, used=error.used,
+                cause_chain=chain,
             )
-        return cls(type(error).__name__, str(error))
+        return cls(type(error).__name__, str(error), cause_chain=chain)
 
 
 def rebuild_error(failure: WorkerFailure) -> ReproError:
@@ -171,23 +187,88 @@ def rebuild_error(failure: WorkerFailure) -> ReproError:
     takes a bare message, and fall back to the nearest base class
     otherwise — the CLI exit-code taxonomy keys on ``isinstance``, so a
     base-class fallback still maps to the right exit code family.
+
+    A transported ``cause_chain`` is re-attached as exception notes
+    (``add_note``), so ``--jobs 8`` tracebacks show the same root causes
+    as ``--jobs 1``.
     """
     if failure.resource is not None:
-        return BudgetExceededError(
+        error: ReproError | None = BudgetExceededError(
             failure.resource, failure.limit, failure.used, failure.message
         )
-    cls = getattr(_errors, failure.kind, None)
-    if isinstance(cls, type) and issubclass(cls, ReproError):
-        try:
-            return cls(failure.message)
-        except TypeError:
-            for base in cls.__mro__[1:]:
-                if issubclass(base, ReproError):
-                    try:
-                        return base(f"[{failure.kind}] {failure.message}")
-                    except TypeError:
-                        continue
-    return EvaluationError(f"[{failure.kind}] {failure.message}")
+    else:
+        error = None
+        cls = getattr(_errors, failure.kind, None)
+        if isinstance(cls, type) and issubclass(cls, ReproError):
+            try:
+                error = cls(failure.message)
+            except TypeError:
+                for base in cls.__mro__[1:]:
+                    if issubclass(base, ReproError):
+                        try:
+                            error = base(f"[{failure.kind}] {failure.message}")
+                            break
+                        except TypeError:
+                            continue
+        if error is None:
+            error = EvaluationError(f"[{failure.kind}] {failure.message}")
+    for link in getattr(failure, "cause_chain", ()):
+        error.add_note(f"caused by {link}")
+    return error
+
+
+# ---------------------------------------------------------------------------
+# worker-side observability (metrics/span shipping across the pool)
+# ---------------------------------------------------------------------------
+
+
+def _begin_worker_observation(payload: dict) -> bool:
+    """Start a private collection scope in this worker, if asked to.
+
+    Returns True when this call owns a scope whose data must be shipped
+    back.  In ``mode="thread"`` pools the parent's scope is already live in
+    this process, so data lands in the shared registry directly and nothing
+    needs shipping (returns False).
+    """
+    if not payload.get("observe"):
+        return False
+    if obs.enabled():
+        return False  # thread pool: parent scope collects directly
+    obs.reset()
+    obs.enable()
+    dispatched = payload.get("dispatched_at")
+    if dispatched is not None:
+        obs.observe("batch.queue.seconds", max(0.0, time.time() - dispatched))
+    return True
+
+
+def _ship_worker_observation(results, owned: bool):
+    """Wrap worker results with this scope's metrics/span deltas."""
+    if not owned:
+        return results
+    snapshot = obs.registry().snapshot()
+    spans = obs.tracer().export()
+    obs.reset()  # pooled workers are reused: next payload gets a clean delta
+    return {"results": results, "metrics": snapshot, "spans": spans}
+
+
+def unpack_worker_payload(outcome):
+    """Parent-side inverse of :func:`_ship_worker_observation`.
+
+    Merges any shipped metrics into the parent registry and adopts shipped
+    spans under the parent's current span, then returns the bare results.
+    Plain (unwrapped) outcomes pass through untouched, so callers can
+    unpack unconditionally.
+    """
+    if isinstance(outcome, dict) and "results" in outcome:
+        metrics = outcome.get("metrics")
+        if metrics:
+            obs.registry().merge(metrics)
+        spans = outcome.get("spans")
+        if spans:
+            obs.tracer().merge(spans)
+        return outcome["results"]
+    return outcome
 
 
 # ---------------------------------------------------------------------------
@@ -205,16 +286,19 @@ def evaluate_plan_points(payload: dict) -> list:
     :class:`WorkerFailure` (per-point isolation: one bad point does not
     poison the block).
     """
+    owned = _begin_worker_observation(payload)
     plan = payload["plan"]
     budget = worker_budget(payload.get("deadline"))
     use_kernel = payload.get("use_kernel", True)
     results: list = []
     for point in payload["points"]:
+        t0 = time.perf_counter()
         try:
             results.append(plan.pfail(point, budget=budget, use_kernel=use_kernel))
         except ReproError as exc:
             results.append(WorkerFailure.from_error(exc))
-    return results
+        obs.observe("batch.entry.seconds", time.perf_counter() - t0)
+    return _ship_worker_observation(results, owned)
 
 
 def plan_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
@@ -223,10 +307,12 @@ def plan_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
     Payload: ``plan``, ``parameter``, ``values`` (list of floats),
     ``fixed`` (dict), ``deadline``, ``use_kernel``.
     """
+    owned = _begin_worker_observation(payload)
     plan = payload["plan"]
     budget = worker_budget(payload.get("deadline"))
+    t0 = time.perf_counter()
     try:
-        return list(
+        result: list[float] | WorkerFailure = list(
             plan.pfail_grid(
                 payload["parameter"], payload["values"], payload["fixed"],
                 budget=budget,
@@ -234,7 +320,9 @@ def plan_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
             )
         )
     except ReproError as exc:
-        return WorkerFailure.from_error(exc)
+        result = WorkerFailure.from_error(exc)
+    obs.observe("batch.entry.seconds", time.perf_counter() - t0)
+    return _ship_worker_observation(result, owned)
 
 
 def numeric_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
@@ -248,7 +336,9 @@ def numeric_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
     from repro.core.evaluator import ReliabilityEvaluator
     from repro.dsl import load_assembly
 
+    owned = _begin_worker_observation(payload)
     budget = worker_budget(payload.get("deadline"))
+    t0 = time.perf_counter()
     try:
         assembly = load_assembly(payload["assembly_json"])
         evaluator = ReliabilityEvaluator(
@@ -257,14 +347,16 @@ def numeric_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
         )
         fixed = payload["fixed"]
         parameter = payload["parameter"]
-        return [
+        result: list[float] | WorkerFailure = [
             evaluator.pfail(
                 payload["service"], **{**fixed, parameter: float(v)}
             )
             for v in payload["values"]
         ]
     except ReproError as exc:
-        return WorkerFailure.from_error(exc)
+        result = WorkerFailure.from_error(exc)
+    obs.observe("batch.entry.seconds", time.perf_counter() - t0)
+    return _ship_worker_observation(result, owned)
 
 
 def simulate_block(payload: dict) -> tuple[int, int] | WorkerFailure:
@@ -277,18 +369,24 @@ def simulate_block(payload: dict) -> tuple[int, int] | WorkerFailure:
     from repro.dsl import load_assembly
     from repro.simulation.engine import MonteCarloSimulator
 
+    owned = _begin_worker_observation(payload)
     budget = worker_budget(payload.get("deadline"))
+    t0 = time.perf_counter()
     try:
         assembly = load_assembly(payload["assembly_json"])
         simulator = MonteCarloSimulator(
             assembly, seed=payload["seed"], validate=False, budget=budget
         )
-        result = simulator.estimate_pfail(
+        estimate = simulator.estimate_pfail(
             payload["service"], payload["trials"], **payload["actuals"]
         )
-        return result.trials, result.failures
+        result: tuple[int, int] | WorkerFailure = (
+            estimate.trials, estimate.failures
+        )
     except ReproError as exc:
-        return WorkerFailure.from_error(exc)
+        result = WorkerFailure.from_error(exc)
+    obs.observe("batch.entry.seconds", time.perf_counter() - t0)
+    return _ship_worker_observation(result, owned)
 
 
 def fuzz_block(payload: dict) -> list:
@@ -302,8 +400,10 @@ def fuzz_block(payload: dict) -> list:
     """
     from repro.robustness.harness import run_fuzz_case
 
+    owned = _begin_worker_observation(payload)
     results = []
     for index, mutation in payload["cases"]:
+        t0 = time.perf_counter()
         results.append(
             run_fuzz_case(
                 index,
@@ -315,4 +415,5 @@ def fuzz_block(payload: dict) -> list:
                 deadline=payload["deadline"],
             )
         )
-    return results
+        obs.observe("batch.entry.seconds", time.perf_counter() - t0)
+    return _ship_worker_observation(results, owned)

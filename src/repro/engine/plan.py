@@ -35,6 +35,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+from repro import observability as obs
 from repro.engine.fingerprint import canonical_json, service_fingerprint
 from repro.errors import CyclicAssemblyError, EvaluationError, SymbolicError
 from repro.model.assembly import Assembly
@@ -71,6 +72,9 @@ def _charge_compilation() -> None:
     global _compilations
     with _counter_lock:
         _compilations += 1
+    # mirrored onto the metrics registry (no-op unless collection is on);
+    # the module counter stays the in-process compatibility surface
+    obs.count("plan.compilations")
 
 
 class EvaluationPlan:
@@ -275,37 +279,42 @@ def compile_plan(
 
     _charge_compilation()
 
-    if backend in ("auto", "symbolic"):
-        try:
-            expression = SymbolicEvaluator(
-                assembly,
-                symbolic_attributes=symbolic_attributes,
-                budget=budget,
-            ).pfail_expression(name)
-        except (CyclicAssemblyError, SymbolicError):
-            if backend == "symbolic":
-                raise
-        else:
-            return EvaluationPlan(
-                name,
-                fingerprint,
-                "symbolic",
-                svc.formal_parameters,
-                expression=expression,
-                symbolic_attributes=symbolic_attributes,
-                solver=solver,
-            )
+    with obs.span("plan.compile", service=name, requested=backend) as sp:
+        if backend in ("auto", "symbolic"):
+            try:
+                expression = SymbolicEvaluator(
+                    assembly,
+                    symbolic_attributes=symbolic_attributes,
+                    budget=budget,
+                ).pfail_expression(name)
+            except (CyclicAssemblyError, SymbolicError):
+                if backend == "symbolic":
+                    raise
+            else:
+                sp.set_tag(backend="symbolic")
+                obs.count("plan.compiled.symbolic")
+                return EvaluationPlan(
+                    name,
+                    fingerprint,
+                    "symbolic",
+                    svc.formal_parameters,
+                    expression=expression,
+                    symbolic_attributes=symbolic_attributes,
+                    solver=solver,
+                )
 
-    if symbolic_attributes:
-        raise EvaluationError(
-            "symbolic_attributes requires the symbolic backend; the robust "
-            "skeleton binds attributes numerically"
+        if symbolic_attributes:
+            raise EvaluationError(
+                "symbolic_attributes requires the symbolic backend; the robust "
+                "skeleton binds attributes numerically"
+            )
+        sp.set_tag(backend="robust")
+        obs.count("plan.compiled.robust")
+        return EvaluationPlan(
+            name,
+            fingerprint,
+            "robust",
+            svc.formal_parameters,
+            assembly_json=canonical_json(assembly),
+            solver=solver,
         )
-    return EvaluationPlan(
-        name,
-        fingerprint,
-        "robust",
-        svc.formal_parameters,
-        assembly_json=canonical_json(assembly),
-        solver=solver,
-    )

@@ -25,6 +25,42 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+def error_chain(error: BaseException) -> tuple[str, ...]:
+    """The ``"Type: message"`` rendering of an exception and its causes.
+
+    Walks ``__cause__`` first (explicit ``raise ... from``), then implicit
+    ``__context__``, skipping suppressed contexts — the same order a
+    traceback would print.  Cycles are guarded, so a pathological
+    self-referencing chain terminates.
+    """
+    chain: list[str] = []
+    seen: set[int] = set()
+    current: BaseException | None = error
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        chain.append(f"{type(current).__name__}: {current}")
+        if current.__cause__ is not None:
+            current = current.__cause__
+        elif not current.__suppress_context__:
+            current = current.__context__
+        else:
+            current = None
+    return tuple(chain)
+
+
+def format_error_chain(error: BaseException) -> str:
+    """One line: ``"Type: msg (caused by Type2: msg2; caused by ...)"``.
+
+    The full cause chain of a nested failure, flattened for transport
+    through string-only channels (fuzz-case records, worker-failure
+    messages) — so an isolation boundary never swallows the root cause.
+    """
+    chain = error_chain(error)
+    if len(chain) <= 1:
+        return chain[0] if chain else ""
+    return chain[0] + " (caused by " + "; caused by ".join(chain[1:]) + ")"
+
+
 # ---------------------------------------------------------------------------
 # symbolic layer
 # ---------------------------------------------------------------------------

@@ -52,6 +52,7 @@ import warnings
 
 import numpy as np
 
+from repro import observability as obs
 from repro.caching import CacheStats, LRUCache
 from repro.errors import EvaluationError
 
@@ -173,6 +174,9 @@ def _charge(counter: str) -> None:
             _plans += 1
         else:
             _factorizations += 1
+    # mirrored onto the metrics registry (no-op unless collection is on);
+    # the module counters above stay the in-process compatibility surface
+    obs.count(f"solver.{counter}")
 
 
 # ---------------------------------------------------------------------------
@@ -218,10 +222,12 @@ def _inverse_norm_estimate(fact: "Factorization") -> float:
         return 0.0
     if n <= 4:
         # exact at trivial size: solve the identity and read the norm
+        obs.count("solver.condition.exact")
         inverse = fact.solve(np.eye(n))
         if not np.all(np.isfinite(inverse)):
             return float("inf")
         return float(np.abs(inverse).sum(axis=0).max())
+    obs.count("solver.condition.estimated")
     if _HAVE_SCIPY:
         operator = _scipy_sparse_linalg.LinearOperator(
             (n, n),
@@ -350,6 +356,7 @@ class _DenseFactorization(Factorization):
     def condition_estimate(self) -> float:
         if self._condition is None and self.n <= EXACT_COND_SIZE:
             # exact at small size — bit-compatible with the historical guard
+            obs.count("solver.condition.exact")
             try:
                 self._condition = float(np.linalg.cond(self._system, 1))
             except np.linalg.LinAlgError:  # pragma: no cover - defensive
@@ -493,7 +500,7 @@ def default_solver_cache() -> LRUCache:
     global _default_cache
     with _default_cache_lock:
         if _default_cache is None:
-            _default_cache = LRUCache(max_size=256)
+            _default_cache = LRUCache(max_size=256, name="solver")
         return _default_cache
 
 
@@ -616,6 +623,7 @@ def factorize_chain(matrix: np.ndarray, plan: ChainSolvePlan) -> Factorization:
     Raises :class:`SingularSystemError` when the system is exactly
     singular (the caller decides what that means).
     """
+    obs.count(f"solver.backend.{plan.backend}")
     transient = plan.transient
     m = transient.size
     if plan.backend == "dense":

@@ -1,0 +1,150 @@
+"""Profiling hooks: pluggable observers of the span stream.
+
+A :class:`Hook` sees every span start and end, which is enough to build any
+profiling view without touching the tracer: the three shippable sinks are
+
+- :class:`InMemorySink` — collects finished spans for programmatic
+  inspection (what the property tests assert balance over);
+- :class:`JsonlSink` — appends one JSON object per finished span to a
+  file (the ``--trace PATH`` CLI flag);
+- :class:`SummarySink` — aggregates wall/CPU totals per span name and
+  renders the ``--metrics summary`` profile table.
+
+Hooks must never raise into the instrumented path — the tracer calls them
+inline — so sinks that touch the filesystem swallow ``OSError`` and record
+it on themselves instead.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Protocol, runtime_checkable
+
+from repro.observability.tracing import Span
+
+__all__ = ["Hook", "InMemorySink", "JsonlSink", "SummarySink"]
+
+
+@runtime_checkable
+class Hook(Protocol):
+    """The span-observer protocol; both methods are required."""
+
+    def on_span_start(self, span: Span) -> None: ...
+
+    def on_span_end(self, span: Span) -> None: ...
+
+
+class InMemorySink:
+    """Collect finished spans in a list (open spans are counted only)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.started = 0
+
+    def on_span_start(self, span: Span) -> None:
+        self.started += 1
+
+    def on_span_end(self, span: Span) -> None:
+        self.spans.append(span)
+
+    @property
+    def open_spans(self) -> int:
+        """Spans started but not yet finished (0 when balanced)."""
+        return self.started - len(self.spans)
+
+
+class JsonlSink:
+    """Append one JSON line per finished span to ``path``.
+
+    The file is opened lazily on the first span and must be released with
+    :meth:`close` (the CLI does so in a ``finally``).  I/O failures are
+    recorded in :attr:`write_errors` instead of raised — tracing must not
+    take down the evaluation it observes.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self.write_errors = 0
+        self._handle = None
+
+    def on_span_start(self, span: Span) -> None:
+        pass
+
+    def on_span_end(self, span: Span) -> None:
+        try:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        except OSError:
+            self.write_errors += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                self.write_errors += 1
+            self._handle = None
+
+
+class SummarySink:
+    """Aggregate spans by name into a profile table.
+
+    Per name: call count, total/max wall seconds, total CPU seconds, and
+    error count.  :meth:`render` produces the aligned text table the CLI
+    prints for ``--metrics summary``.
+    """
+
+    def __init__(self) -> None:
+        self.rows: dict[str, dict[str, float]] = {}
+
+    def on_span_start(self, span: Span) -> None:
+        pass
+
+    def on_span_end(self, span: Span) -> None:
+        row = self.rows.setdefault(
+            span.name,
+            {"count": 0, "wall": 0.0, "wall_max": 0.0, "cpu": 0.0, "errors": 0},
+        )
+        row["count"] += 1
+        row["wall"] += span.wall
+        row["wall_max"] = max(row["wall_max"], span.wall)
+        row["cpu"] += span.cpu
+        if span.status == "error":
+            row["errors"] += 1
+
+    def merge_records(self, records: list[dict]) -> None:
+        """Fold exported span dicts (e.g. from a worker) into the table."""
+        for record in records:
+            row = self.rows.setdefault(
+                record.get("name", "?"),
+                {"count": 0, "wall": 0.0, "wall_max": 0.0, "cpu": 0.0,
+                 "errors": 0},
+            )
+            row["count"] += 1
+            row["wall"] += float(record.get("wall", 0.0))
+            row["wall_max"] = max(
+                row["wall_max"], float(record.get("wall", 0.0))
+            )
+            row["cpu"] += float(record.get("cpu", 0.0))
+            if record.get("status") == "error":
+                row["errors"] += 1
+
+    def render(self) -> str:
+        """The profile table, widest spans first."""
+        if not self.rows:
+            return "profile: no spans recorded"
+        lines = [
+            f"{'span':32s} {'count':>7s} {'wall(s)':>10s} {'max(s)':>10s} "
+            f"{'cpu(s)':>10s} {'errors':>6s}"
+        ]
+        ranked = sorted(
+            self.rows.items(), key=lambda kv: kv[1]["wall"], reverse=True
+        )
+        for name, row in ranked:
+            lines.append(
+                f"{name:32s} {int(row['count']):7d} {row['wall']:10.4f} "
+                f"{row['wall_max']:10.4f} {row['cpu']:10.4f} "
+                f"{int(row['errors']):6d}"
+            )
+        return "\n".join(lines)

@@ -23,7 +23,8 @@ import math
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro import observability as obs
+from repro.errors import ReproError, format_error_chain
 from repro.model.assembly import Assembly
 from repro.model.parameters import FiniteDomain, IntegerDomain, RealDomain
 from repro.model.service import CompositeService
@@ -184,14 +185,16 @@ def run_fuzz_case(
         )
         result = evaluator.evaluate(service, **actuals)
     except ReproError as exc:
+        # format_error_chain keeps nested causes (raise ... from ...) in the
+        # string-only case record instead of flattening to the outer message
         return FuzzCase(
             index, mutation.operator, mutation.detail, TYPED_ERROR,
-            error=f"{type(exc).__name__}: {exc}",
+            error=format_error_chain(exc),
         )
     except Exception as exc:  # the contract violation we hunt
         return FuzzCase(
             index, mutation.operator, mutation.detail, CRASH,
-            error=f"{type(exc).__name__}: {exc}",
+            error=format_error_chain(exc),
         )
     if not (
         isinstance(result.pfail, float)
@@ -274,17 +277,27 @@ class FuzzHarness:
         report = FuzzReport()
         mutations = list(enumerate(self.mutator.generate(count)))
         jobs = resolve_jobs(jobs)
-        if jobs > 1 and len(mutations) > 1:
-            report.cases = self._run_parallel(mutations, jobs)
-        else:
-            report.cases = [
-                self.run_case(index, mutation) for index, mutation in mutations
-            ]
+        with obs.span("fuzz.run", cases=len(mutations), jobs=jobs) as sp:
+            if jobs > 1 and len(mutations) > 1:
+                report.cases = self._run_parallel(mutations, jobs)
+            else:
+                report.cases = [
+                    self.run_case(index, mutation)
+                    for index, mutation in mutations
+                ]
+            for case in report.cases:
+                obs.count(f"fuzz.case.{case.status}")
+            sp.set_tag(violations=len(report.violations))
         report.elapsed = time.monotonic() - started
         return report
 
     def _run_parallel(self, mutations: list, jobs: int) -> list[FuzzCase]:
-        from repro.engine.parallel import fuzz_block, make_executor, split_evenly
+        from repro.engine.parallel import (
+            fuzz_block,
+            make_executor,
+            split_evenly,
+            unpack_worker_payload,
+        )
 
         executor = make_executor(jobs, "process")
         cases: list[FuzzCase] = []
@@ -299,10 +312,12 @@ class FuzzHarness:
                         "seed": self.seed,
                         "trials": self.trials,
                         "deadline": self.deadline,
+                        "observe": obs.enabled(),
+                        "dispatched_at": time.time(),
                     },
                 )
                 for shard in split_evenly(mutations, jobs)
             ]
             for future in futures:
-                cases.extend(future.result())
+                cases.extend(unpack_worker_payload(future.result()))
         return sorted(cases, key=lambda case: case.index)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import observability as obs
 from repro.errors import BudgetExceededError
 
 __all__ = ["EvaluationBudget"]
@@ -114,22 +115,28 @@ class EvaluationBudget:
             return
         self.start()
         elapsed = self.elapsed()
+        obs.gauge("budget.deadline_consumed", elapsed / self.deadline
+                  if self.deadline else 1.0)
         if elapsed >= self.deadline:
+            obs.count("budget.exhausted.deadline")
             raise BudgetExceededError("deadline", self.deadline, elapsed, what)
 
     def check_states(self, count: int, what: str = "") -> None:
         """Gate an absorbing-chain solve on ``count`` transient states."""
         if self.max_states is not None and count > self.max_states:
+            obs.count("budget.exhausted.states")
             raise BudgetExceededError("states", self.max_states, count, what)
 
     def check_depth(self, depth: int, what: str = "") -> None:
         """Gate recursive descent at composition depth ``depth``."""
         if self.max_depth is not None and depth > self.max_depth:
+            obs.count("budget.exhausted.depth")
             raise BudgetExceededError("depth", self.max_depth, depth, what)
 
     def check_sweeps(self, sweep: int, what: str = "") -> None:
         """Gate fixed-point sweep number ``sweep`` (1-based)."""
         if self.max_sweeps is not None and sweep > self.max_sweeps:
+            obs.count("budget.exhausted.sweeps")
             raise BudgetExceededError("sweeps", self.max_sweeps, sweep, what)
 
     def charge_trials(self, count: int, what: str = "") -> None:
@@ -137,10 +144,12 @@ class EvaluationBudget:
         if self.max_trials is not None and (
             self._trials_used + count > self.max_trials
         ):
+            obs.count("budget.exhausted.trials")
             raise BudgetExceededError(
                 "trials", self.max_trials, self._trials_used + count, what
             )
         self._trials_used += count
+        obs.gauge("budget.trials_used", self._trials_used)
 
     def effective_sweeps(self, default: int) -> int:
         """The sweep cap to use given an evaluator default."""

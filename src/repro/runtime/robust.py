@@ -28,6 +28,7 @@ from __future__ import annotations
 import time
 from collections.abc import Sequence
 
+from repro import observability as obs
 from repro.errors import (
     AllTiersFailedError,
     BudgetExceededError,
@@ -215,40 +216,63 @@ class RobustEvaluator:
             "fixed-point": self._tier_fixed_point,
             "monte-carlo": self._tier_monte_carlo,
         }
-        for tier in self.tiers:
-            self.budget.check_deadline(f"{tier} tier")
-            tier_started = time.monotonic()
-            try:
-                result = runners[tier](name, actuals)
-            except BudgetExceededError as exc:
-                if exc.resource == "deadline":
-                    raise  # no lower tier can beat an expired clock
-                diagnostics.append(
-                    TierDiagnostic(tier, exc, time.monotonic() - tier_started)
+        obs.count("robust.evaluations")
+        with obs.span("robust.evaluate", service=name) as chain_span:
+            for tier in self.tiers:
+                self.budget.check_deadline(f"{tier} tier")
+                tier_started = time.monotonic()
+                with obs.span("robust.tier", tier=tier) as tier_span:
+                    try:
+                        result = runners[tier](name, actuals)
+                    except BudgetExceededError as exc:
+                        tier_span.set_tag(outcome=type(exc).__name__)
+                        obs.count(f"robust.tier.{tier}.failed")
+                        if exc.resource == "deadline":
+                            raise  # no lower tier can beat an expired clock
+                        diagnostics.append(
+                            TierDiagnostic(
+                                tier, exc, time.monotonic() - tier_started
+                            )
+                        )
+                        continue
+                    except ReproError as exc:
+                        tier_span.set_tag(outcome=type(exc).__name__)
+                        obs.count(f"robust.tier.{tier}.failed")
+                        diagnostics.append(
+                            TierDiagnostic(
+                                tier, exc, time.monotonic() - tier_started
+                            )
+                        )
+                        continue
+                    except Exception as exc:
+                        # The contract: the chain never leaks an untyped
+                        # exception.
+                        tier_span.set_tag(outcome=type(exc).__name__)
+                        obs.count(f"robust.tier.{tier}.failed")
+                        wrapped = EvaluationError(
+                            f"{tier} tier crashed: {type(exc).__name__}: {exc}"
+                        )
+                        wrapped.__cause__ = exc
+                        diagnostics.append(
+                            TierDiagnostic(
+                                tier, wrapped, time.monotonic() - tier_started
+                            )
+                        )
+                        continue
+                    tier_span.set_tag(outcome="served")
+                pfail, interval, stderr, trials = result
+                obs.count(f"robust.tier.{tier}.served")
+                if diagnostics:
+                    obs.count("robust.degraded")
+                chain_span.set_tag(tier=tier, degraded=bool(diagnostics))
+                return EvaluationResult(
+                    name, dict(actuals), pfail, tier, tuple(diagnostics),
+                    confidence_interval=interval, standard_error=stderr,
+                    trials=trials, elapsed=time.monotonic() - started,
                 )
-                continue
-            except ReproError as exc:
-                diagnostics.append(
-                    TierDiagnostic(tier, exc, time.monotonic() - tier_started)
-                )
-                continue
-            except Exception as exc:
-                # The contract: the chain never leaks an untyped exception.
-                wrapped = EvaluationError(
-                    f"{tier} tier crashed: {type(exc).__name__}: {exc}"
-                )
-                wrapped.__cause__ = exc
-                diagnostics.append(
-                    TierDiagnostic(tier, wrapped, time.monotonic() - tier_started)
-                )
-                continue
-            pfail, interval, stderr, trials = result
-            return EvaluationResult(
-                name, dict(actuals), pfail, tier, tuple(diagnostics),
-                confidence_interval=interval, standard_error=stderr,
-                trials=trials, elapsed=time.monotonic() - started,
-            )
-        raise AllTiersFailedError(name, diagnostics)
+            obs.count("robust.all_tiers_failed")
+            chain_span.set_tag(outcome="all-tiers-failed")
+            raise AllTiersFailedError(name, diagnostics)
 
     def pfail(self, service: str | Service, **actuals: float) -> float:
         """``Pfail`` through the degradation chain."""

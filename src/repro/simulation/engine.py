@@ -31,10 +31,12 @@ for every scenario in the repository.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observability as obs
 from repro.errors import EvaluationError, ModelError
 from repro.model.assembly import Assembly
 from repro.model.flow import END, START
@@ -245,6 +247,7 @@ class MonteCarloSimulator:
             rebuild_error,
             remaining_deadline,
             simulate_block,
+            unpack_worker_payload,
         )
 
         name = service.name if isinstance(service, Service) else str(service)
@@ -266,12 +269,14 @@ class MonteCarloSimulator:
                         "trials": size,
                         "seed": seed,
                         "deadline": remaining_deadline(self.budget),
+                        "observe": obs.enabled(),
+                        "dispatched_at": time.time(),
                     },
                 )
                 for size, seed in zip(sizes, seeds)
             ]
             for future in futures:
-                outcome = future.result()
+                outcome = unpack_worker_payload(future.result())
                 if isinstance(outcome, WorkerFailure):
                     raise rebuild_error(outcome)
                 block_trials, block_failures = outcome

@@ -483,7 +483,7 @@ class KernelCache:
     """
 
     def __init__(self, max_size: int | None = 256):
-        self._lru = LRUCache(max_size)
+        self._lru = LRUCache(max_size, name="kernel")
 
     @property
     def stats(self) -> CacheStats:

@@ -1,0 +1,221 @@
+"""Property tests for the observability invariants.
+
+Three invariants must hold for *any* instrumented execution, including
+ones that end in typed errors, fault-injected models, and failing worker
+payloads:
+
+- **span balance** — every span that starts also finishes, exactly once,
+  and no span is left open when the work unit returns;
+- **parents outlive children** — a parent span finishes after all of its
+  children (finish order is child-first), so the trace always forms a
+  well-nested tree;
+- **counter monotonicity** — registry counters never decrease, whatever
+  sequence of operations (including worker merges) runs.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import observability as obs
+from repro.dsl import assembly_to_dict
+from repro.errors import ReproError
+from repro.observability import InMemorySink, MetricsRegistry, Tracer
+from repro.robustness import OPERATOR_NAMES, ModelMutator, default_target
+from repro.robustness.harness import run_fuzz_case
+from repro.runtime import EvaluationBudget, RobustEvaluator
+from repro.scenarios import local_assembly
+
+BASE = assembly_to_dict(local_assembly())
+SERVICE, ACTUALS = default_target(local_assembly())
+
+
+def _assert_balanced(sink: InMemorySink, tracer: Tracer) -> None:
+    """Span balance + well-nestedness over a finished tracer."""
+    assert sink.open_spans == 0
+    assert tracer.current() is None
+    finish_position = {s.span_id: i for i, s in enumerate(tracer.finished)}
+    assert len(finish_position) == len(tracer.finished)  # one end per start
+    for span in tracer.finished:
+        assert span.status in ("ok", "error")
+        assert span.wall >= 0.0 and math.isfinite(span.wall)
+        if span.parent_id is not None and span.parent_id in finish_position:
+            # children finish before (= are outlived by) their parents
+            assert finish_position[span.span_id] < finish_position[span.parent_id]
+
+
+# -- synthetic span programs ------------------------------------------------
+
+
+@st.composite
+def span_programs(draw):
+    """A random tree of nested spans, some of which raise."""
+    return draw(
+        st.recursive(
+            st.booleans(),  # leaf: raise here?
+            lambda children: st.lists(children, min_size=1, max_size=4),
+            max_leaves=12,
+        )
+    )
+
+
+def _run_program(tracer: Tracer, node, depth=0) -> None:
+    if isinstance(node, bool):
+        with tracer.span(f"leaf.{depth}"):
+            if node:
+                raise ValueError("injected leaf failure")
+        return
+    with tracer.span(f"node.{depth}"):
+        for child in node:
+            try:
+                _run_program(tracer, child, depth + 1)
+            except ValueError:
+                pass  # swallowed mid-tree: outer spans must still close
+
+
+class TestSpanBalance:
+    @given(program=span_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_any_span_tree_is_balanced(self, program):
+        sink = InMemorySink()
+        tracer = Tracer(hooks=[sink])
+        try:
+            _run_program(tracer, program)
+        except ValueError:
+            pass  # a root leaf may raise out of the whole program
+        _assert_balanced(sink, tracer)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        operator=st.sampled_from(OPERATOR_NAMES),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_balanced_under_fault_injection(self, seed, operator):
+        """Mutated models exercise every degradation/error path; the spans
+        those paths open must all close regardless of outcome."""
+        mutation = ModelMutator(BASE, seed=seed, operators=(operator,)).mutate()
+        obs.reset()
+        sink = InMemorySink()
+        obs.enable(hooks=[sink])
+        try:
+            case = run_fuzz_case(
+                0, mutation, service=SERVICE, actuals=ACTUALS,
+                seed=seed, trials=200, deadline=5.0,
+            )
+            assert case.status  # classification always lands on a bucket
+            _assert_balanced(sink, obs.tracer())
+        finally:
+            obs.reset()
+
+    @given(seed=st.integers(min_value=0, max_value=10**5))
+    @settings(max_examples=15, deadline=None)
+    def test_balanced_when_evaluation_raises(self, seed):
+        """A typed refusal (budget trip, bad model) must not leak spans."""
+        mutation = ModelMutator(BASE, seed=seed).mutate()
+        obs.reset()
+        sink = InMemorySink()
+        obs.enable(hooks=[sink])
+        try:
+            try:
+                assembly = mutation.build()
+                RobustEvaluator(
+                    assembly,
+                    budget=EvaluationBudget(deadline=0.0),  # expired at start
+                    trials=100, seed=seed,
+                ).evaluate(SERVICE, **ACTUALS)
+            except ReproError:
+                pass
+            _assert_balanced(sink, obs.tracer())
+        finally:
+            obs.reset()
+
+
+class TestWorkerPayloadInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10**5))
+    @settings(max_examples=10, deadline=None)
+    def test_crashing_worker_payload_ships_balanced_spans(self, seed):
+        """A fuzz block full of corrupt models (worker-side failures) still
+        ships a balanced span set and monotone counters."""
+        from repro.engine.parallel import fuzz_block, unpack_worker_payload
+
+        mutations = list(
+            enumerate(ModelMutator(BASE, seed=seed).generate(3))
+        )
+        obs.reset()  # worker processes start with observability disabled
+        wrapped = fuzz_block({
+            "cases": mutations,
+            "service": SERVICE,
+            "actuals": ACTUALS,
+            "seed": seed,
+            "trials": 100,
+            "deadline": 5.0,
+            "observe": True,
+            "dispatched_at": 0.0,
+        })
+        assert isinstance(wrapped, dict)
+        for record in wrapped["spans"]:
+            assert record["status"] in ("ok", "error")
+        for value in wrapped["metrics"]["counters"].values():
+            assert value >= 0
+
+        obs.enable()
+        sink = InMemorySink()
+        obs.enable(hooks=[sink])
+        try:
+            before = dict(obs.registry().snapshot()["counters"])
+            cases = unpack_worker_payload(wrapped)
+            assert len(cases) == 3
+            after = obs.registry().snapshot()["counters"]
+            for name, value in before.items():
+                assert after.get(name, 0) >= value  # merge never decreases
+            _assert_balanced(sink, obs.tracer())
+        finally:
+            obs.reset()
+
+
+class TestCounterMonotonicity:
+    @given(
+        amounts=st.lists(
+            st.integers(min_value=0, max_value=1_000), max_size=50
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_counter_equals_sum_and_never_decreases(self, amounts):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        seen = 0
+        for amount in amounts:
+            counter.inc(amount)
+            assert counter.value >= seen
+            seen = counter.value
+        assert counter.value == sum(amounts)
+
+    @given(
+        worker_counts=st.lists(
+            st.dictionaries(
+                st.sampled_from(["cache.plan.hits", "solver.plans",
+                                 "robust.degraded"]),
+                st.integers(min_value=0, max_value=100),
+                max_size=3,
+            ),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_stream_is_monotone(self, worker_counts):
+        parent = MetricsRegistry()
+        running: dict[str, int] = {}
+        for counters in worker_counts:
+            parent.merge({"counters": counters})
+            snap = parent.snapshot()["counters"]
+            for name, value in running.items():
+                assert snap.get(name, 0) >= value
+            running = dict(snap)
+        expected: dict[str, int] = {}
+        for counters in worker_counts:
+            for name, value in counters.items():
+                expected[name] = expected.get(name, 0) + value
+        assert parent.snapshot()["counters"] == {
+            k: v for k, v in expected.items()
+        }

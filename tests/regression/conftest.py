@@ -1,0 +1,15 @@
+"""Shared plumbing for the golden-value regression suite.
+
+The case definitions live in ``tools/update_goldens.py`` — the same
+structure both regenerates the goldens and drives these tests, so the two
+can never pin different cases.  This conftest makes that module importable
+from the test processes.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOLS_DIR = REPO_ROOT / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))

@@ -16,11 +16,14 @@ from repro.core import FixedPointEvaluator, ReliabilityEvaluator
 from repro.dsl import assembly_to_dict, dump_assembly
 from repro.dsl.loader import assembly_from_dict, load_assembly
 from repro.errors import (
+    EvaluationError,
     FixedPointDivergenceError,
     MarkovError,
     ModelError,
     NotAbsorbingError,
     ReproError,
+    error_chain,
+    format_error_chain,
 )
 from repro.scenarios import local_assembly, recursive_assembly
 
@@ -150,3 +153,131 @@ class TestNotAbsorbingPropagation:
                 budget=EvaluationBudget(deadline=5.0, max_trials=500),
                 trials=200,
             ).evaluate("search", elem=1, list=500, res=1)
+
+
+def _nested_error() -> EvaluationError:
+    """An EvaluationError with a two-deep explicit cause chain."""
+    try:
+        try:
+            raise KeyError("missing-state")
+        except KeyError as root:
+            raise MarkovError("chain rebuild failed") from root
+    except MarkovError as mid:
+        return_value = EvaluationError("evaluation failed")
+        return_value.__cause__ = mid
+        return return_value
+
+
+class TestErrorChainHelpers:
+    def test_chain_walks_causes_outermost_first(self):
+        chain = error_chain(_nested_error())
+        assert chain == (
+            "EvaluationError: evaluation failed",
+            "MarkovError: chain rebuild failed",
+            "KeyError: 'missing-state'",
+        )
+
+    def test_chain_follows_implicit_context(self):
+        try:
+            try:
+                raise ValueError("original")
+            except ValueError:
+                raise EvaluationError("while handling")  # implicit __context__
+        except EvaluationError as exc:
+            assert error_chain(exc) == (
+                "EvaluationError: while handling",
+                "ValueError: original",
+            )
+
+    def test_suppressed_context_is_skipped(self):
+        try:
+            try:
+                raise ValueError("hidden")
+            except ValueError:
+                raise EvaluationError("standalone") from None
+        except EvaluationError as exc:
+            assert error_chain(exc) == ("EvaluationError: standalone",)
+
+    def test_chain_terminates_on_cycles(self):
+        a = EvaluationError("a")
+        b = EvaluationError("b")
+        a.__cause__ = b
+        b.__cause__ = a
+        assert error_chain(a) == (
+            "EvaluationError: a", "EvaluationError: b"
+        )
+
+    def test_format_flattens_to_one_line(self):
+        assert format_error_chain(_nested_error()) == (
+            "EvaluationError: evaluation failed "
+            "(caused by MarkovError: chain rebuild failed; "
+            "caused by KeyError: 'missing-state')"
+        )
+
+    def test_format_single_error_has_no_suffix(self):
+        assert format_error_chain(EvaluationError("flat")) == (
+            "EvaluationError: flat"
+        )
+
+
+class TestCauseChainIsolationPaths:
+    """The error-isolation boundaries must propagate cause chains, not
+    swallow them (the pre-fix behaviour kept only the outermost message)."""
+
+    def test_fuzz_case_record_keeps_root_cause(self, monkeypatch):
+        """A nested failure inside a fuzz case lands in the case record
+        with its full cause chain."""
+        from repro.robustness import harness as harness_module
+        from repro.robustness.harness import run_fuzz_case
+        from repro.robustness.mutator import ModelMutator
+
+        mutation = ModelMutator(assembly_to_dict(local_assembly())).mutate()
+
+        def raising_evaluator(*args, **kwargs):
+            raise _nested_error()
+
+        monkeypatch.setattr(
+            harness_module, "RobustEvaluator", raising_evaluator
+        )
+        case = run_fuzz_case(
+            0, mutation, service="search",
+            actuals={"elem": 1.0, "list": 5.0, "res": 1.0},
+            seed=0, trials=100, deadline=5.0,
+        )
+        assert case.status == "typed-error"
+        assert "caused by MarkovError: chain rebuild failed" in case.error
+        assert "caused by KeyError: 'missing-state'" in case.error
+
+    def test_worker_failure_transports_cause_chain(self):
+        from repro.engine.parallel import WorkerFailure, rebuild_error
+
+        failure = WorkerFailure.from_error(_nested_error())
+        assert failure.cause_chain == (
+            "MarkovError: chain rebuild failed",
+            "KeyError: 'missing-state'",
+        )
+        rebuilt = rebuild_error(failure)
+        assert isinstance(rebuilt, EvaluationError)
+        notes = getattr(rebuilt, "__notes__", [])
+        assert "caused by MarkovError: chain rebuild failed" in notes
+        assert "caused by KeyError: 'missing-state'" in notes
+
+    def test_worker_failure_survives_pickling(self):
+        import pickle
+
+        from repro.engine.parallel import WorkerFailure, rebuild_error
+
+        failure = pickle.loads(
+            pickle.dumps(WorkerFailure.from_error(_nested_error()))
+        )
+        assert failure.cause_chain  # the chain crosses the boundary intact
+        rebuilt = rebuild_error(failure)
+        assert getattr(rebuilt, "__notes__", [])
+
+    def test_flat_error_round_trips_without_notes(self):
+        from repro.engine.parallel import WorkerFailure, rebuild_error
+
+        failure = WorkerFailure.from_error(EvaluationError("flat"))
+        assert failure.cause_chain == ()
+        rebuilt = rebuild_error(failure)
+        assert not getattr(rebuilt, "__notes__", [])

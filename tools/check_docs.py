@@ -33,6 +33,7 @@ PAGES = [
     "README.md",
     "docs/architecture.md",
     "docs/modeling_guide.md",
+    "docs/observability_guide.md",
     "docs/paper_mapping.md",
     "docs/performance_guide.md",
     "docs/robustness_guide.md",
@@ -41,6 +42,7 @@ PAGES = [
 # guides whose ``>>>`` examples are executable (kept fast on purpose)
 DOCTESTED = [
     "docs/architecture.md",
+    "docs/observability_guide.md",
     "docs/performance_guide.md",
 ]
 

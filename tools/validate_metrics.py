@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Validate a ``--metrics json:PATH`` document against the pinned schema.
+
+CI's metrics-smoke job runs an instrumented CLI command and then::
+
+    python tools/validate_metrics.py /tmp/metrics.json \
+        --expect-counter cache. --expect-counter solver.
+
+Validation is against ``tools/metrics_schema.json`` via a small built-in
+interpreter for the JSON-Schema subset that file uses (``type``,
+``required``, ``properties``, ``additionalProperties``, ``const``,
+``minimum``) — no third-party dependency, so the check runs anywhere the
+CLI runs.  ``--expect-counter PREFIX`` additionally requires at least one
+counter whose name starts with ``PREFIX`` and whose value is positive —
+the smoke test's proof that worker metrics actually aggregated.
+
+Exit status: 0 = valid, 1 = violations (listed on stderr), 2 = unreadable
+input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent / "metrics_schema.json"
+
+
+def _type_ok(value, expected: str) -> bool:
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "integer":
+        # bool is an int subclass but never a valid metric value
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "string":
+        return isinstance(value, str)
+    raise ValueError(f"unsupported schema type: {expected}")
+
+
+def check(value, schema: dict, path: str = "$") -> list[str]:
+    """Problems with ``value`` under ``schema`` (the subset we use)."""
+    problems: list[str] = []
+    if "const" in schema:
+        if value != schema["const"]:
+            problems.append(
+                f"{path}: expected {schema['const']!r}, got {value!r}"
+            )
+        return problems
+    expected = schema.get("type")
+    if expected is not None and not _type_ok(value, expected):
+        problems.append(
+            f"{path}: expected {expected}, got {type(value).__name__}"
+        )
+        return problems
+    if "minimum" in schema and value < schema["minimum"]:
+        problems.append(f"{path}: {value!r} < minimum {schema['minimum']!r}")
+    if expected == "object":
+        properties = schema.get("properties", {})
+        for name in schema.get("required", ()):
+            if name not in value:
+                problems.append(f"{path}: missing required key {name!r}")
+        extra = schema.get("additionalProperties")
+        for name, item in value.items():
+            if name in properties:
+                problems.extend(check(item, properties[name], f"{path}.{name}"))
+            elif isinstance(extra, dict):
+                problems.extend(check(item, extra, f"{path}.{name}"))
+            elif extra is False:
+                problems.append(f"{path}: unexpected key {name!r}")
+    return problems
+
+
+def validate_document(document, expect_counters=()) -> list[str]:
+    schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    problems = check(document, schema)
+    if problems:
+        return problems
+    counters = document["counters"]
+    for prefix in expect_counters:
+        if not any(
+            name.startswith(prefix) and value > 0
+            for name, value in counters.items()
+        ):
+            problems.append(
+                f"$.counters: no positive counter matching prefix {prefix!r}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="metrics JSON written by --metrics json:PATH")
+    parser.add_argument(
+        "--expect-counter", action="append", default=[], metavar="PREFIX",
+        help="require >=1 positive counter whose name starts with PREFIX "
+             "(repeatable)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        document = json.loads(Path(args.file).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_document(document, args.expect_counter)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        counters = len(document["counters"])
+        histograms = len(document["histograms"])
+        print(
+            f"{args.file}: valid {document['schema']} snapshot "
+            f"({counters} counters, {len(document['gauges'])} gauges, "
+            f"{histograms} histograms)"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
