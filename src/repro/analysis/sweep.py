@@ -153,6 +153,10 @@ def _parallel_numeric(
         split_evenly,
     )
 
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.engine.parallel import broken_pool_error
+
     executor = make_executor(jobs, "process")
     assembly_json = canonical_json(assembly)
     chunks = split_evenly(list(grid), jobs)
@@ -174,7 +178,17 @@ def _parallel_numeric(
             )
             for chunk in chunks
         ]
-        return _collect_chunks([f.result() for f in futures])
+        collected: list = []
+        try:
+            for future in futures:
+                collected.append(future.result())
+        except BrokenProcessPool as exc:
+            # grid indices whose chunk results were not collected yet
+            start = sum(len(chunk) for chunk in chunks[:len(collected)])
+            raise broken_pool_error(
+                "numeric sweep evaluation", range(start, len(grid)), exc
+            ) from exc
+        return _collect_chunks(collected)
 
 
 def sweep_parameter(

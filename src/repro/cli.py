@@ -60,6 +60,7 @@ from repro.errors import (
     NumericalInstabilityError,
     ReproError,
     SymbolicError,
+    WorkerCrashedError,
 )
 
 __all__ = ["main", "build_parser", "exit_code_for", "EXIT_CODES"]
@@ -68,6 +69,7 @@ __all__ = ["main", "build_parser", "exit_code_for", "EXIT_CODES"]
 EXIT_CODES: tuple[tuple[type[BaseException], int], ...] = (
     (NumericalInstabilityError, 7),
     (BudgetExceededError, 8),
+    (WorkerCrashedError, 11),
     (ModelError, 3),
     (SymbolicError, 4),
     (MarkovError, 5),
@@ -91,6 +93,8 @@ exit codes:
    8  budget exceeded — deadline/state/depth/sweep/trial limit hit
    9  fuzz contract violated — a mutated model crashed the engine
   10  other repro error
+  11  worker died — a pool process was killed (SIGKILL/OOM) mid-run;
+      rerun as a campaign (--store/--resume) to retry around it
 """
 
 
@@ -214,6 +218,51 @@ def build_parser() -> argparse.ArgumentParser:
             help="append one JSON line per finished span to PATH",
         )
 
+    def add_campaign(sub):
+        group = sub.add_argument_group(
+            "campaign mode",
+            "fault-tolerant sharded execution (repro.workunits): any of "
+            "these flags switches the command to a supervised campaign "
+            "with per-unit retry, quarantine and a resumable journal",
+        )
+        group.add_argument(
+            "--store", default=None, metavar="PATH",
+            help="journal every work-unit attempt to this JSONL store "
+                 "(an existing store for the same campaign is resumed)",
+        )
+        group.add_argument(
+            "--resume", default=None, metavar="STORE",
+            help="resume from an existing journal: completed units are "
+                 "skipped, output is bit-identical to an uninterrupted run",
+        )
+        group.add_argument(
+            "--unit-timeout", type=non_negative(float), default=None,
+            metavar="SECONDS",
+            help="hard per-unit wall-clock timeout; hung workers are "
+                 "killed and the unit retried",
+        )
+        group.add_argument(
+            "--retries", type=non_negative(int), default=2, metavar="N",
+            help="failed attempts a unit may retry before quarantine "
+                 "(default 2; capped exponential backoff between attempts)",
+        )
+        group.add_argument(
+            "--validate-redundancy", type=non_negative(int), default=0,
+            metavar="N",
+            help="re-execute every N-th completed unit and compare the "
+                 "payloads (0 = off; a nondeterminism tripwire)",
+        )
+        group.add_argument(
+            "--units", type=non_negative(int), default=None, metavar="N",
+            help="shard the campaign into N work units (default: "
+                 "kind-specific slice size, independent of --jobs)",
+        )
+        group.add_argument(
+            "--chaos", default=None, metavar="SPEC",
+            help="inject worker faults for testing, e.g. "
+                 "'crash@0,hang@1,corrupt@2x*' (ACTION@UNIT[xN|x*])",
+        )
+
     def add_budget(sub):
         sub.add_argument(
             "--deadline", type=non_negative(float), default=None,
@@ -294,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_budget(sub)
     add_compile(sub)
     add_solver(sub)
+    add_campaign(sub)
     add_observability(sub)
 
     sub = commands.add_parser("sweep", help="reliability vs one parameter")
@@ -312,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_budget(sub)
     add_compile(sub)
     add_solver(sub)
+    add_campaign(sub)
     add_observability(sub)
 
     sub = commands.add_parser(
@@ -373,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_set(sub)
     add_jobs(sub)
+    add_campaign(sub)
     add_observability(sub)
 
     sub = commands.add_parser(
@@ -482,7 +534,90 @@ def _kernel_stats_line(enabled: bool) -> str:
     )
 
 
+def _campaign_requested(args) -> bool:
+    """True when any campaign-mode flag was used on this invocation."""
+    return any((
+        getattr(args, "store", None) is not None,
+        getattr(args, "resume", None) is not None,
+        getattr(args, "unit_timeout", None) is not None,
+        getattr(args, "validate_redundancy", 0),
+        getattr(args, "units", None) is not None,
+        getattr(args, "chaos", None) is not None,
+    ))
+
+
+#: sentinel: "derive the campaign budget from this command's budget flags"
+_BUDGET_FROM_FLAGS = object()
+
+
+def _campaign_run(args, campaign, budget=_BUDGET_FROM_FLAGS):
+    """Run ``campaign`` under the supervisor with this command's flags.
+
+    Returns the :class:`~repro.workunits.CampaignReport`; the campaign
+    summary goes to stderr so stdout stays bit-identical across
+    interrupted-and-resumed runs.  Commands whose ``--deadline`` flag is
+    *not* a whole-run budget (fuzz: it is per-case) must pass ``budget``
+    explicitly.
+    """
+    from repro.workunits import run_campaign
+
+    if args.store is not None and args.resume is not None:
+        raise ReproError("--store and --resume are mutually exclusive "
+                         "(both name the journal; pick one)")
+    chaos = None
+    if args.chaos is not None:
+        from repro.robustness import ChaosPolicy
+
+        chaos = ChaosPolicy.parse(args.chaos)
+    report = run_campaign(
+        campaign,
+        args.store if args.store is not None else args.resume,
+        jobs=args.jobs,
+        unit_timeout=args.unit_timeout,
+        retries=args.retries,
+        validate_redundancy=args.validate_redundancy,
+        budget=_budget_from_args(args) if budget is _BUDGET_FROM_FLAGS
+        else budget,
+        chaos=chaos,
+    )
+    print(report.summary(), file=sys.stderr)
+    return report
+
+
+def _cmd_batch_campaign(args) -> int:
+    from repro.workunits import assemble_batch, batch_campaign
+
+    points = [_parse_bindings(group) for group in args.at] if args.at else None
+    campaign = batch_campaign(
+        [(path, _load(path)) for path in args.model],
+        args.service,
+        points,
+        solver=args.solver,
+        compile=not args.no_compile,
+        units=args.units,
+    )
+    report = _campaign_run(args, campaign)
+    entries = assemble_batch(campaign, report)
+    for entry in entries:
+        point = " ".join(
+            f"{k}={v:g}" for k, v in sorted(entry.actuals.items())
+        ) or "-"
+        if entry.ok:
+            print(
+                f"{entry.label:24s} {point:32s} "
+                f"Pfail = {entry.pfail:.9e}  [{entry.backend}]"
+            )
+        else:
+            print(
+                f"{entry.label:24s} {point:32s} "
+                f"error[{type(entry.error).__name__}]: {entry.error}"
+            )
+    return 0 if report.ok and all(e.ok for e in entries) else 1
+
+
 def _cmd_batch(args) -> int:
+    if _campaign_requested(args):
+        return _cmd_batch_campaign(args)
     from repro.engine import BatchEngine, BatchRequest
     from repro.robustness.harness import domain_representative
 
@@ -532,9 +667,31 @@ def _cmd_batch(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_sweep_campaign(args) -> int:
+    from repro.analysis import format_sweep
+    from repro.workunits import assemble_sweep, sweep_campaign
+
+    campaign = sweep_campaign(
+        _load(args.file),
+        args.service,
+        args.parameter,
+        [float(v) for v in np.linspace(args.start, args.stop, args.points)],
+        _parse_bindings(args.set),
+        method=args.method,
+        solver=args.solver,
+        compile=not args.no_compile,
+        units=args.units,
+    )
+    report = _campaign_run(args, campaign)
+    print(format_sweep(assemble_sweep(campaign, report)))
+    return 0 if report.ok else 1
+
+
 def _cmd_sweep(args) -> int:
     from repro.analysis import format_sweep, sweep_parameter
 
+    if _campaign_requested(args):
+        return _cmd_sweep_campaign(args)
     assembly = _load(args.file)
     grid = np.linspace(args.start, args.stop, args.points)
     sweep = sweep_parameter(
@@ -668,9 +825,37 @@ def _cmd_export_scenario(args) -> int:
     return 0
 
 
+def _cmd_fuzz_campaign(args) -> int:
+    from repro.workunits import assemble_fuzz, fuzz_campaign
+
+    bindings = _parse_bindings(args.set)
+    trials = 500 if args.smoke else args.trials
+    deadline = min(args.deadline, 5.0) if args.smoke else args.deadline
+    campaign = fuzz_campaign(
+        _load(args.file),
+        args.count,
+        seed=args.seed,
+        service=args.service,
+        actuals=bindings or None,
+        trials=trials,
+        deadline=deadline,
+        units=args.units,
+    )
+    # fuzz's --deadline is the per-case budget baked into each unit, not
+    # a whole-campaign wall clock — never hand it to the supervisor
+    report = _campaign_run(args, campaign, budget=None)
+    fuzz = assemble_fuzz(campaign, report)
+    print(fuzz.summary())
+    if not fuzz.ok:
+        return EXIT_FUZZ_VIOLATION
+    return 0 if report.ok else 1
+
+
 def _cmd_fuzz(args) -> int:
     from repro.robustness import FuzzHarness
 
+    if _campaign_requested(args):
+        return _cmd_fuzz_campaign(args)
     bindings = _parse_bindings(args.set)
     trials = 500 if args.smoke else args.trials
     deadline = min(args.deadline, 5.0) if args.smoke else args.deadline

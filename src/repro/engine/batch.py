@@ -33,12 +33,14 @@ from __future__ import annotations
 import time
 from collections.abc import Mapping, Sequence
 from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro import observability as obs
 from repro.engine.cache import PlanCache
 from repro.engine.parallel import (
     WorkerFailure,
+    broken_pool_error,
     evaluate_plan_points,
     make_executor,
     rebuild_error,
@@ -375,20 +377,29 @@ class BatchEngine:
                             chunk,
                         )
                 pending = set(futures)
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    if self.budget is not None:
-                        self.budget.check_deadline("batch collection")
-                    for future in done:
-                        plan, chunk = futures[future]
-                        outcomes = unpack_worker_payload(future.result())
-                        for index, outcome in zip(chunk, outcomes):
-                            entry = entries[index]
-                            entry.backend = plan.backend
-                            if isinstance(outcome, WorkerFailure):
-                                entry.error = rebuild_error(outcome)
-                            else:
-                                entry.pfail = float(outcome)
+                try:
+                    while pending:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                        if self.budget is not None:
+                            self.budget.check_deadline("batch collection")
+                        for future in done:
+                            plan, chunk = futures[future]
+                            outcomes = unpack_worker_payload(future.result())
+                            for index, outcome in zip(chunk, outcomes):
+                                entry = entries[index]
+                                entry.backend = plan.backend
+                                if isinstance(outcome, WorkerFailure):
+                                    entry.error = rebuild_error(outcome)
+                                else:
+                                    entry.pfail = float(outcome)
+                except BrokenProcessPool as exc:
+                    affected = [
+                        e.index for e in entries
+                        if e.pfail is None and e.error is None
+                    ]
+                    raise broken_pool_error(
+                        "batch evaluation", affected, exc
+                    ) from exc
         finally:
             for future in futures:
                 future.cancel()

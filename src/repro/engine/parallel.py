@@ -44,6 +44,7 @@ from repro.runtime.budget import EvaluationBudget
 
 __all__ = [
     "WorkerFailure",
+    "broken_pool_error",
     "evaluate_plan_points",
     "fuzz_block",
     "make_executor",
@@ -76,6 +77,12 @@ def split_evenly(items: list, parts: int) -> list[list]:
     return chunks
 
 
+#: Process-wide once-flag for the jobs-clamp warning.  Campaign layers call
+#: :func:`resolve_jobs` once per dispatch round; repeating the same warning
+#: every round is noise, so it fires once per process (tests reset it).
+_clamp_warning_emitted = False
+
+
 def resolve_jobs(jobs: int | None) -> int:
     """Normalize a ``--jobs`` request: ``None``/1 → serial, 0 → all cores.
 
@@ -83,25 +90,34 @@ def resolve_jobs(jobs: int | None) -> int:
     :class:`RuntimeWarning` — benchmarking showed an oversubscribed pool
     is strictly *slower* than a right-sized one on this workload (workers
     are CPU-bound; extra processes only add spawn and pickling overhead).
+    The warning is emitted once per process; every call still records the
+    resolved count on the ``engine.jobs.resolved`` gauge.
     """
+    global _clamp_warning_emitted
     if jobs is None:
+        obs.gauge("engine.jobs.resolved", 1)
         return 1
     jobs = int(jobs)
     if jobs < 0:
         raise EvaluationError(f"jobs must be >= 0, got {jobs}")
     cores = os.cpu_count() or 1
     if jobs == 0:
-        return cores
-    if jobs > cores:
-        warnings.warn(
-            f"requested jobs={jobs} exceeds the {cores} available core(s); "
-            f"clamping to {cores} (oversubscribed pools are slower, not "
-            f"faster, on CPU-bound evaluation)",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return cores
-    return jobs
+        resolved = cores
+    elif jobs > cores:
+        if not _clamp_warning_emitted:
+            _clamp_warning_emitted = True
+            warnings.warn(
+                f"requested jobs={jobs} exceeds the {cores} available "
+                f"core(s); clamping to {cores} (oversubscribed pools are "
+                f"slower, not faster, on CPU-bound evaluation)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        resolved = cores
+    else:
+        resolved = jobs
+    obs.gauge("engine.jobs.resolved", resolved)
+    return resolved
 
 
 def make_executor(jobs: int, mode: str = "process") -> Executor | None:
@@ -138,6 +154,27 @@ def worker_budget(deadline: float | None, **limits) -> EvaluationBudget | None:
     if deadline is None and not any(v is not None for v in limits.values()):
         return None
     return EvaluationBudget(deadline=deadline, **limits)
+
+
+def broken_pool_error(
+    what: str, indices, cause: BaseException
+) -> "ReproError":
+    """Map a raw :class:`BrokenProcessPool` into the typed taxonomy.
+
+    A worker killed hard (SIGKILL, OOM, native crash) breaks the whole
+    pool: every pending ``future.result()`` raises
+    ``concurrent.futures.process.BrokenProcessPool``, which is not a
+    :class:`ReproError` and would escape as a traceback.  Collection loops
+    catch it and raise the returned
+    :class:`~repro.errors.WorkerCrashedError` instead, carrying the
+    indices of the entries whose results were lost.
+    """
+    from repro.errors import WorkerCrashedError
+
+    obs.count("engine.worker_crashes")
+    error = WorkerCrashedError(what, indices)
+    error.__cause__ = cause
+    return error
 
 
 # ---------------------------------------------------------------------------

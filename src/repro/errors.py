@@ -253,6 +253,46 @@ class BudgetExceededError(ReproError):
         self.used = used
 
 
+class WorkerCrashedError(EvaluationError):
+    """A pool worker process died without reporting back.
+
+    Raised where a raw :class:`concurrent.futures.process.BrokenProcessPool`
+    would otherwise escape the engine: a worker was killed hard (SIGKILL,
+    the kernel OOM killer, a segfault in a native library) and its pending
+    results are gone.  ``indices`` carries the positions of the affected
+    work entries (batch entry indices, grid-point indices, fuzz case
+    indices, trial-block indices), so callers know exactly which results
+    are missing — the campaign layer (:mod:`repro.workunits`) uses the
+    same signal to retry or quarantine individual units instead of failing
+    the whole run.
+    """
+
+    def __init__(self, what: str = "", indices=()):
+        indices = tuple(sorted(int(i) for i in indices))
+        where = f" during {what}" if what else ""
+        detail = ""
+        if indices:
+            shown = ", ".join(str(i) for i in indices[:10])
+            if len(indices) > 10:
+                shown += f", ... ({len(indices)} total)"
+            detail = f"; affected entry indices: [{shown}]"
+        super().__init__(
+            f"worker process died unexpectedly{where} "
+            f"(killed by SIGKILL/OOM or crashed in native code){detail}"
+        )
+        self.indices = indices
+
+
+class CampaignStoreError(EvaluationError):
+    """A work-unit results store cannot serve the requested campaign.
+
+    Raised when ``--resume`` points at a journal written for a different
+    campaign (mismatched campaign fingerprint) or at a file that is not a
+    ``repro/workunits/1`` journal at all — resuming against the wrong
+    store would silently mix results from different models/configs.
+    """
+
+
 class AllTiersFailedError(EvaluationError):
     """Every tier of a :class:`repro.runtime.RobustEvaluator` degradation
     chain failed; ``diagnostics`` records each tier's typed error."""

@@ -7,11 +7,16 @@
 - :mod:`repro.robustness.harness` — :class:`FuzzHarness`, asserting that
   every corruption yields a correct answer or a typed
   :class:`~repro.errors.ReproError` — never a crash, never an
-  out-of-``[0, 1]`` probability.
+  out-of-``[0, 1]`` probability;
+- :mod:`repro.robustness.chaos` — :class:`ChaosPolicy`, process-level
+  fault injection (scheduled worker crashes, hangs, corrupted payloads)
+  used to test the :mod:`repro.workunits` campaign supervisor.
 
-Exposed on the command line as ``python -m repro fuzz``.
+Exposed on the command line as ``python -m repro fuzz`` (and ``--chaos``
+on campaign runs).
 """
 
+from repro.robustness.chaos import ChaosPolicy
 from repro.robustness.harness import (
     FuzzCase,
     FuzzHarness,
@@ -21,6 +26,7 @@ from repro.robustness.harness import (
 from repro.robustness.mutator import OPERATOR_NAMES, ModelMutator, Mutation
 
 __all__ = [
+    "ChaosPolicy",
     "FuzzCase",
     "FuzzHarness",
     "FuzzReport",

@@ -292,7 +292,10 @@ class FuzzHarness:
         return report
 
     def _run_parallel(self, mutations: list, jobs: int) -> list[FuzzCase]:
+        from concurrent.futures.process import BrokenProcessPool
+
         from repro.engine.parallel import (
+            broken_pool_error,
             fuzz_block,
             make_executor,
             split_evenly,
@@ -301,6 +304,7 @@ class FuzzHarness:
 
         executor = make_executor(jobs, "process")
         cases: list[FuzzCase] = []
+        shards = split_evenly(mutations, jobs)
         with executor:
             futures = [
                 executor.submit(
@@ -316,8 +320,20 @@ class FuzzHarness:
                         "dispatched_at": time.time(),
                     },
                 )
-                for shard in split_evenly(mutations, jobs)
+                for shard in shards
             ]
-            for future in futures:
-                cases.extend(unpack_worker_payload(future.result()))
+            collected = 0
+            try:
+                for future in futures:
+                    cases.extend(unpack_worker_payload(future.result()))
+                    collected += 1
+            except BrokenProcessPool as exc:
+                affected = [
+                    index
+                    for shard in shards[collected:]
+                    for index, _ in shard
+                ]
+                raise broken_pool_error(
+                    "fuzz campaign", affected, exc
+                ) from exc
         return sorted(cases, key=lambda case: case.index)

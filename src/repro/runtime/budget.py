@@ -102,6 +102,21 @@ class EvaluationBudget:
         """True when the deadline has passed."""
         return self.remaining_time() <= 0.0
 
+    def sub_deadline(self, cap: float | None = None) -> float | None:
+        """The deadline for one sub-task, given an optional per-task cap.
+
+        The campaign layer (:mod:`repro.workunits`) hands every work unit
+        its own wall-clock timeout; a unit must also never outlive the
+        campaign's overall budget.  Returns the smaller of ``cap`` and the
+        remaining budget time (floored at 0.0), or ``None`` when both are
+        unlimited.
+        """
+        remaining = self.remaining_time()
+        if remaining == float("inf"):
+            return cap
+        remaining = max(remaining, 0.0)
+        return remaining if cap is None else min(cap, remaining)
+
     @property
     def trials_used(self) -> int:
         """Monte Carlo trials charged so far."""

@@ -240,9 +240,12 @@ class MonteCarloSimulator:
     def _estimate_parallel(
         self, service: str | Service, trials: int, jobs: int, actuals: dict
     ) -> SimulationResult:
+        from concurrent.futures.process import BrokenProcessPool
+
         from repro.engine.fingerprint import canonical_json
         from repro.engine.parallel import (
             WorkerFailure,
+            broken_pool_error,
             make_executor,
             rebuild_error,
             remaining_deadline,
@@ -275,13 +278,20 @@ class MonteCarloSimulator:
                 )
                 for size, seed in zip(sizes, seeds)
             ]
-            for future in futures:
-                outcome = unpack_worker_payload(future.result())
-                if isinstance(outcome, WorkerFailure):
-                    raise rebuild_error(outcome)
-                block_trials, block_failures = outcome
-                total_trials += block_trials
-                total_failures += block_failures
+            try:
+                for block, future in enumerate(futures):
+                    outcome = unpack_worker_payload(future.result())
+                    if isinstance(outcome, WorkerFailure):
+                        raise rebuild_error(outcome)
+                    block_trials, block_failures = outcome
+                    total_trials += block_trials
+                    total_failures += block_failures
+            except BrokenProcessPool as exc:
+                raise broken_pool_error(
+                    "Monte Carlo trial blocks",
+                    range(block, len(futures)),
+                    exc,
+                ) from exc
         return SimulationResult(total_trials, total_failures)
 
     def compile(self, service: str | Service, **actuals: float):

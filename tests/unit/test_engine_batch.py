@@ -25,10 +25,40 @@ class TestHelpers:
             warnings.simplefilter("error")
             assert resolve_jobs(cores) == cores
         # oversubscription clamps to the core count and warns
+        from repro.engine import parallel
+
+        parallel._clamp_warning_emitted = False
         with pytest.warns(RuntimeWarning, match="clamping"):
             assert resolve_jobs(cores + 5) == cores
         with pytest.raises(EvaluationError):
             resolve_jobs(-2)
+
+    def test_resolve_jobs_warns_once_per_process(self):
+        import os
+        import warnings
+
+        from repro.engine import parallel
+
+        cores = os.cpu_count() or 1
+        parallel._clamp_warning_emitted = False
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            assert resolve_jobs(cores + 5) == cores
+        # the second oversubscribed call still clamps, silently
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs(cores + 9) == cores
+
+    def test_resolve_jobs_records_gauge(self):
+        from repro import observability as obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            resolve_jobs(1)
+            snapshot = obs.registry().snapshot()
+            assert snapshot["gauges"]["engine.jobs.resolved"] == 1
+        finally:
+            obs.reset()
 
     def test_split_evenly_contiguous_and_complete(self):
         items = list(range(10))

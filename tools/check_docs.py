@@ -44,6 +44,7 @@ DOCTESTED = [
     "docs/architecture.md",
     "docs/observability_guide.md",
     "docs/performance_guide.md",
+    "docs/robustness_guide.md",
 ]
 
 MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")

@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Validate a ``repro/workunits/1`` campaign journal (JSONL store).
+
+CI's chaos-smoke job runs a campaign with injected worker faults and
+then::
+
+    python tools/validate_store.py /tmp/campaign.jsonl \
+        --expect-complete --expect-attempt crashed --expect-attempt timeout
+
+Checks, with stdlib only (runs anywhere the CLI runs):
+
+- the first record is a campaign header with the pinned schema id;
+- every record is one-JSON-object-per-line of a known kind
+  (``campaign``/``attempt``/``quarantine``/``validation``) with the
+  required fields and a legal attempt status — at most ONE torn trailing
+  line is tolerated (the record a killed process was writing);
+- attempt numbers are positive, elapsed times non-negative, ``done``
+  attempts carry a result;
+- ``--expect-complete`` requires done + quarantined units to cover the
+  header's unit count (the campaign finished);
+- ``--expect-attempt STATUS`` requires at least one attempt with that
+  status (chaos-smoke's proof the injected fault actually fired);
+- ``--expect-no-quarantine`` / ``--expect-no-mismatch`` assert clean
+  completion.
+
+Exit status: 0 = valid, 1 = violations (listed on stderr), 2 =
+unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "repro/workunits/1"
+ATTEMPT_STATUSES = ("done", "failed", "timeout", "crashed", "corrupt")
+KINDS = ("campaign", "attempt", "quarantine", "validation")
+
+
+def validate_lines(lines: list[str]) -> tuple[list[str], dict]:
+    """Problems plus a summary dict for a journal's raw lines."""
+    problems: list[str] = []
+    summary = {
+        "header": None,
+        "attempts": 0,
+        "statuses": {},
+        "done_units": set(),
+        "quarantined": set(),
+        "mismatches": set(),
+        "torn": 0,
+    }
+    records: list[tuple[int, dict]] = []
+    for lineno, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except ValueError:
+            summary["torn"] += 1
+            if lineno != len(lines):
+                problems.append(
+                    f"line {lineno}: unparseable record in the middle of "
+                    f"the journal (torn lines are only legal at the tail)"
+                )
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: record is not a JSON object")
+            continue
+        records.append((lineno, record))
+
+    for position, (lineno, record) in enumerate(records):
+        kind = record.get("kind")
+        if kind not in KINDS:
+            problems.append(f"line {lineno}: unknown record kind {kind!r}")
+            continue
+        if kind == "campaign":
+            if position != 0:
+                problems.append(
+                    f"line {lineno}: campaign header must be the first record"
+                )
+            if record.get("schema") != SCHEMA:
+                problems.append(
+                    f"line {lineno}: schema {record.get('schema')!r} "
+                    f"(expected {SCHEMA!r})"
+                )
+            if not isinstance(record.get("campaign"), str):
+                problems.append(f"line {lineno}: missing campaign fingerprint")
+            if not isinstance(record.get("units"), int) or record["units"] < 1:
+                problems.append(f"line {lineno}: bad unit count")
+            if summary["header"] is None:
+                summary["header"] = record
+            continue
+        if summary["header"] is None:
+            problems.append(
+                f"line {lineno}: {kind} record before the campaign header"
+            )
+        unit = record.get("unit")
+        if not isinstance(unit, str) or not unit:
+            problems.append(f"line {lineno}: {kind} record without a unit id")
+            continue
+        if kind == "attempt":
+            summary["attempts"] += 1
+            status = record.get("status")
+            if status not in ATTEMPT_STATUSES:
+                problems.append(
+                    f"line {lineno}: unknown attempt status {status!r}"
+                )
+                continue
+            summary["statuses"][status] = summary["statuses"].get(status, 0) + 1
+            attempt = record.get("attempt")
+            if not isinstance(attempt, int) or attempt < 1:
+                problems.append(f"line {lineno}: bad attempt number {attempt!r}")
+            elapsed = record.get("elapsed")
+            if not isinstance(elapsed, (int, float)) or elapsed < 0:
+                problems.append(f"line {lineno}: bad elapsed {elapsed!r}")
+            if status == "done":
+                if "result" not in record:
+                    problems.append(
+                        f"line {lineno}: done attempt without a result payload"
+                    )
+                summary["done_units"].add(unit)
+        elif kind == "quarantine":
+            summary["quarantined"].add(unit)
+        elif kind == "validation":
+            if record.get("match") is False:
+                summary["mismatches"].add(unit)
+    if summary["header"] is None and records:
+        problems.append("journal has no campaign header")
+    return problems, summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="campaign journal written by --store")
+    parser.add_argument(
+        "--expect-complete", action="store_true",
+        help="require done + quarantined units to cover the campaign",
+    )
+    parser.add_argument(
+        "--expect-attempt", action="append", default=[], metavar="STATUS",
+        help="require >=1 attempt with this status (repeatable; proves an "
+             "injected fault fired)",
+    )
+    parser.add_argument(
+        "--expect-no-quarantine", action="store_true",
+        help="require zero quarantined units",
+    )
+    parser.add_argument(
+        "--expect-no-mismatch", action="store_true",
+        help="require zero redundant-validation mismatches",
+    )
+    args = parser.parse_args(argv)
+    try:
+        lines = Path(args.file).read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    if not lines:
+        print(f"{args.file}: empty journal", file=sys.stderr)
+        return 1
+    problems, summary = validate_lines(lines)
+    header = summary["header"]
+    if args.expect_complete and header is not None:
+        covered = len(summary["done_units"] | summary["quarantined"])
+        if covered < header.get("units", 0):
+            problems.append(
+                f"campaign incomplete: {covered}/{header.get('units')} "
+                f"units accounted for"
+            )
+    for status in args.expect_attempt:
+        if not summary["statuses"].get(status):
+            problems.append(f"no attempt with status {status!r} journaled")
+    if args.expect_no_quarantine and summary["quarantined"]:
+        problems.append(f"{len(summary['quarantined'])} unit(s) quarantined")
+    if args.expect_no_mismatch and summary["mismatches"]:
+        problems.append(
+            f"{len(summary['mismatches'])} validation mismatch(es)"
+        )
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        statuses = ", ".join(
+            f"{k}={v}" for k, v in sorted(summary["statuses"].items())
+        ) or "none"
+        print(
+            f"{args.file}: valid {SCHEMA} journal — "
+            f"{len(summary['done_units'])} done, "
+            f"{len(summary['quarantined'])} quarantined, "
+            f"{summary['attempts']} attempts ({statuses})"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
