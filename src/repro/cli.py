@@ -23,6 +23,7 @@ section 3.3".  This CLI is that engine over the ``repro/1`` JSON form:
     python -m repro simulate local.json search --trials 20000 --seed 7 \\
         --set elem=1 list=500 res=1 --jobs 2
     python -m repro fuzz local.json --count 200 --seed 7 --jobs 2
+    python -m repro serve --port 8349
 
 ``--jobs N`` fans the command's independent work units (batch points,
 sweep grid chunks, Monte-Carlo trial blocks, fuzz cases) across ``N``
@@ -449,6 +450,49 @@ def build_parser() -> argparse.ArgumentParser:
     add_set(sub)
 
     sub = commands.add_parser(
+        "serve",
+        help="run the reliability-as-a-service daemon: a long-running "
+             "HTTP server with persistent warm caches (plan, kernel, "
+             "solver, model), request coalescing and load shedding",
+    )
+    sub.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; 0.0.0.0 exposes the "
+             "daemon to the network)",
+    )
+    sub.add_argument(
+        "--port", type=non_negative(int), default=8349,
+        help="TCP port (default 8349; 0 picks an ephemeral port and "
+             "prints it in the banner)",
+    )
+    sub.add_argument(
+        "--max-inflight", type=non_negative(int), default=64, metavar="N",
+        help="concurrent evaluations admitted before shedding with 429 "
+             "(default 64)",
+    )
+    sub.add_argument(
+        "--max-body-bytes", type=non_negative(int),
+        default=8 * 1024 * 1024, metavar="BYTES",
+        help="largest accepted request body (default 8 MiB)",
+    )
+    sub.add_argument(
+        "--plan-cache-size", type=non_negative(int), default=256, metavar="N",
+        help="compiled evaluation plans kept warm (LRU; default 256)",
+    )
+    sub.add_argument(
+        "--model-cache-size", type=non_negative(int), default=64, metavar="N",
+        help="parsed model documents kept warm, keyed by content digest "
+             "(LRU; default 64)",
+    )
+    sub.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request log lines (the banner still prints; "
+             "all server output goes to stderr either way)",
+    )
+    add_budget(sub)
+    add_observability(sub)
+
+    sub = commands.add_parser(
         "export-scenario",
         help="write a built-in scenario assembly as repro/1 JSON",
     )
@@ -825,6 +869,42 @@ def _cmd_export_scenario(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro import observability as obs
+    from repro.engine.cache import PlanCache
+    from repro.server import EvaluationService, ReproServer
+
+    # the daemon always collects metrics so GET /metrics is live; the
+    # --metrics/--trace flags only control what is *emitted* on shutdown
+    # (handled by _finish_observation — on stderr/file, never stdout)
+    obs.enable()
+    limits = {
+        name: value
+        for name, value in {
+            "deadline": args.deadline,
+            "max_states": args.max_states,
+            "max_depth": args.max_depth,
+            "max_sweeps": args.max_sweeps,
+            "max_trials": args.max_trials,
+        }.items()
+        if value is not None
+    }
+    service = EvaluationService(
+        plan_cache=PlanCache(args.plan_cache_size or None),
+        model_cache_size=args.model_cache_size,
+        default_budget=limits,
+        max_inflight=args.max_inflight,
+    )
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        service=service,
+        max_body_bytes=args.max_body_bytes,
+        quiet=args.quiet,
+    )
+    return server.serve_forever()
+
+
 def _cmd_fuzz_campaign(args) -> int:
     from repro.workunits import assemble_fuzz, fuzz_campaign
 
@@ -945,6 +1025,7 @@ _COMMANDS = {
     "uncertainty": _cmd_uncertainty,
     "export-scenario": _cmd_export_scenario,
     "fuzz": _cmd_fuzz,
+    "serve": _cmd_serve,
 }
 
 

@@ -293,6 +293,53 @@ class CampaignStoreError(EvaluationError):
     """
 
 
+# ---------------------------------------------------------------------------
+# server layer
+# ---------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for :mod:`repro.server` errors (configuration problems,
+    request-shape violations, overload shedding)."""
+
+
+class RequestValidationError(ServerError):
+    """An HTTP request body does not match the endpoint's schema.
+
+    The server maps this to ``400 Bad Request`` — the same class of
+    failure the CLI reports as exit code 3 (malformed input document).
+    ``problems`` lists every violation found, one human-readable line
+    each, so clients can fix a whole payload in one round trip.
+    """
+
+    def __init__(self, endpoint: str, problems):
+        problems = tuple(problems)
+        shown = "; ".join(problems[:5])
+        if len(problems) > 5:
+            shown += f"; ... ({len(problems)} problems total)"
+        super().__init__(f"invalid request for {endpoint}: {shown}")
+        self.endpoint = endpoint
+        self.problems = problems
+
+
+class ServerOverloadedError(ServerError):
+    """The daemon is at its concurrent-request capacity.
+
+    Raised (and mapped to ``429 Too Many Requests``) when accepting one
+    more evaluation would exceed the server's ``max_inflight`` bound —
+    load shedding at admission, before any model parsing or compilation
+    is paid for the doomed request.
+    """
+
+    def __init__(self, inflight: int, limit: int):
+        super().__init__(
+            f"server at capacity: {inflight} requests in flight "
+            f"(limit {limit}); retry after the backlog drains"
+        )
+        self.inflight = inflight
+        self.limit = limit
+
+
 class AllTiersFailedError(EvaluationError):
     """Every tier of a :class:`repro.runtime.RobustEvaluator` degradation
     chain failed; ``diagnostics`` records each tier's typed error."""

@@ -25,6 +25,7 @@ a budget built up front does not burn its deadline while the model loads.
 from __future__ import annotations
 
 import time
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro import observability as obs
@@ -68,6 +69,35 @@ class EvaluationBudget:
             value = getattr(self, name)
             if value is not None and value < 0:
                 raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+    #: The limit names a request document may set (see :meth:`from_dict`).
+    LIMIT_NAMES = ("deadline", "max_states", "max_depth", "max_sweeps",
+                   "max_trials")
+
+    @classmethod
+    def from_dict(cls, data: "Mapping[str, float] | None") -> "EvaluationBudget | None":
+        """A budget from a plain mapping (the server's JSON ``budget`` field).
+
+        ``None`` or an empty mapping mean "no limits requested" and return
+        ``None`` — the caller's unlimited default.  Unknown keys raise
+        :class:`ValueError` (callers at trust boundaries should validate
+        the shape first and surface a typed request error instead).
+        """
+        if not data:
+            return None
+        unknown = sorted(set(data) - set(cls.LIMIT_NAMES))
+        if unknown:
+            raise ValueError(
+                f"unknown budget limit(s) {unknown!r}; "
+                f"expected a subset of {list(cls.LIMIT_NAMES)!r}"
+            )
+        limits = {name: data[name] for name in cls.LIMIT_NAMES if name in data}
+        for name in ("max_states", "max_depth", "max_sweeps", "max_trials"):
+            if name in limits:
+                limits[name] = int(limits[name])
+        if "deadline" in limits:
+            limits["deadline"] = float(limits["deadline"])
+        return cls(**limits)
 
     # -- lifecycle ---------------------------------------------------------
 

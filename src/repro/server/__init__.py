@@ -1,0 +1,61 @@
+"""``repro.server`` — reliability prediction as a long-running service.
+
+Every one-shot CLI invocation pays the full cold path: import, plan
+compilation, kernel compilation, solver factorization — and then throws
+the warm caches away.  This package keeps them alive for a process
+lifetime behind an HTTP surface (``python -m repro serve``), which is the
+paper's §5 "reliability prediction engine" finally shaped like the broker
+it was meant to serve: many callers, one warm engine.
+
+Layering (each module only reaches down):
+
+- :mod:`~repro.server.schema` — declarative request schemas + the
+  JSON-Schema-subset validator; also the source the generated
+  ``docs/api_reference.md`` is rendered from;
+- :mod:`~repro.server.coalesce` — one in-flight computation per
+  structural fingerprint (leader/follower);
+- :mod:`~repro.server.service` — the transport-agnostic evaluation core
+  over the warm plan/kernel/solver/model caches;
+- :mod:`~repro.server.app` — the stdlib ``ThreadingHTTPServer`` binding,
+  HTTP status taxonomy, and process lifecycle.
+
+Embedded use (also how the doctests and tests run it)::
+
+    from repro.server import ReproServer
+
+    server = ReproServer(port=0)       # ephemeral port
+    server.start()
+    ...                                # urllib / requests against server.url
+    server.stop()
+
+See ``docs/server_guide.md`` for the endpoint walkthrough and
+``docs/api_reference.md`` for the generated endpoint reference.
+"""
+
+from repro.server.app import HTTP_STATUS, ReproServer, http_status_for
+from repro.server.coalesce import Coalescer
+from repro.server.schema import (
+    BATCH_REQUEST,
+    ENDPOINTS,
+    EVALUATE_REQUEST,
+    SWEEP_REQUEST,
+    Endpoint,
+    schema_problems,
+    validate_request,
+)
+from repro.server.service import EvaluationService
+
+__all__ = [
+    "BATCH_REQUEST",
+    "Coalescer",
+    "ENDPOINTS",
+    "EVALUATE_REQUEST",
+    "Endpoint",
+    "EvaluationService",
+    "HTTP_STATUS",
+    "ReproServer",
+    "SWEEP_REQUEST",
+    "http_status_for",
+    "schema_problems",
+    "validate_request",
+]

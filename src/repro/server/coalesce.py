@@ -1,0 +1,106 @@
+"""Request coalescing: one computation per structural fingerprint in flight.
+
+The shared caches (:mod:`repro.caching`) deliberately run their factories
+*outside* the lock — two threads racing on the same key both compute and
+the first store wins.  That is the right call inside one batch, where
+duplicated work is rare and cheap; it is the wrong call for a daemon where
+a popular model can arrive on fifty connections in the same hundred
+milliseconds and each computation is a symbolic derivation plus a matrix
+factorization.
+
+:class:`Coalescer` closes that hole at the request layer: the first
+request for a key becomes the **leader** and runs the computation; every
+request for the same key that arrives while the leader is in flight
+becomes a **follower**, blocks on the leader's completion event, and
+returns the leader's result (or re-raises its typed error).  Keys are
+gone the moment the leader finishes, so coalescing never serves stale
+results — after completion, the warm caches make the recomputation cheap
+anyway.
+
+Leader/follower traffic is mirrored onto the metrics registry as
+``server.coalesce.leader`` / ``server.coalesce.follower`` (free while
+collection is disabled).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Hashable
+from typing import Any
+
+from repro import observability as obs
+
+__all__ = ["Coalescer"]
+
+
+class _Flight:
+    """One in-flight computation: completion event plus outcome slot."""
+
+    __slots__ = ("done", "result", "error", "followers")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class Coalescer:
+    """Deduplicate concurrent computations by key.
+
+    Thread-safe; the computation runs on the leader's thread with no lock
+    held, so distinct keys never serialize behind each other.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _Flight] = {}
+        self.leaders = 0
+        self.followers = 0
+
+    def waiting(self, key: Hashable) -> int:
+        """Followers currently blocked on ``key`` (0 when not in flight)."""
+        with self._lock:
+            flight = self._inflight.get(key)
+            return flight.followers if flight is not None else 0
+
+    def run(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """``(result, coalesced)`` for ``key``.
+
+        ``coalesced`` is ``False`` for the leader (this thread ran
+        ``compute``) and ``True`` for followers (the result was shared).
+        A leader's exception propagates to the leader *and* to every
+        follower of that flight.
+        """
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                leader = True
+                self.leaders += 1
+            else:
+                flight.followers += 1
+                leader = False
+                self.followers += 1
+
+        if leader:
+            obs.count("server.coalesce.leader")
+            try:
+                flight.result = compute()
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.done.set()
+            return flight.result, False
+
+        obs.count("server.coalesce.follower")
+        flight.done.wait()
+        if flight.error is not None:
+            raise flight.error
+        return flight.result, True

@@ -31,12 +31,14 @@ ROOT = Path(__file__).resolve().parent.parent
 # every shipped markdown page; new guides must be added here and to CI
 PAGES = [
     "README.md",
+    "docs/api_reference.md",
     "docs/architecture.md",
     "docs/modeling_guide.md",
     "docs/observability_guide.md",
     "docs/paper_mapping.md",
     "docs/performance_guide.md",
     "docs/robustness_guide.md",
+    "docs/server_guide.md",
 ]
 
 # guides whose ``>>>`` examples are executable (kept fast on purpose)
@@ -45,6 +47,7 @@ DOCTESTED = [
     "docs/observability_guide.md",
     "docs/performance_guide.md",
     "docs/robustness_guide.md",
+    "docs/server_guide.md",
 ]
 
 MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
