@@ -2,7 +2,12 @@
 reliability-driven service selection, and text reporting."""
 
 from repro.analysis.comparison import AssemblyComparison, compare_assemblies
-from repro.analysis.crossover import Crossover, bisect_crossover, find_crossovers
+from repro.analysis.crossover import (
+    Crossover,
+    bisect_crossover,
+    find_crossovers,
+    pfail_difference,
+)
 from repro.analysis.report import (
     format_comparison,
     format_sweep,
@@ -33,6 +38,7 @@ __all__ = [
     "format_comparison",
     "format_sweep",
     "format_table",
+    "pfail_difference",
     "sample_uncertainty",
     "select_assembly",
     "sparkline",

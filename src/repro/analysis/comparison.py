@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.crossover import Crossover, find_crossovers
+from repro.analysis.crossover import Crossover, find_crossovers, pfail_difference
 from repro.analysis.sweep import SweepResult, sweep_parameter
 from repro.errors import EvaluationError
 from repro.model.assembly import Assembly
@@ -82,12 +82,19 @@ def compare_assemblies(
     fixed: Mapping[str, float] | None = None,
     method: str = "symbolic",
     refine_crossovers: bool = True,
+    solver: str = "auto",
+    incremental: bool = True,
 ) -> AssemblyComparison:
     """Sweep ``service`` in both assemblies and locate ranking flips.
 
     Both assemblies must offer a service named ``service`` with the swept
     formal parameter; crossover refinement bisects the *numeric* evaluators
-    (domain checks off) between bracketing grid points.
+    (domain checks off) between bracketing grid points.  The bisection
+    cascade re-evaluates the same two chains at nearby points, so with
+    ``incremental`` (the default) refinement steps after the first are
+    served by low-rank updates of the cached base factorizations
+    (:mod:`repro.markov.updates`); ``solver`` picks their linear-solver
+    backend.
     """
     if assembly_a.name == assembly_b.name:
         raise EvaluationError(
@@ -99,15 +106,10 @@ def compare_assemblies(
 
     refine = None
     if refine_crossovers:
-        from repro.core.evaluator import ReliabilityEvaluator
-
-        eval_a = ReliabilityEvaluator(assembly_a, check_domains=False)
-        eval_b = ReliabilityEvaluator(assembly_b, check_domains=False)
-        fixed_map = dict(fixed or {})
-
-        def refine(x: float) -> float:
-            point = {**fixed_map, parameter: x}
-            return eval_a.pfail(service, **point) - eval_b.pfail(service, **point)
+        refine = pfail_difference(
+            assembly_a, assembly_b, service, parameter, fixed,
+            solver=solver, incremental=incremental,
+        )
 
     crossovers = find_crossovers(
         sweep_a.values, sweep_a.pfail, sweep_b.pfail, refine=refine

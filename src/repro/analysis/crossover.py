@@ -9,14 +9,14 @@ on caller-supplied continuous functions when available.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import EvaluationError
 
-__all__ = ["Crossover", "find_crossovers", "bisect_crossover"]
+__all__ = ["Crossover", "find_crossovers", "bisect_crossover", "pfail_difference"]
 
 
 @dataclass(frozen=True)
@@ -87,6 +87,44 @@ def find_crossovers(
             location = float(0.5 * (x[left + 1] + x[right - 1]))
         crossings.append(Crossover(location, sign_before=1 if d0 > 0 else -1))
     return crossings
+
+
+def pfail_difference(
+    assembly_a,
+    assembly_b,
+    service: str,
+    parameter: str,
+    fixed: Mapping[str, float] | None = None,
+    solver: str = "auto",
+    incremental: bool = True,
+) -> Callable[[float], float]:
+    """Continuous ``pfail_a(x) - pfail_b(x)`` suitable as the ``refine``
+    argument of :func:`find_crossovers`.
+
+    Builds one numeric evaluator per assembly (domain checks off — the
+    bisection probes non-grid points) and returns the difference of their
+    predictions as a function of the swept ``parameter``.  Bisection
+    evaluates the *same* two models at a cascade of nearby points, which
+    is exactly the shape the low-rank update path accelerates, so
+    ``incremental`` defaults to ``True``: each step after the first is
+    served by a Sherman-Morrison-Woodbury update of the cached base
+    factorization (:mod:`repro.markov.updates`) instead of a fresh one.
+    """
+    from repro.core.evaluator import ReliabilityEvaluator
+
+    eval_a = ReliabilityEvaluator(
+        assembly_a, check_domains=False, solver=solver, incremental=incremental
+    )
+    eval_b = ReliabilityEvaluator(
+        assembly_b, check_domains=False, solver=solver, incremental=incremental
+    )
+    fixed_map = dict(fixed or {})
+
+    def difference(x: float) -> float:
+        point = {**fixed_map, parameter: x}
+        return eval_a.pfail(service, **point) - eval_b.pfail(service, **point)
+
+    return difference
 
 
 def bisect_crossover(

@@ -143,7 +143,8 @@ def _parallel_symbolic(
 
 
 def _parallel_numeric(
-    assembly, service, parameter, grid, fixed, jobs, budget, solver="auto"
+    assembly, service, parameter, grid, fixed, jobs, budget, solver="auto",
+    incremental=False,
 ) -> np.ndarray:
     from repro.engine.fingerprint import canonical_json
     from repro.engine.parallel import (
@@ -172,6 +173,7 @@ def _parallel_numeric(
                     "fixed": dict(fixed),
                     "deadline": remaining_deadline(budget),
                     "solver": solver,
+                    "incremental": incremental,
                     "observe": obs.enabled(),
                     "dispatched_at": time.time(),
                 },
@@ -203,6 +205,7 @@ def sweep_parameter(
     budget: EvaluationBudget | None = None,
     compile: bool = True,
     solver: str = "auto",
+    incremental: bool = False,
 ) -> SweepResult:
     """Sweep one formal parameter of ``service`` across ``values``.
 
@@ -227,6 +230,10 @@ def sweep_parameter(
         solver: linear-solver backend for the numeric method's absorbing
             solves (``"auto"``, ``"dense"`` or ``"sparse"``; the symbolic
             method never solves numerically and ignores it).
+        incremental: serve consecutive numeric points through low-rank
+            (Sherman-Morrison-Woodbury) updates of the cached base
+            factorization instead of re-factoring per point
+            (:mod:`repro.markov.updates`); numeric method only.
     """
     from repro.engine.parallel import resolve_jobs
 
@@ -260,11 +267,12 @@ def sweep_parameter(
             if jobs > 1:
                 pfail = _parallel_numeric(
                     assembly, service, parameter, grid, fixed, jobs, budget,
-                    solver=solver,
+                    solver=solver, incremental=incremental,
                 )
             else:
                 evaluator = ReliabilityEvaluator(
-                    assembly, check_domains=False, budget=budget, solver=solver
+                    assembly, check_domains=False, budget=budget,
+                    solver=solver, incremental=incremental,
                 )
                 pfail = np.array(
                     [

@@ -199,6 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "(CSR + splu / triangular fast path; needs scipy)",
         )
 
+    def add_incremental(sub):
+        sub.add_argument(
+            "--incremental", action="store_true",
+            help="serve structurally identical re-solves through low-rank "
+                 "(Sherman-Morrison-Woodbury) updates of the cached base "
+                 "factorization instead of re-factoring per point "
+                 "(numeric solves only; needs scipy, silently off without)",
+        )
+
     def metrics_mode(text: str) -> str:
         if text in ("off", "summary") or text.startswith("json:"):
             return text
@@ -299,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_set(sub)
     add_budget(sub)
     add_solver(sub)
+    add_incremental(sub)
     sub.add_argument(
         "--report", action="store_true",
         help="include the per-state failure breakdown",
@@ -344,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_budget(sub)
     add_compile(sub)
     add_solver(sub)
+    add_incremental(sub)
     add_campaign(sub)
     add_observability(sub)
 
@@ -363,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_budget(sub)
     add_compile(sub)
     add_solver(sub)
+    add_incremental(sub)
     add_campaign(sub)
     add_observability(sub)
 
@@ -536,11 +548,17 @@ def _cmd_evaluate(args) -> int:
     if args.robust:
         from repro.runtime import RobustEvaluator
 
-        evaluator = RobustEvaluator(assembly, budget=budget, solver=args.solver)
+        evaluator = RobustEvaluator(
+            assembly, budget=budget, solver=args.solver,
+            incremental=args.incremental,
+        )
         print(evaluator.evaluate(args.service, **bindings))
         return 0
     cls = FixedPointEvaluator if args.fixed_point else ReliabilityEvaluator
-    evaluator = cls(assembly, budget=budget, solver=args.solver)
+    evaluator = cls(
+        assembly, budget=budget, solver=args.solver,
+        incremental=args.incremental,
+    )
     if args.report:
         print(evaluator.report(args.service, **bindings))
     else:
@@ -638,6 +656,7 @@ def _cmd_batch_campaign(args) -> int:
         points,
         solver=args.solver,
         compile=not args.no_compile,
+        incremental=args.incremental,
         units=args.units,
     )
     report = _campaign_run(args, campaign)
@@ -679,6 +698,7 @@ def _cmd_batch(args) -> int:
         budget=_budget_from_args(args),
         compile=not args.no_compile,
         solver=args.solver,
+        incremental=args.incremental,
     )
     models = [_load(path) for path in args.model]
     requests = [
@@ -724,6 +744,7 @@ def _cmd_sweep_campaign(args) -> int:
         method=args.method,
         solver=args.solver,
         compile=not args.no_compile,
+        incremental=args.incremental,
         units=args.units,
     )
     report = _campaign_run(args, campaign)
@@ -742,6 +763,7 @@ def _cmd_sweep(args) -> int:
         assembly, args.service, args.parameter, grid, _parse_bindings(args.set),
         method=args.method, jobs=args.jobs, budget=_budget_from_args(args),
         compile=not args.no_compile, solver=args.solver,
+        incremental=args.incremental,
     )
     print(format_sweep(sweep))
     print(_kernel_stats_line(enabled=not args.no_compile))

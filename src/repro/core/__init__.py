@@ -17,6 +17,7 @@ from repro.core.performance import PerformanceEvaluator
 from repro.core.sensitivity import (
     SensitivityResult,
     attribute_sensitivities,
+    finite_difference_attribute_sensitivity,
     finite_difference_sensitivity,
     parameter_sensitivities,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "augment_with_failures",
     "external_failure_probability",
     "grouped_state_failure_probability",
+    "finite_difference_attribute_sensitivity",
     "finite_difference_sensitivity",
     "or_no_sharing",
     "or_sharing",

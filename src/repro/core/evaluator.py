@@ -149,6 +149,13 @@ class ReliabilityEvaluator:
         solver: linear-solver backend for the absorbing solves —
             ``"auto"`` (default; structure-aware), ``"dense"`` or
             ``"sparse"``; see :mod:`repro.markov.solvers`.
+        incremental: serve absorbing solves of structurally repeated
+            chains through low-rank (Sherman-Morrison-Woodbury) updates of
+            the cached base factorization instead of re-factoring
+            (:mod:`repro.markov.updates`) — the what-if fast path for
+            sensitivity probes, crossover bisection and architecture
+            comparison; results stay within solver tolerance of the full
+            solve (automatic fallback otherwise).
     """
 
     def __init__(
@@ -158,6 +165,7 @@ class ReliabilityEvaluator:
         check_domains: bool = True,
         budget: EvaluationBudget | None = None,
         solver: str = "auto",
+        incremental: bool = False,
     ):
         from repro.markov.solvers import validate_solver
 
@@ -165,6 +173,7 @@ class ReliabilityEvaluator:
         self.check_domains = check_domains
         self.budget = budget
         self.solver = validate_solver(solver)
+        self.incremental = bool(incremental)
         #: Absorbing-chain solves performed (cache hits never solve); the
         #: engine-layer cache tests assert re-evaluation costs zero solves.
         self.solve_count = 0
@@ -309,7 +318,9 @@ class ReliabilityEvaluator:
                 chain.matrix.shape[0], f"absorbing solve for {service_name!r}"
             )
         self.solve_count += 1
-        return AbsorbingChainAnalysis(chain, solver=self.solver)
+        return AbsorbingChainAnalysis(
+            chain, solver=self.solver, incremental=self.incremental
+        )
 
     def _pfail_service(self, service: Service, actuals: tuple[tuple[str, float], ...]) -> float:
         self._budget_check()

@@ -14,10 +14,18 @@ the largest gain.  This module differentiates the symbolic closed form of
 
 and evaluates the derivatives at a concrete design point.  A
 finite-difference cross-check is provided for validation.
+
+The finite-difference probes evaluate *structurally identical* models at
+nearby points — exactly the shape the low-rank update path
+(:mod:`repro.markov.updates`) accelerates — so both cross-checks default
+to ``incremental=True``: the ``±h`` probe solves are served by
+Sherman-Morrison-Woodbury updates of one cached base factorization
+instead of fresh factorizations per probe.
 """
 
 from __future__ import annotations
 
+import json
 from collections.abc import Mapping
 from dataclasses import dataclass
 
@@ -26,6 +34,7 @@ from repro.core.symbolic_evaluator import (
     SymbolicEvaluator,
     attribute_environment,
 )
+from repro.errors import EvaluationError
 from repro.model.assembly import Assembly
 from repro.symbolic import Environment
 from repro.symbolic.compiler import compile_expression, gradient_kernels
@@ -35,6 +44,7 @@ __all__ = [
     "parameter_sensitivities",
     "attribute_sensitivities",
     "finite_difference_sensitivity",
+    "finite_difference_attribute_sensitivity",
 ]
 
 
@@ -145,14 +155,21 @@ def finite_difference_sensitivity(
     actuals: Mapping[str, float],
     parameter: str,
     step: float = 1e-4,
+    solver: str = "auto",
+    incremental: bool = True,
 ) -> float:
     """Central finite-difference ``d Pfail / d parameter`` — a
     model-independent cross-check of the symbolic derivatives.
 
     Domain checks are disabled for the probe points (the half-steps around
-    an integer-domain point are intentionally non-integral).
+    an integer-domain point are intentionally non-integral).  The two
+    probe evaluations share chain structure, so with ``incremental`` (the
+    default) the second one is served by a low-rank update of the first
+    one's factorization (:mod:`repro.markov.updates`).
     """
-    evaluator = ReliabilityEvaluator(assembly, check_domains=False)
+    evaluator = ReliabilityEvaluator(
+        assembly, check_domains=False, solver=solver, incremental=incremental
+    )
     value = float(actuals[parameter])
     h = step * max(abs(value), 1.0)
     up = dict(actuals)
@@ -160,3 +177,56 @@ def finite_difference_sensitivity(
     up[parameter] = value + h
     down[parameter] = value - h
     return (evaluator.pfail(service, **up) - evaluator.pfail(service, **down)) / (2 * h)
+
+
+def finite_difference_attribute_sensitivity(
+    assembly: Assembly,
+    service: str,
+    actuals: Mapping[str, float],
+    attribute: str,
+    step: float = 1e-4,
+    solver: str = "auto",
+    incremental: bool = True,
+) -> float:
+    """Central finite-difference ``d Pfail / d (service::attribute)`` by
+    re-evaluating *perturbed copies* of the assembly — the numeric
+    cross-check of :func:`attribute_sensitivities`.
+
+    Each probe rebuilds the assembly with the published attribute nudged
+    by ``±h`` and re-runs the full recursive evaluation.  The perturbed
+    copies are structurally identical to each other (same flows, same
+    chain sparsity), so with ``incremental`` (the default) the probe
+    solves after the first are served by rank-``k`` updates of the cached
+    base factorization instead of fresh ones — this is the
+    attribute-perturbation fast path the low-rank update layer exists for.
+    """
+    from repro.dsl import load_assembly
+    from repro.dsl.serializer import assembly_to_dict
+
+    service_name, separator, attr = attribute.partition("::")
+    if not separator:
+        raise EvaluationError(
+            f"expected an attribute symbol '<service>::<attribute>', got "
+            f"{attribute!r}"
+        )
+    document = assembly_to_dict(assembly)
+    target = next(
+        (s for s in document["services"] if s["name"] == service_name), None
+    )
+    if target is None or attr not in target["interface"]["attributes"]:
+        raise EvaluationError(
+            f"{attribute!r} is not a published attribute of any service in "
+            f"{assembly.name!r}"
+        )
+    value = float(target["interface"]["attributes"][attr])
+    h = step * max(abs(value), 1.0)
+    probes = []
+    for sign in (1.0, -1.0):
+        target["interface"]["attributes"][attr] = value + sign * h
+        perturbed = load_assembly(json.dumps(document))
+        evaluator = ReliabilityEvaluator(
+            perturbed, check_domains=False, solver=solver,
+            incremental=incremental,
+        )
+        probes.append(evaluator.pfail(service, **dict(actuals)))
+    return (probes[0] - probes[1]) / (2 * h)

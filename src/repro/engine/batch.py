@@ -203,6 +203,9 @@ class BatchEngine:
         solver: linear-solver backend threaded into every compiled plan
             (``"auto"``, ``"dense"`` or ``"sparse"``; see
             :mod:`repro.markov.solvers`).
+        incremental: route robust plans' numeric solves through low-rank
+            factorization updates (:mod:`repro.markov.updates`) when
+            consecutive entries share chain structure.
     """
 
     def __init__(
@@ -213,11 +216,13 @@ class BatchEngine:
         budget: EvaluationBudget | None = None,
         compile: bool = True,
         solver: str = "auto",
+        incremental: bool = False,
     ):
         from repro.markov.solvers import validate_solver
 
         self.jobs = resolve_jobs(jobs)
         self.solver = validate_solver(solver)
+        self.incremental = bool(incremental)
         if mode not in ("process", "thread", "serial"):
             raise EvaluationError(f"unknown executor mode {mode!r}")
         self.mode = mode
@@ -300,10 +305,12 @@ class BatchEngine:
     def _plan_for(self, assembly: Assembly, service: str) -> EvaluationPlan:
         if self.cache is not None:
             return self.cache.get_or_compile(
-                assembly, service, budget=self.budget, solver=self.solver
+                assembly, service, budget=self.budget, solver=self.solver,
+                incremental=self.incremental,
             )
         return compile_plan(
-            assembly, service, budget=self.budget, solver=self.solver
+            assembly, service, budget=self.budget, solver=self.solver,
+            incremental=self.incremental,
         )
 
     def _compile_groups(

@@ -73,6 +73,7 @@ class PlanCache:
         service: str | Service,
         symbolic_attributes: bool = False,
         solver: str = "auto",
+        incremental: bool = False,
     ) -> EvaluationPlan | None:
         """The cached plan for this (model, service, mode), or ``None``.
 
@@ -80,7 +81,8 @@ class PlanCache:
         for the accounted path.
         """
         return self._lru.get(
-            plan_key(assembly, service, symbolic_attributes, solver)
+            plan_key(assembly, service, symbolic_attributes, solver,
+                     incremental)
         )
 
     def get_or_compile(
@@ -92,6 +94,7 @@ class PlanCache:
         backend: str = "auto",
         budget: EvaluationBudget | None = None,
         solver: str = "auto",
+        incremental: bool = False,
     ) -> EvaluationPlan:
         """The plan for this (model, service, mode), compiling on miss.
 
@@ -101,7 +104,8 @@ class PlanCache:
         equal fingerprints are interchangeable, so this is only duplicated
         work, never wrong answers).
         """
-        key = plan_key(assembly, service, symbolic_attributes, solver)
+        key = plan_key(assembly, service, symbolic_attributes, solver,
+                       incremental)
         return self._lru.get_or_create(
             key,
             lambda: compile_plan(
@@ -111,6 +115,7 @@ class PlanCache:
                 backend=backend,
                 budget=budget,
                 solver=solver,
+                incremental=incremental,
             ),
         )
 

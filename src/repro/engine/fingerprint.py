@@ -90,16 +90,19 @@ def plan_key(
     service: str | Service,
     symbolic_attributes: bool = False,
     solver: str = "auto",
-) -> tuple[str, str, bool, str]:
+    incremental: bool = False,
+) -> tuple[str, str, bool, str, bool]:
     """The cache key of one evaluation plan.
 
     A tuple ``(assembly digest, service name, symbolic_attributes,
-    solver)`` — attribute-symbolic plans answer different questions
-    (attribute sweeps, sensitivities) than fully bound ones, and robust
-    plans carry their solver backend, so each caches separately.
+    solver, incremental)`` — attribute-symbolic plans answer different
+    questions (attribute sweeps, sensitivities) than fully bound ones,
+    robust plans carry their solver backend, and incremental plans route
+    numeric solves through the low-rank update path, so each caches
+    separately.
     """
     name = service.name if isinstance(service, Service) else str(service)
     return (
         assembly_fingerprint(assembly), name, bool(symbolic_attributes),
-        str(solver),
+        str(solver), bool(incremental),
     )

@@ -52,6 +52,7 @@ __all__ = [
     "plan_sweep_chunk",
     "rebuild_error",
     "remaining_deadline",
+    "reset_clamp_warning",
     "resolve_jobs",
     "simulate_block",
     "split_evenly",
@@ -77,10 +78,27 @@ def split_evenly(items: list, parts: int) -> list[list]:
     return chunks
 
 
+#: Environment marker that makes the clamp-warning once-flag survive
+#: process boundaries: child processes (including the fresh workers a
+#: :class:`~repro.workunits.Supervisor` spawns after a
+#: ``BrokenProcessPool`` pool restart) inherit the parent's environment,
+#: import this module with the marker set, and stay silent instead of
+#: re-emitting a warning the user already saw.
+_CLAMP_WARNED_ENV = "REPRO_JOBS_CLAMP_WARNED"
+
 #: Process-wide once-flag for the jobs-clamp warning.  Campaign layers call
 #: :func:`resolve_jobs` once per dispatch round; repeating the same warning
-#: every round is noise, so it fires once per process (tests reset it).
-_clamp_warning_emitted = False
+#: every round is noise, so it fires once per process *tree* — the flag is
+#: seeded from :data:`_CLAMP_WARNED_ENV` so restarted/spawned pools do not
+#: re-warn (tests reset it via :func:`reset_clamp_warning`).
+_clamp_warning_emitted = os.environ.get(_CLAMP_WARNED_ENV) == "1"
+
+
+def reset_clamp_warning() -> None:
+    """Re-arm the once-per-process-tree jobs-clamp warning (test helper)."""
+    global _clamp_warning_emitted
+    _clamp_warning_emitted = False
+    os.environ.pop(_CLAMP_WARNED_ENV, None)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -90,7 +108,10 @@ def resolve_jobs(jobs: int | None) -> int:
     :class:`RuntimeWarning` — benchmarking showed an oversubscribed pool
     is strictly *slower* than a right-sized one on this workload (workers
     are CPU-bound; extra processes only add spawn and pickling overhead).
-    The warning is emitted once per process; every call still records the
+    The warning is emitted once per process tree — the once-flag is
+    mirrored into the environment (:data:`_CLAMP_WARNED_ENV`) so worker
+    processes, including pools the work-unit supervisor restarts after a
+    ``BrokenProcessPool``, never repeat it; every call still records the
     resolved count on the ``engine.jobs.resolved`` gauge.
     """
     global _clamp_warning_emitted
@@ -106,6 +127,7 @@ def resolve_jobs(jobs: int | None) -> int:
     elif jobs > cores:
         if not _clamp_warning_emitted:
             _clamp_warning_emitted = True
+            os.environ[_CLAMP_WARNED_ENV] = "1"
             warnings.warn(
                 f"requested jobs={jobs} exceeds the {cores} available "
                 f"core(s); clamping to {cores} (oversubscribed pools are "
@@ -367,8 +389,8 @@ def numeric_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
 
     Payload: ``assembly_json`` (canonical ``repro/1`` text), ``service``,
     ``parameter``, ``values``, ``fixed``, ``deadline``, optional
-    ``solver``.  The assembly is rebuilt from JSON because live
-    assemblies do not pickle.
+    ``solver`` and ``incremental``.  The assembly is rebuilt from JSON
+    because live assemblies do not pickle.
     """
     from repro.core.evaluator import ReliabilityEvaluator
     from repro.dsl import load_assembly
@@ -381,6 +403,7 @@ def numeric_sweep_chunk(payload: dict) -> list[float] | WorkerFailure:
         evaluator = ReliabilityEvaluator(
             assembly, validate=False, check_domains=False, budget=budget,
             solver=payload.get("solver", "auto"),
+            incremental=payload.get("incremental", False),
         )
         fixed = payload["fixed"]
         parameter = payload["parameter"]

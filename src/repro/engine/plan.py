@@ -93,6 +93,11 @@ class EvaluationPlan:
         solver: linear-solver backend used by a robust plan's numeric
             tiers (``"auto"``, ``"dense"`` or ``"sparse"``; symbolic
             plans never solve, so they merely record it).
+        incremental: whether a robust plan's numeric tiers serve
+            repeated-structure solves through low-rank factorization
+            updates (:mod:`repro.markov.updates`) — consecutive points of
+            a numeric sweep/bisection then diff into row-deltas against
+            the cached base factorization instead of re-factoring.
     """
 
     def __init__(
@@ -105,6 +110,7 @@ class EvaluationPlan:
         assembly_json: str | None = None,
         symbolic_attributes: bool = False,
         solver: str = "auto",
+        incremental: bool = False,
     ):
         if backend not in ("symbolic", "robust"):
             raise EvaluationError(f"unknown plan backend {backend!r}")
@@ -122,6 +128,7 @@ class EvaluationPlan:
         from repro.markov.solvers import validate_solver
 
         self.solver = validate_solver(solver)
+        self.incremental = bool(incremental)
         self._evaluator = None  # per-process, rebuilt after pickling
         self._kernel_obj = None  # lazy CompiledKernel, rebuilt after pickling
 
@@ -228,7 +235,8 @@ class EvaluationPlan:
         if self._evaluator is None:
             assembly = load_assembly(self.assembly_json)
             self._evaluator = RobustEvaluator(
-                assembly, budget=budget, solver=self.solver
+                assembly, budget=budget, solver=self.solver,
+                incremental=self.incremental,
             )
         elif budget is not None:
             self._evaluator.budget = budget
@@ -249,6 +257,7 @@ def compile_plan(
     backend: str = "auto",
     budget: EvaluationBudget | None = None,
     solver: str = "auto",
+    incremental: bool = False,
 ) -> EvaluationPlan:
     """Compile an (assembly, service) pair into an :class:`EvaluationPlan`.
 
@@ -264,6 +273,8 @@ def compile_plan(
         budget: optional budget charged during the derivation.
         solver: linear-solver backend recorded on the plan and used by
             robust plans' numeric tiers (see :mod:`repro.markov.solvers`).
+        incremental: record the low-rank-update opt-in on the plan (robust
+            numeric tiers only; see :mod:`repro.markov.updates`).
 
     Every call performs real work and bumps :func:`compilation_count`;
     reuse compiled plans through :class:`repro.engine.cache.PlanCache`
@@ -301,6 +312,7 @@ def compile_plan(
                     expression=expression,
                     symbolic_attributes=symbolic_attributes,
                     solver=solver,
+                    incremental=incremental,
                 )
 
         if symbolic_attributes:
@@ -317,4 +329,5 @@ def compile_plan(
             svc.formal_parameters,
             assembly_json=canonical_json(assembly),
             solver=solver,
+            incremental=incremental,
         )

@@ -163,6 +163,9 @@ class RobustEvaluator:
         solver: linear-solver backend for the numeric/fixed-point tiers
             (``"auto"``, ``"dense"`` or ``"sparse"``; see
             :mod:`repro.markov.solvers`).
+        incremental: serve repeated-structure absorbing solves in the
+            numeric/fixed-point tiers through low-rank factorization
+            updates (:mod:`repro.markov.updates`).
     """
 
     def __init__(
@@ -175,6 +178,7 @@ class RobustEvaluator:
         retries: int = 2,
         validate: bool = True,
         solver: str = "auto",
+        incremental: bool = False,
     ):
         from repro.markov.solvers import validate_solver
 
@@ -188,6 +192,7 @@ class RobustEvaluator:
         self.seed = int(seed)
         self.retries = int(retries)
         self.solver = validate_solver(solver)
+        self.incremental = bool(incremental)
         if validate:
             try:
                 validate_assembly(assembly).raise_if_invalid()
@@ -303,7 +308,7 @@ class RobustEvaluator:
         if self._numeric_evaluator is None:
             self._numeric_evaluator = ReliabilityEvaluator(
                 self.assembly, validate=False, budget=self.budget,
-                solver=self.solver,
+                solver=self.solver, incremental=self.incremental,
             )
         value = self._numeric_evaluator.pfail(service, **actuals)
         return check_probability(f"Pfail({service})", value), None, 0.0, None
@@ -317,6 +322,7 @@ class RobustEvaluator:
             evaluator = FixedPointEvaluator(
                 self.assembly, tolerance=tolerance, validate=False,
                 budget=self.budget, solver=self.solver,
+                incremental=self.incremental,
             )
             try:
                 value = evaluator.pfail(service, **actuals)

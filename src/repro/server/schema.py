@@ -347,10 +347,16 @@ ENDPOINTS: tuple[Endpoint, ...] = (
         summary="Hit/miss/eviction counters of every warm cache.",
         description="Plan, kernel, solver-plan and parsed-model caches, "
                     "each as `{hits, misses, evictions, hit_rate, size}`, "
-                    "plus the coalescer's request accounting.  The numbers "
-                    "are live regardless of whether metrics collection is "
-                    "enabled — this is the endpoint warm-cache smoke tests "
-                    "watch.",
+                    "plus the coalescer's request accounting.  The "
+                    "`solver` block additionally carries the monotone "
+                    "per-process totals: structural `plans` built, numeric "
+                    "`factorizations` performed, and the low-rank "
+                    "`updates` counters `{applied, fallback_rank, "
+                    "fallback_condition}` of the incremental "
+                    "(Sherman-Morrison-Woodbury) re-solve path.  The "
+                    "numbers are live regardless of whether metrics "
+                    "collection is enabled — this is the endpoint "
+                    "warm-cache smoke tests watch.",
         response_example={
             "schema": RESPONSE_SCHEMA,
             "plan": {"hits": 9, "misses": 3, "evictions": 0,
@@ -358,7 +364,10 @@ ENDPOINTS: tuple[Endpoint, ...] = (
             "kernel": {"hits": 6, "misses": 2, "evictions": 0,
                        "hit_rate": 0.75, "size": 2},
             "solver": {"hits": 4, "misses": 1, "evictions": 0,
-                       "hit_rate": 0.8, "size": 1},
+                       "hit_rate": 0.8, "size": 1,
+                       "plans": 5, "factorizations": 7,
+                       "updates": {"applied": 18, "fallback_rank": 1,
+                                   "fallback_condition": 0}},
             "model": {"hits": 10, "misses": 2, "evictions": 0,
                       "hit_rate": 0.833, "size": 2},
             "server": {"requests": 12, "evaluations": 3, "coalesced": 2},

@@ -267,14 +267,23 @@ class EvaluationService:
 
     def cache_stats(self) -> dict:
         """``GET /v1/cache-stats`` — live counters of every warm layer."""
-        from repro.markov.solvers import default_solver_cache
+        from repro.markov.solvers import (
+            default_solver_cache,
+            factorization_count,
+            plan_count,
+        )
+        from repro.markov.updates import update_counts
         from repro.symbolic import default_kernel_cache
 
+        solver = _stats_dict(default_solver_cache())
+        solver["plans"] = plan_count()
+        solver["factorizations"] = factorization_count()
+        solver["updates"] = update_counts()
         return {
             "schema": RESPONSE_SCHEMA,
             "plan": _stats_dict(self.plan_cache),
             "kernel": _stats_dict(default_kernel_cache()),
-            "solver": _stats_dict(default_solver_cache()),
+            "solver": solver,
             "model": _stats_dict(self.models),
             "server": {
                 "requests": self.requests,

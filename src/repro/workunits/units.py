@@ -186,6 +186,7 @@ def sweep_campaign(
     method: str = "symbolic",
     solver: str = "auto",
     compile: bool = True,
+    incremental: bool = False,
     units: int | None = None,
 ) -> Campaign:
     """Shard a parameter sweep into work units.
@@ -204,6 +205,10 @@ def sweep_campaign(
         method: ``"symbolic"`` or ``"numeric"`` (as in ``sweep_parameter``).
         solver: linear-solver backend for the numeric method.
         compile: kernel compilation for the symbolic method.
+        incremental: low-rank (Sherman-Morrison-Woodbury) re-solve updates
+            for the numeric method (:mod:`repro.markov.updates`); recorded
+            in the config — and the campaign id — only when enabled, so
+            journals written before the flag existed still resume.
         units: optional shard count (default: ``ceil(points / 8)``).
     """
     from repro.engine.fingerprint import assembly_fingerprint, canonical_json
@@ -231,6 +236,8 @@ def sweep_campaign(
         "parameter": parameter,
         "fixed": {k: float(v) for k, v in dict(fixed or {}).items()},
     }
+    if incremental:
+        config["incremental"] = True
     per_unit = _per_unit(len(grid), units, SWEEP_POINTS_PER_UNIT)
     built = [
         WorkUnit(
@@ -256,6 +263,7 @@ def batch_campaign(
     *,
     solver: str = "auto",
     compile: bool = True,
+    incremental: bool = False,
     units: int | None = None,
 ) -> Campaign:
     """Shard a batch (many models × many points) into work units.
@@ -271,6 +279,9 @@ def batch_campaign(
             its domain-representative defaults (as the CLI does).
         solver: linear-solver backend threaded into every plan.
         compile: evaluate through compiled kernels.
+        incremental: low-rank re-solve updates for numeric plan backends
+            (recorded in the config only when enabled, as in
+            :func:`sweep_campaign`).
         units: optional shard count (default: ``ceil(requests / 4)``).
     """
     from repro.engine.fingerprint import assembly_fingerprint, canonical_json
@@ -280,6 +291,8 @@ def batch_campaign(
         raise EvaluationError("a batch campaign needs at least one model")
     config = {"solver": str(solver), "compile": bool(compile),
               "service": service}
+    if incremental:
+        config["incremental"] = True
     total = 0
     per_model: list[tuple[str, Assembly, list[dict]]] = []
     for label, assembly in models:

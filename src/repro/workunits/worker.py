@@ -80,6 +80,7 @@ def _execute_sweep(unit: dict, budget) -> list[float]:
         evaluator = ReliabilityEvaluator(
             assembly, validate=False, check_domains=False, budget=budget,
             solver=config["solver"],
+            incremental=bool(config.get("incremental", False)),
         )
         fixed = config["fixed"]
         parameter = config["parameter"]
@@ -108,7 +109,8 @@ def _execute_batch(unit: dict, budget) -> list[dict]:
     config = unit["config"]
     assembly = load_assembly(unit["payload"]["assembly_json"])
     plan = compile_plan(
-        assembly, config["service"], budget=budget, solver=config["solver"]
+        assembly, config["service"], budget=budget, solver=config["solver"],
+        incremental=bool(config.get("incremental", False)),
     )
     entries: list[dict] = []
     for entry in unit["payload"]["entries"]:

@@ -27,7 +27,7 @@ class TestHelpers:
         # oversubscription clamps to the core count and warns
         from repro.engine import parallel
 
-        parallel._clamp_warning_emitted = False
+        parallel.reset_clamp_warning()
         with pytest.warns(RuntimeWarning, match="clamping"):
             assert resolve_jobs(cores + 5) == cores
         with pytest.raises(EvaluationError):
@@ -40,13 +40,55 @@ class TestHelpers:
         from repro.engine import parallel
 
         cores = os.cpu_count() or 1
-        parallel._clamp_warning_emitted = False
+        parallel.reset_clamp_warning()
         with pytest.warns(RuntimeWarning, match="clamping"):
             assert resolve_jobs(cores + 5) == cores
         # the second oversubscribed call still clamps, silently
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert resolve_jobs(cores + 9) == cores
+
+    def test_clamp_warning_suppressed_across_process_boundary(self):
+        """The once-flag travels through the environment: a child process
+        (e.g. a restarted supervisor pool's fresh worker) that imports the
+        module after the parent warned must not re-emit."""
+        import os
+        import warnings
+
+        from repro.engine import parallel
+
+        cores = os.cpu_count() or 1
+        parallel.reset_clamp_warning()
+        try:
+            with pytest.warns(RuntimeWarning, match="clamping"):
+                resolve_jobs(cores + 5)
+            assert os.environ[parallel._CLAMP_WARNED_ENV] == "1"
+            # simulate the child's fresh import: re-seed the flag the way
+            # module import does, then check an oversubscribed call stays
+            # silent
+            parallel._clamp_warning_emitted = (
+                os.environ.get(parallel._CLAMP_WARNED_ENV) == "1"
+            )
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert resolve_jobs(cores + 9) == cores
+        finally:
+            parallel.reset_clamp_warning()
+
+    def test_reset_clamp_warning_rearms(self):
+        import os
+
+        from repro.engine import parallel
+
+        cores = os.cpu_count() or 1
+        parallel.reset_clamp_warning()
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            resolve_jobs(cores + 5)
+        parallel.reset_clamp_warning()
+        assert parallel._CLAMP_WARNED_ENV not in os.environ
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            resolve_jobs(cores + 5)
+        parallel.reset_clamp_warning()
 
     def test_resolve_jobs_records_gauge(self):
         from repro import observability as obs

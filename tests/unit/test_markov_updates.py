@@ -1,0 +1,378 @@
+"""Unit tests for low-rank (SMW) factorization updates (repro.markov.updates).
+
+The contract under test is *exact parity or loud fallback*: an applied
+update must match the full re-factorization to tight tolerance, and a
+rejected one must raise :class:`UpdateRejected` with the matching counter
+charged — never a silently degraded answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.markov import AbsorbingChainAnalysis, DiscreteTimeMarkovChain
+from repro.markov import solvers, updates
+from repro.markov.solvers import chain_plan, factorize_chain, scipy_available
+from repro.markov.updates import (
+    CAPACITANCE_MAX_CONDITION,
+    RowDelta,
+    UpdateRejected,
+    UpdatedFactorization,
+    apply_low_rank_update,
+    extract_row_delta,
+    rank_crossover,
+    reset_update_counters,
+    update_counts,
+)
+
+needs_scipy = pytest.mark.skipif(
+    not scipy_available(), reason="incremental path requires scipy"
+)
+
+
+def dag_chain(n_transient: int, seed: int = 0) -> DiscreteTimeMarkovChain:
+    """Forward-only sparse chain (triangular fast path under sparse)."""
+    rng = np.random.default_rng(seed)
+    states = [f"t{i}" for i in range(n_transient)] + ["End", "Fail"]
+    n = len(states)
+    matrix = np.zeros((n, n))
+    for i in range(n_transient):
+        successors = rng.choice(
+            np.arange(i + 1, n_transient), size=min(3, n_transient - i - 1),
+            replace=False,
+        ) if i + 1 < n_transient else np.array([], dtype=int)
+        weights = rng.uniform(0.1, 1.0, size=successors.size + 2)
+        weights /= weights.sum()
+        for j, w in zip(successors, weights[:-2]):
+            matrix[i, j] = w
+        matrix[i, n_transient] = weights[-2]
+        matrix[i, n_transient + 1] = weights[-1]
+    matrix[n_transient, n_transient] = 1.0
+    matrix[n_transient + 1, n_transient + 1] = 1.0
+    return DiscreteTimeMarkovChain(states, matrix)
+
+
+def cyclic_chain() -> DiscreteTimeMarkovChain:
+    states = ["t0", "t1", "End", "Fail"]
+    matrix = np.array(
+        [
+            [0.0, 0.6, 0.3, 0.1],
+            [0.5, 0.0, 0.4, 0.1],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    return DiscreteTimeMarkovChain(states, matrix)
+
+
+def rescale_row(matrix: np.ndarray, row: int, values) -> np.ndarray:
+    """Copy with one row replaced, preserving the sparsity pattern."""
+    out = matrix.copy()
+    out[row] = values
+    assert np.array_equal(out[row] != 0.0, matrix[row] != 0.0)
+    return out
+
+
+def absorbing_mask(chain: DiscreteTimeMarkovChain) -> np.ndarray:
+    mask = np.zeros(len(chain.states), dtype=bool)
+    mask[[chain.index(s) for s in chain.absorbing_states()]] = True
+    return mask
+
+
+class TestRankCrossover:
+    def test_floor_of_four(self):
+        assert rank_crossover(2) == 4
+        assert rank_crossover(16) == 4
+
+    def test_sqrt_scaling(self):
+        assert rank_crossover(100) == 10
+        assert rank_crossover(10_000) == 100
+
+
+class TestExtractRowDelta:
+    def pattern(self, chain):
+        mask = absorbing_mask(chain)
+        transient = np.flatnonzero(~mask)
+        plan = chain_plan(chain.matrix, mask, solver="dense", cache=False)
+        values = chain.matrix[transient[plan.q_rows], transient[plan.q_cols]]
+        return plan, transient, values
+
+    def test_identical_values_is_rank_zero(self):
+        chain = cyclic_chain()
+        plan, _, values = self.pattern(chain)
+        assert extract_row_delta(
+            plan.q_rows, plan.q_cols, values, values.copy(), 2
+        ) is None
+
+    def test_single_row_change_is_rank_one(self):
+        chain = cyclic_chain()
+        plan, transient, values = self.pattern(chain)
+        perturbed = rescale_row(chain.matrix, 0, [0.0, 0.5, 0.35, 0.15])
+        new = perturbed[transient[plan.q_rows], transient[plan.q_cols]]
+        delta = extract_row_delta(plan.q_rows, plan.q_cols, values, new, 2)
+        assert delta.rank == 1
+        assert list(delta.rows) == [0]
+        # delta stacks rows of A' - A = -(Q' - Q)
+        expected = -(perturbed[0, [0, 1]] - chain.matrix[0, [0, 1]])
+        np.testing.assert_allclose(delta.delta[0], expected)
+
+
+class TestUpdatedFactorization:
+    def systems(self, chain, perturbed):
+        mask = absorbing_mask(chain)
+        transient = np.flatnonzero(~mask)
+        base_a = np.eye(transient.size) - chain.matrix[
+            np.ix_(transient, transient)
+        ]
+        new_a = np.eye(transient.size) - perturbed[
+            np.ix_(transient, transient)
+        ]
+        return transient, base_a, new_a
+
+    def build(self, chain, perturbed, solver):
+        mask = absorbing_mask(chain)
+        transient = np.flatnonzero(~mask)
+        plan = chain_plan(chain.matrix, mask, solver=solver, cache=False)
+        base = factorize_chain(chain.matrix, plan)
+        base_values = chain.matrix[transient[plan.q_rows],
+                                   transient[plan.q_cols]]
+        new_values = perturbed[transient[plan.q_rows],
+                               transient[plan.q_cols]]
+        delta = extract_row_delta(
+            plan.q_rows, plan.q_cols, base_values, new_values,
+            transient.size,
+        )
+        return base, delta
+
+    def check_parity(self, chain, perturbed, solver):
+        base, delta = self.build(chain, perturbed, solver)
+        updated = UpdatedFactorization(base, delta)
+        _, _, new_a = self.systems(chain, perturbed)
+        rng = np.random.default_rng(3)
+        rhs = rng.standard_normal(new_a.shape[0])
+        np.testing.assert_allclose(
+            updated.solve(rhs), np.linalg.solve(new_a, rhs), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            updated.solve_transpose(rhs), np.linalg.solve(new_a.T, rhs),
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            updated.matvec(rhs), new_a @ rhs, atol=1e-12
+        )
+        assert updated.method == f"{base.method}+smw"
+        assert updated.reusable
+        # norm1 is a conservative upper bound on the perturbed system
+        assert updated.norm1() >= np.abs(new_a).sum(axis=0).max() - 1e-12
+
+    def test_dense_base_parity(self):
+        chain = cyclic_chain()
+        perturbed = rescale_row(chain.matrix, 0, [0.0, 0.5, 0.35, 0.15])
+        self.check_parity(chain, perturbed, "dense")
+
+    @needs_scipy
+    def test_sparse_lu_base_parity(self):
+        chain = cyclic_chain()
+        perturbed = rescale_row(chain.matrix, 1, [0.6, 0.0, 0.3, 0.1])
+        self.check_parity(chain, perturbed, "sparse")
+
+    @needs_scipy
+    def test_sparse_triangular_base_parity(self):
+        chain = dag_chain(25, seed=3)
+        row = 0
+        weights = chain.matrix[row].copy()
+        nz = np.flatnonzero(weights)
+        weights[nz] = weights[nz] * 0.5
+        weights[nz[-1]] += 1.0 - weights.sum()
+        perturbed = rescale_row(chain.matrix, row, weights)
+        self.check_parity(chain, perturbed, "sparse")
+
+    def test_rank_two_update(self):
+        chain = cyclic_chain()
+        perturbed = rescale_row(chain.matrix, 0, [0.0, 0.5, 0.35, 0.15])
+        perturbed = rescale_row(perturbed, 1, [0.45, 0.0, 0.45, 0.1])
+        base, delta = self.build(chain, perturbed, "dense")
+        assert delta.rank == 2
+        self.check_parity(chain, perturbed, "dense")
+
+    def test_order_mismatch_rejected(self):
+        chain = cyclic_chain()
+        perturbed = rescale_row(chain.matrix, 0, [0.0, 0.5, 0.35, 0.15])
+        base, delta = self.build(chain, perturbed, "dense")
+        bad = RowDelta(rows=delta.rows, delta=delta.delta, m=99)
+        with pytest.raises(ValueError, match="order"):
+            UpdatedFactorization(base, bad)
+
+
+class TestGuards:
+    def identity_base(self, n=4):
+        """A = I (every transient state jumps straight to absorption)."""
+        states = [f"t{i}" for i in range(n)] + ["End"]
+        matrix = np.zeros((n + 1, n + 1))
+        matrix[:n, n] = 1.0
+        matrix[n, n] = 1.0
+        chain = DiscreteTimeMarkovChain(states, matrix)
+        plan = chain_plan(chain.matrix, absorbing_mask(chain),
+                          solver="dense", cache=False)
+        return factorize_chain(chain.matrix, plan)
+
+    def test_rank_limit_rejection_charges_counter(self):
+        base = self.identity_base(4)
+        delta = RowDelta(
+            rows=np.array([0, 1, 2]), delta=np.full((3, 4), 0.01), m=4
+        )
+        reset_update_counters()
+        with pytest.raises(UpdateRejected) as excinfo:
+            apply_low_rank_update(base, delta, rank_limit=2)
+        assert excinfo.value.reason == "rank"
+        assert update_counts() == {
+            "applied": 0, "fallback_rank": 1, "fallback_condition": 0,
+        }
+
+    def test_singular_capacitance_rejected(self):
+        # Delta A[0,0] = -1 makes A'[0,0] = 0: C = 1 + w z = 0 exactly.
+        base = self.identity_base(4)
+        delta = RowDelta(
+            rows=np.array([0]),
+            delta=np.array([[-1.0, 0.0, 0.0, 0.0]]),
+            m=4,
+        )
+        reset_update_counters()
+        with pytest.raises(UpdateRejected) as excinfo:
+            apply_low_rank_update(base, delta)
+        assert excinfo.value.reason == "condition"
+        assert update_counts()["fallback_condition"] == 1
+
+    def test_near_singular_capacitance_rejected(self):
+        base = self.identity_base(4)
+        eps = 1.0 / (10.0 * CAPACITANCE_MAX_CONDITION)
+        delta = RowDelta(
+            rows=np.array([0]),
+            delta=np.array([[-(1.0 - eps), 0.0, 0.0, 0.0]]),
+            m=4,
+        )
+        with pytest.raises(UpdateRejected, match="condition"):
+            apply_low_rank_update(base, delta)
+
+    def test_well_conditioned_update_applies(self):
+        base = self.identity_base(4)
+        delta = RowDelta(
+            rows=np.array([0]),
+            delta=np.array([[0.1, -0.05, 0.0, 0.0]]),
+            m=4,
+        )
+        reset_update_counters()
+        updated = apply_low_rank_update(base, delta, rank_limit=4)
+        assert updated.rank == 1
+        assert updated.capacitance_condition < 2.0
+        assert update_counts()["applied"] == 1
+
+
+@needs_scipy
+class TestFactorizeChainIncremental:
+    def test_second_solve_is_an_update(self):
+        chain = cyclic_chain()
+        mask = absorbing_mask(chain)
+        plan = chain_plan(chain.matrix, mask, solver="dense", cache=False)
+        reset_update_counters()
+        first = factorize_chain(chain.matrix, plan, incremental=True)
+        assert "+smw" not in first.method  # slot was cold: full build
+        perturbed = rescale_row(chain.matrix, 0, [0.0, 0.5, 0.35, 0.15])
+        second = factorize_chain(perturbed, plan, incremental=True)
+        assert second.method.endswith("+smw")
+        assert update_counts()["applied"] == 1
+        # exact parity with the full factorization of the perturbed system
+        full = factorize_chain(perturbed, plan, incremental=False)
+        rhs = np.array([1.0, 0.5])
+        np.testing.assert_allclose(
+            second.solve(rhs), full.solve(rhs), atol=1e-12
+        )
+
+    def test_unchanged_values_reuse_base_as_is(self):
+        chain = cyclic_chain()
+        plan = chain_plan(chain.matrix, absorbing_mask(chain),
+                          solver="dense", cache=False)
+        reset_update_counters()
+        first = factorize_chain(chain.matrix, plan, incremental=True)
+        again = factorize_chain(chain.matrix.copy(), plan, incremental=True)
+        assert again is first  # rank-0: the base itself comes back
+        assert update_counts()["applied"] == 1
+
+    def test_rank_fallback_refreshes_the_slot(self):
+        chain = dag_chain(30, seed=1)
+        mask = absorbing_mask(chain)
+        plan = chain_plan(chain.matrix, mask, solver="dense", cache=False)
+        transient = np.flatnonzero(~mask)
+        factorize_chain(chain.matrix, plan, incremental=True)
+        # perturb every transient row: rank m >> rank_crossover(m)
+        perturbed = chain.matrix.copy()
+        scale = 0.9
+        for i in range(transient.size):
+            nz = np.flatnonzero(perturbed[i])
+            perturbed[i, nz] *= scale
+            perturbed[i, nz[-1]] += 1.0 - perturbed[i].sum()
+        reset_update_counters()
+        fresh = factorize_chain(perturbed, plan, incremental=True)
+        assert "+smw" not in fresh.method
+        counts = update_counts()
+        assert counts["fallback_rank"] == 1 and counts["applied"] == 0
+        # the slot now holds the perturbed base: going back to the original
+        # values is served as an update *of the new base*
+        back = factorize_chain(chain.matrix, plan, incremental=True)
+        assert back.method.endswith("+smw") or update_counts()[
+            "fallback_rank"] == 2
+
+    def test_incremental_flag_is_noop_without_scipy(self, monkeypatch):
+        chain = cyclic_chain()
+        plan = chain_plan(chain.matrix, absorbing_mask(chain),
+                          solver="dense", cache=False)
+        monkeypatch.setattr(solvers, "_HAVE_SCIPY", False)
+        reset_update_counters()
+        fact = factorize_chain(chain.matrix, plan, incremental=True)
+        assert "+smw" not in fact.method
+        assert update_counts()["applied"] == 0
+
+    def test_updates_never_compound(self):
+        """Every delta is taken against the pinned *base*, so a long run
+        of perturbations stays at full-solve accuracy throughout."""
+        chain = cyclic_chain()
+        mask = absorbing_mask(chain)
+        plan = chain_plan(chain.matrix, mask, solver="dense", cache=False)
+        factorize_chain(chain.matrix, plan, incremental=True)
+        rng = np.random.default_rng(9)
+        rhs = np.array([1.0, 1.0])
+        for _ in range(20):
+            p = rng.uniform(0.3, 0.7)
+            perturbed = rescale_row(
+                chain.matrix, 0, [0.0, p, (1 - p) * 0.75, (1 - p) * 0.25]
+            )
+            updated = factorize_chain(perturbed, plan, incremental=True)
+            full = factorize_chain(perturbed, plan, incremental=False)
+            np.testing.assert_allclose(
+                updated.solve(rhs), full.solve(rhs), atol=1e-12
+            )
+
+
+@needs_scipy
+class TestAnalysisIncremental:
+    def test_absorption_parity_through_update_path(self):
+        chain = cyclic_chain()
+        rescaled = DiscreteTimeMarkovChain(
+            chain.states,
+            rescale_row(chain.matrix, 0, [0.0, 0.5, 0.35, 0.15]),
+        )
+        warm = AbsorbingChainAnalysis(chain, incremental=True)
+        assert "+smw" not in warm.solve_method
+        updated = AbsorbingChainAnalysis(rescaled, incremental=True)
+        assert updated.solve_method.endswith("+smw")
+        reference = AbsorbingChainAnalysis(rescaled)
+        for state in ("t0", "t1"):
+            assert updated.absorption_probability(
+                state, "End"
+            ) == pytest.approx(
+                reference.absorption_probability(state, "End"), abs=1e-12
+            )
+            assert updated.expected_steps_to_absorption(
+                state
+            ) == pytest.approx(
+                reference.expected_steps_to_absorption(state), rel=1e-10
+            )

@@ -343,6 +343,14 @@ def test_service_reuses_warm_caches(model_document):
     assert service.plan_cache.stats.hits > before
     assert stats["model"]["hits"] >= 1
     assert stats["server"]["evaluations"] == 2
+    # the solver block carries plan/factorization counters and the
+    # low-rank update outcomes next to the LRU stats
+    solver = stats["solver"]
+    assert solver["plans"] >= 0
+    assert solver["factorizations"] >= 0
+    assert set(solver["updates"]) == {
+        "applied", "fallback_rank", "fallback_condition"
+    }
 
 
 def test_service_rejects_invalid_payloads(model_document):
