@@ -1,6 +1,6 @@
 """PERF — the batch-evaluation engine: plan caching and worker fan-out.
 
-Two claims of the engine layer are measured on a Figure-6-style workload
+Four claims of the engine layer are measured on a Figure-6-style workload
 (the local and remote configurations swept over the ``list`` grid):
 
 - **cold vs warm cache**: a cold engine compiles one plan per distinct
@@ -11,13 +11,23 @@ Two claims of the engine layer are measured on a Figure-6-style workload
 - **sequential vs parallel**: the same sweep grid at ``jobs=1`` and
   ``jobs=2``, plus a two-model batch both ways.  Wall-clock numbers are
   recorded as measured along with ``cpu_count`` — on a single-core runner
-  the parallel path cannot win and the JSON says so honestly.
+  the parallel path cannot win, the JSON marks the section ``advisory``,
+  and the speedup assertions are skipped rather than asserted against
+  contention noise.
+- **fused stack vs per-point loop** (``-k fused``): the same
+  (models × points) workload through one ``pfail_stack`` kernel call per
+  model vs today's python loop over ``plan.pfail`` — bitwise-equal
+  results, >= 10x per point.
+- **shared-memory transport** for the sparse-solver batch workload
+  (``recursive_assembly``, robust backend): ``jobs=2`` must win >= 1.5x
+  over ``jobs=1`` — asserted only on runners with >= 2 CPUs.
 
 Everything lands in machine-readable form in
 ``benchmarks/results/BENCH_engine.json`` (see docs/performance_guide.md
 for how to read it) next to the usual text table.
 """
 
+import json
 import os
 import time
 
@@ -26,10 +36,10 @@ import numpy as np
 from repro.analysis import format_table, sweep_parameter
 from repro.engine import BatchEngine, PlanCache, compilation_count
 from repro.engine.plan import compile_plan
-from repro.scenarios import local_assembly, remote_assembly
+from repro.scenarios import local_assembly, recursive_assembly, remote_assembly
 from repro.symbolic import compile_expression
 
-from _report import emit, emit_json
+from _report import RESULTS_DIR, emit, emit_json
 
 #: The Figure 6 x-axis and fixed actuals (benchmarks/test_fig6_*).
 GRID = np.linspace(1.0, 1000.0, 60)
@@ -88,9 +98,23 @@ def _cache_section(assemblies):
     }
 
 
+def _merge_engine_json(key, section):
+    """Fold one section into ``BENCH_engine.json`` without clobbering the
+    sections other tests in this file wrote (the fused tests are
+    selectable via ``-k fused``, so any subset of them may run)."""
+    path = RESULTS_DIR / "BENCH_engine.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload[key] = section
+    emit_json("engine", payload)
+
+
 def _parallel_section(assemblies):
     """The same grid sequentially and with two workers, timed honestly."""
-    out = {"cpu_count": os.cpu_count()}
+    cpu_count = os.cpu_count() or 1
+    # below two cores the "parallel" numbers measure contention, not
+    # fan-out — record them, but flag the section so nobody reads the
+    # sub-1x ratios as an engine property (and no assertion fires)
+    out = {"cpu_count": cpu_count, "advisory": cpu_count < 2}
 
     sweep_seconds = {}
     for jobs in (1, 2):
@@ -129,18 +153,18 @@ def test_engine_batch(benchmark):
 
     cache = _cache_section(assemblies)
     parallel = _parallel_section(assemblies)
-    payload = {
-        "workload": {
+    for key, section in (
+        ("workload", {
             "models": [a.name for a in assemblies],
             "service": "search",
             "parameter": "list",
             "grid_points": len(GRID),
             "fixed": FIXED,
-        },
-        "cache": cache,
-        "parallel": parallel,
-    }
-    emit_json("engine", payload)
+        }),
+        ("cache", cache),
+        ("parallel", parallel),
+    ):
+        _merge_engine_json(key, section)
 
     rows = [
         ("cold pass (no cache)", cache["cold_pass_seconds"] * 1e3,
@@ -166,6 +190,10 @@ def test_engine_batch(benchmark):
     # (model, service) target per pass.
     assert cache["warm_compilations"] == 0
     assert cache["cold_compilations"] == cache["passes"] * len(assemblies)
+    if not parallel["advisory"]:
+        # with real cores available, fan-out must at least break even
+        assert parallel["sweep_speedup"] >= 1.0, parallel
+        assert parallel["batch_speedup"] >= 1.0, parallel
 
 
 def _interleaved_best(contenders, repeats=100, rounds=5):
@@ -270,3 +298,108 @@ def test_kernel_compilation():
     for name, speedup in speedups.items():
         assert speedup >= 3.0, f"{name}: {speedup:.2f}x < 3x"
     assert cse["executed_ops"] < cse["tree_nodes"]
+
+
+def test_fused_stack():
+    """PERF — one ``pfail_stack`` kernel call vs the per-point python loop
+    on the (models x points) Figure 6 workload, bitwise-equal results.
+
+    Fixture-free on purpose: the ``fused-bench-smoke`` CI job runs it with
+    plain ``pytest -k fused``.
+    """
+    sections = {}
+    for assembly in (local_assembly(), remote_assembly()):
+        plan = compile_plan(assembly, "search")
+        points = _points(KERNEL_GRID)
+
+        def loop(plan=plan, points=points):
+            return [plan.pfail(point) for point in points]
+
+        def stacked(plan=plan, points=points):
+            return plan.pfail_stack(points)
+
+        # the acceptance contract: bit for bit, not approximately
+        assert np.array_equal(np.asarray(loop(), dtype=float), stacked())
+
+        best = _interleaved_best(
+            [("loop", loop), ("stacked", stacked)], repeats=3, rounds=5
+        )
+        speedup = best["loop"] / best["stacked"]
+        sections[assembly.name] = {
+            "points": len(points),
+            "loop_us_per_point": best["loop"] / len(points) * 1e6,
+            "stacked_us_per_point": best["stacked"] / len(points) * 1e6,
+            "speedup": speedup,
+        }
+
+    _merge_engine_json("fused_stack", sections)
+    rows = [
+        (name, s["loop_us_per_point"], s["stacked_us_per_point"],
+         s["speedup"])
+        for name, s in sections.items()
+    ]
+    emit(
+        "PERF_FUSED",
+        "PERF/fused — pfail_stack vs per-point loop "
+        f"(Figure 6 models x {len(KERNEL_GRID)} points)\n\n"
+        + format_table(
+            ["model", "loop us/pt", "stacked us/pt", "speedup"],
+            rows, float_format="{:.4g}",
+        ),
+    )
+
+    # the PR's acceptance bar: >= 10x per point over the loop
+    for name, section in sections.items():
+        assert section["speedup"] >= 10.0, (
+            f"{name}: {section['speedup']:.2f}x < 10x"
+        )
+
+
+def test_fused_shm_batch():
+    """PERF — the shared-memory transport on the sparse-solver batch
+    workload (robust backend, per-row solves dominate): jobs=2 vs jobs=1.
+
+    The >= 1.5x bar is asserted only on runners with >= 2 CPUs; below
+    that the engine clamps jobs to 1 and the section is advisory.
+    """
+    from repro.engine import shm
+
+    cpu_count = os.cpu_count() or 1
+    assembly = recursive_assembly()
+    points = [{"size": float(1 + (i % 8))} for i in range(32)]
+
+    rows_before = shm.shm_counts()["rows"]
+    seconds = {}
+    for jobs in (1, 2):
+        engine = BatchEngine(
+            jobs=jobs, cache=PlanCache(), solver="sparse", mode="process"
+        )
+        assert engine.evaluate(assembly, "A", points[:2]).ok  # warm plan
+        result, elapsed = _timed(
+            lambda engine=engine: engine.evaluate(assembly, "A", points)
+        )
+        assert result.ok
+        seconds[f"jobs{jobs}"] = elapsed
+    shm_rows = shm.shm_counts()["rows"] - rows_before
+
+    section = {
+        "cpu_count": cpu_count,
+        "advisory": cpu_count < 2,
+        "entries": len(points),
+        "solver": "sparse",
+        "shm_rows": shm_rows,
+        "batch_seconds": seconds,
+        "speedup": seconds["jobs1"] / seconds["jobs2"],
+    }
+    _merge_engine_json("fused_shm_batch", section)
+    emit(
+        "PERF_SHM",
+        "PERF/shm — sparse-solver batch via shared-memory transport: "
+        f"jobs=1 {seconds['jobs1']:.3f}s, jobs=2 {seconds['jobs2']:.3f}s "
+        f"(speedup {section['speedup']:.2f}x, {shm_rows} shm rows, "
+        f"{cpu_count} core(s))",
+    )
+
+    if not section["advisory"]:
+        assert shm_rows >= len(points), section  # transport actually used
+        assert section["speedup"] >= 1.5, section

@@ -106,6 +106,22 @@ def _collect_chunks(chunk_results: list) -> np.ndarray:
     return np.asarray(out, dtype=float)
 
 
+def _fused_symbolic(plan, parameter, grid, fixed, budget, use_kernel) -> np.ndarray:
+    """One vectorized kernel pass over the whole grid, in-process.
+
+    For the numpy-vectorized symbolic backend this beats any thread
+    fan-out: one straight-line tape execution over the full grid has no
+    per-chunk dispatch, no futures, no chunk re-concatenation.
+    """
+    from repro.engine.parallel import charge_fused
+
+    pfail = plan.pfail_grid(
+        parameter, grid, fixed, budget=budget, use_kernel=use_kernel
+    )
+    charge_fused(groups=1, entries=int(grid.size))
+    return pfail
+
+
 def _parallel_symbolic(
     plan, parameter, grid, fixed, jobs, budget, use_kernel=True
 ) -> np.ndarray:
@@ -193,6 +209,85 @@ def _parallel_numeric(
         return _collect_chunks(collected)
 
 
+def _parallel_numeric_shm(
+    assembly, service, parameter, grid, fixed, jobs, budget, solver="auto",
+    incremental=False,
+) -> np.ndarray:
+    """Numeric grid fan-out over the zero-pickle shared-memory transport.
+
+    Workers read the model document out of a shared segment (parsed once
+    per worker process, cached by content digest) and write result rows
+    in place; only typed failures travel back through the futures.  The
+    parent owns every segment and reclaims them even when the pool
+    breaks; rows still unset after a crash identify the affected grid
+    indices exactly.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.engine import shm
+    from repro.engine.fingerprint import canonical_json
+    from repro.engine.parallel import (
+        broken_pool_error,
+        make_executor,
+        rebuild_error,
+        remaining_deadline,
+        split_evenly,
+        unpack_worker_payload,
+    )
+
+    executor = make_executor(jobs, "process")
+    n = int(grid.size)
+    workspace = shm.ShmWorkspace.create(
+        canonical_json(assembly).encode("utf-8"),
+        {
+            "values": ((n,), "float64"),
+            "results": ((n,), "float64"),
+            "status": ((n,), "uint8"),
+        },
+    )
+    try:
+        workspace.array("values")[:] = grid
+        shm._charge(rows=n)
+        config = {
+            "service": service,
+            "parameter": parameter,
+            "fixed": dict(fixed),
+            "solver": solver,
+            "incremental": incremental,
+        }
+        spec = workspace.spec()
+        with executor:
+            futures = [
+                executor.submit(
+                    shm.shm_numeric_sweep_rows,
+                    {
+                        "spec": spec,
+                        "config": config,
+                        "start": rows[0],
+                        "stop": rows[-1] + 1,
+                        "deadline": remaining_deadline(budget),
+                        "observe": obs.enabled(),
+                        "dispatched_at": time.time(),
+                    },
+                )
+                for rows in split_evenly(list(range(n)), jobs)
+            ]
+            try:
+                for future in futures:
+                    failures = unpack_worker_payload(future.result())
+                    if failures:
+                        raise rebuild_error(next(iter(failures.values())))
+            except BrokenProcessPool as exc:
+                status = workspace.array("status")
+                affected = [i for i in range(n) if status[i] == shm.ROW_UNSET]
+                raise broken_pool_error(
+                    "numeric sweep evaluation", affected, exc
+                ) from exc
+        return workspace.array("results").copy()
+    finally:
+        workspace.close()
+
+
 def sweep_parameter(
     assembly: Assembly,
     service: str,
@@ -206,6 +301,7 @@ def sweep_parameter(
     compile: bool = True,
     solver: str = "auto",
     incremental: bool = False,
+    fused: bool = True,
 ) -> SweepResult:
     """Sweep one formal parameter of ``service`` across ``values``.
 
@@ -234,6 +330,13 @@ def sweep_parameter(
             (Sherman-Morrison-Woodbury) updates of the cached base
             factorization instead of re-factoring per point
             (:mod:`repro.markov.updates`); numeric method only.
+        fused: default on.  The symbolic method runs the whole grid
+            through **one** stacked kernel execution in-process (faster
+            than any thread fan-out for these numpy-vectorized kernels,
+            so ``jobs`` is moot); the numeric method with ``jobs > 1``
+            rides the zero-pickle shared-memory transport
+            (:mod:`repro.engine.shm`).  ``False`` restores the chunked
+            pool paths (the ``--no-fused`` escape hatch).
     """
     from repro.engine.parallel import resolve_jobs
 
@@ -260,15 +363,29 @@ def sweep_parameter(
             else:
                 plan = compile_plan(assembly, service, backend="symbolic",
                                     budget=budget)
-            pfail = _parallel_symbolic(
-                plan, parameter, grid, fixed, jobs, budget, use_kernel=compile
-            )
+            if fused:
+                pfail = _fused_symbolic(
+                    plan, parameter, grid, fixed, budget, compile
+                )
+            else:
+                pfail = _parallel_symbolic(
+                    plan, parameter, grid, fixed, jobs, budget,
+                    use_kernel=compile,
+                )
         elif method == "numeric":
             if jobs > 1:
-                pfail = _parallel_numeric(
-                    assembly, service, parameter, grid, fixed, jobs, budget,
-                    solver=solver, incremental=incremental,
-                )
+                from repro.engine import shm as _shm
+
+                if fused and _shm.available():
+                    pfail = _parallel_numeric_shm(
+                        assembly, service, parameter, grid, fixed, jobs,
+                        budget, solver=solver, incremental=incremental,
+                    )
+                else:
+                    pfail = _parallel_numeric(
+                        assembly, service, parameter, grid, fixed, jobs,
+                        budget, solver=solver, incremental=incremental,
+                    )
             else:
                 evaluator = ReliabilityEvaluator(
                     assembly, check_domains=False, budget=budget,
@@ -296,6 +413,7 @@ def sweep_attribute(
     cache=None,
     budget: EvaluationBudget | None = None,
     compile: bool = True,
+    fused: bool = True,
 ) -> SweepResult:
     """Sweep one published **interface attribute** (e.g.
     ``"net12::failure_rate"``) at fixed actual parameters.
@@ -320,6 +438,9 @@ def sweep_attribute(
         budget: optional budget enforced during derivation and evaluation.
         compile: evaluate through the compiled kernel (default) or the
             recursive tree walk (``False``).
+        fused: run the whole grid through one stacked kernel execution
+            in-process (default); ``False`` restores the thread-chunked
+            fan-out.
     """
     from repro.core.symbolic_evaluator import attribute_environment
     from repro.engine.parallel import resolve_jobs
@@ -345,9 +466,12 @@ def sweep_attribute(
         )
     fixed = {**base, **{k: float(v) for k, v in dict(actuals).items()}}
     fixed.pop(attribute)
-    pfail = _parallel_symbolic(
-        plan, attribute, grid, fixed, jobs, budget, use_kernel=compile
-    )
+    if fused:
+        pfail = _fused_symbolic(plan, attribute, grid, fixed, budget, compile)
+    else:
+        pfail = _parallel_symbolic(
+            plan, attribute, grid, fixed, jobs, budget, use_kernel=compile
+        )
     return SweepResult(
         assembly.name, service, attribute, grid, pfail, dict(actuals)
     )

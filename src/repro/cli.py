@@ -208,6 +208,16 @@ def build_parser() -> argparse.ArgumentParser:
                  "(numeric solves only; needs scipy, silently off without)",
         )
 
+    def add_fused(sub):
+        sub.add_argument(
+            "--fused", action=argparse.BooleanOptionalAction, default=True,
+            help="fused execution (default on): symbolic grids/batches run "
+                 "through one stacked kernel call per model group, and "
+                 "heavy parallel workloads ride the zero-pickle "
+                 "shared-memory transport; --no-fused restores the "
+                 "per-point and pickling pool paths",
+        )
+
     def metrics_mode(text: str) -> str:
         if text in ("off", "summary") or text.startswith("json:"):
             return text
@@ -355,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_compile(sub)
     add_solver(sub)
     add_incremental(sub)
+    add_fused(sub)
     add_campaign(sub)
     add_observability(sub)
 
@@ -375,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_compile(sub)
     add_solver(sub)
     add_incremental(sub)
+    add_fused(sub)
     add_campaign(sub)
     add_observability(sub)
 
@@ -657,6 +669,7 @@ def _cmd_batch_campaign(args) -> int:
         solver=args.solver,
         compile=not args.no_compile,
         incremental=args.incremental,
+        fused=args.fused,
         units=args.units,
     )
     report = _campaign_run(args, campaign)
@@ -699,6 +712,7 @@ def _cmd_batch(args) -> int:
         compile=not args.no_compile,
         solver=args.solver,
         incremental=args.incremental,
+        fused=args.fused,
     )
     models = [_load(path) for path in args.model]
     requests = [
@@ -724,7 +738,8 @@ def _cmd_batch(args) -> int:
     stats = result.stats
     print(
         f"batch: {stats.entries} evaluations over {stats.plans} plans "
-        f"({stats.compilations} compiled, {stats.cache_hits} cache hits) "
+        f"({stats.compilations} compiled, {stats.cache_hits} cache hits, "
+        f"{stats.fused_entries} fused) "
         f"with {stats.jobs} worker(s) in {stats.elapsed:.3f}s"
     )
     print(_kernel_stats_line(enabled=not args.no_compile))
@@ -763,7 +778,7 @@ def _cmd_sweep(args) -> int:
         assembly, args.service, args.parameter, grid, _parse_bindings(args.set),
         method=args.method, jobs=args.jobs, budget=_budget_from_args(args),
         compile=not args.no_compile, solver=args.solver,
-        incremental=args.incremental,
+        incremental=args.incremental, fused=args.fused,
     )
     print(format_sweep(sweep))
     print(_kernel_stats_line(enabled=not args.no_compile))

@@ -19,8 +19,13 @@ Modules:
 - :mod:`repro.engine.parallel` — executor plumbing, picklable worker
   functions, and cooperative :class:`~repro.runtime.EvaluationBudget`
   enforcement across workers.
+- :mod:`repro.engine.shm` — the zero-pickle shared-memory transport for
+  heavy (robust/Monte-Carlo) workloads: model documents and result rows
+  travel through ``multiprocessing.shared_memory`` segments owned (and
+  always reclaimed) by the parent.
 - :mod:`repro.engine.batch` — the :class:`BatchEngine` façade tying it
-  together, with per-entry error isolation.
+  together, with per-entry error isolation and fused stacked-kernel
+  execution of same-fingerprint symbolic groups.
 
 The engine also powers ``--jobs N`` on the CLI (``repro batch``,
 ``repro sweep``, ``repro fuzz``), parallel grids in
@@ -44,13 +49,20 @@ from repro.engine.fingerprint import (
     plan_key,
     service_fingerprint,
 )
-from repro.engine.parallel import make_executor, resolve_jobs, split_evenly
+from repro.engine.parallel import (
+    fused_counts,
+    make_executor,
+    reset_fused_counts,
+    resolve_jobs,
+    split_evenly,
+)
 from repro.engine.plan import (
     EvaluationPlan,
     compilation_count,
     compile_plan,
     reset_counters,
 )
+from repro.engine.shm import ShmWorkspace, reset_shm_counts, shm_counts
 
 __all__ = [
     "BatchEngine",
@@ -61,15 +73,20 @@ __all__ = [
     "CacheStats",
     "EvaluationPlan",
     "PlanCache",
+    "ShmWorkspace",
     "assembly_fingerprint",
     "canonical_json",
     "compilation_count",
     "compile_plan",
     "default_cache",
+    "fused_counts",
     "make_executor",
     "plan_key",
     "reset_counters",
+    "reset_fused_counts",
+    "reset_shm_counts",
     "resolve_jobs",
     "service_fingerprint",
+    "shm_counts",
     "split_evenly",
 ]

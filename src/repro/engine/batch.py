@@ -37,10 +37,12 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro import observability as obs
+from repro.engine import shm
 from repro.engine.cache import PlanCache
 from repro.engine.parallel import (
     WorkerFailure,
     broken_pool_error,
+    charge_fused,
     evaluate_plan_points,
     make_executor,
     rebuild_error,
@@ -121,6 +123,8 @@ class BatchStats:
             with a warm cache this is 0 regardless of batch size.
         cache_hits / cache_misses: cache traffic attributable to this run.
         jobs: worker count used.
+        fused_entries: entries served by stacked (fused) kernel calls
+            instead of per-point dispatch.
         elapsed: wall-clock seconds for the whole batch.
     """
 
@@ -130,6 +134,7 @@ class BatchStats:
     cache_hits: int = 0
     cache_misses: int = 0
     jobs: int = 1
+    fused_entries: int = 0
     elapsed: float = 0.0
 
     def snapshot(self) -> dict[str, float]:
@@ -141,6 +146,7 @@ class BatchStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "jobs": self.jobs,
+            "fused_entries": self.fused_entries,
             "elapsed": self.elapsed,
         }
 
@@ -206,6 +212,14 @@ class BatchEngine:
         incremental: route robust plans' numeric solves through low-rank
             factorization updates (:mod:`repro.markov.updates`) when
             consecutive entries share chain structure.
+        fused: serve each same-fingerprint symbolic group through **one**
+            stacked kernel call in the parent (no per-point Python
+            dispatch, no pool), and move multi-entry robust groups of a
+            process pool onto the shared-memory transport
+            (:mod:`repro.engine.shm`) so workers stop pickling model
+            documents and per-entry results.  Default on; ``False``
+            restores the pure per-point paths (the ``--no-fused`` escape
+            hatch).
     """
 
     def __init__(
@@ -217,6 +231,7 @@ class BatchEngine:
         compile: bool = True,
         solver: str = "auto",
         incremental: bool = False,
+        fused: bool = True,
     ):
         from repro.markov.solvers import validate_solver
 
@@ -234,6 +249,7 @@ class BatchEngine:
             self.cache = cache
         self.budget = budget
         self.compile = bool(compile)
+        self.fused = bool(fused)
 
     # -- public API --------------------------------------------------------
 
@@ -270,6 +286,7 @@ class BatchEngine:
 
         serial = self.jobs <= 1 or self.mode == "serial" or len(requests) <= 1
         obs.gauge("batch.jobs", 1 if serial else self.jobs)
+        fused_entries = 0
         with obs.span(
             "batch.run", entries=len(requests), mode=self.mode
         ) as run_span:
@@ -278,12 +295,18 @@ class BatchEngine:
                 BatchEntry(i, r.label, r.service, dict(r.actuals))
                 for i, r in enumerate(requests)
             ]
-            if serial:
-                self._run_serial(groups, entries)
-            else:
-                self._run_parallel(groups, entries)
+            remaining = groups
+            if self.fused:
+                remaining, fused_entries = self._run_fused(groups, entries)
+            if remaining:
+                left = sum(len(ix) for _, ix in remaining.values())
+                if serial or left <= 1:
+                    self._run_serial(remaining, entries)
+                else:
+                    self._run_parallel(remaining, entries)
             run_span.set_tag(
                 plans=len(groups),
+                fused=fused_entries,
                 failures=sum(1 for e in entries if not e.ok),
             )
 
@@ -296,6 +319,7 @@ class BatchEngine:
                 (self.cache.stats.misses - misses_before) if self.cache else 0
             ),
             jobs=self.jobs,
+            fused_entries=fused_entries,
             elapsed=time.monotonic() - started,
         )
         return BatchResult(entries, stats)
@@ -339,6 +363,51 @@ class BatchEngine:
             groups[fingerprint][1].append(index)
         return groups
 
+    def _run_fused(self, groups, entries: list[BatchEntry]):
+        """Serve multi-entry symbolic groups through one stacked kernel
+        call each, in the parent process.
+
+        Returns the groups the fused path cannot serve — robust plans,
+        compilation errors, singletons — plus the fused entry count.  A
+        group whose stacked call raises (one poisoned point fails the
+        whole stack) is handed back untouched so the per-point paths keep
+        their per-entry error isolation; those hand-backs are counted as
+        ``engine.fused.fallbacks``.
+        """
+        remaining: dict = {}
+        fused_entries = 0
+        for fingerprint, (plan, indices) in groups.items():
+            if (
+                isinstance(plan, ReproError)
+                or plan.backend != "symbolic"
+                or len(indices) <= 1
+            ):
+                remaining[fingerprint] = (plan, indices)
+                continue
+            t0 = time.perf_counter()
+            try:
+                if self.budget is not None:
+                    self.budget.check_deadline("batch evaluation")
+                stacked = plan.pfail_stack(
+                    [entries[i].actuals for i in indices],
+                    budget=self.budget,
+                    use_kernel=self.compile,
+                )
+            except ReproError:
+                charge_fused(fallbacks=1)
+                remaining[fingerprint] = (plan, indices)
+                continue
+            elapsed = time.perf_counter() - t0
+            per_entry = elapsed / len(indices)
+            for offset, index in enumerate(indices):
+                entry = entries[index]
+                entry.backend = plan.backend
+                entry.pfail = float(stacked[offset])
+                obs.observe("batch.entry.seconds", per_entry)
+            charge_fused(groups=1, entries=len(indices))
+            fused_entries += len(indices)
+        return remaining, fused_entries
+
     def _run_serial(self, groups, entries: list[BatchEntry]) -> None:
         for plan, indices in groups.values():
             for index in indices:
@@ -358,17 +427,86 @@ class BatchEngine:
                     entry.error = exc
                 obs.observe("batch.entry.seconds", time.perf_counter() - t0)
 
+    def _use_shm(self, plan, indices) -> bool:
+        """Whether a group should ride the shared-memory transport: heavy
+        (robust) plans fanning real work across a process pool."""
+        return (
+            self.fused
+            and self.mode == "process"
+            and not isinstance(plan, ReproError)
+            and plan.backend == "robust"
+            and len(indices) > 1
+            and shm.available()
+        )
+
+    def _submit_shm(self, executor, futures, plan, indices, entries, workspaces):
+        """Lay out one shared workspace for a robust group and fan its
+        rows across the pool — workers read the model document and write
+        result rows in place; nothing heavy is pickled."""
+        formals = plan.formals
+        n, k = len(indices), max(1, len(formals))
+        workspace = shm.ShmWorkspace.create(
+            plan.assembly_json.encode("utf-8"),
+            {
+                "points": ((n, k), "float64"),
+                "mask": ((n, k), "uint8"),
+                "results": ((n,), "float64"),
+                "status": ((n,), "uint8"),
+            },
+        )
+        workspaces.append(workspace)
+        points = workspace.array("points")
+        mask = workspace.array("mask")
+        for row, index in enumerate(indices):
+            actuals = entries[index].actuals
+            for column, name in enumerate(formals):
+                if name in actuals:
+                    points[row, column] = float(actuals[name])
+                    mask[row, column] = 1
+        shm._charge(rows=n)
+        config = {
+            "service": plan.service,
+            "fingerprint": plan.fingerprint,
+            "formals": list(formals),
+            "solver": plan.solver,
+            "incremental": plan.incremental,
+        }
+        spec = workspace.spec()
+        for rows in split_evenly(list(range(n)), self.jobs):
+            payload = {
+                "spec": spec,
+                "config": config,
+                "start": rows[0],
+                "stop": rows[-1] + 1,
+                "deadline": remaining_deadline(self.budget),
+                "observe": obs.enabled(),
+                "dispatched_at": time.time(),
+            }
+            futures[executor.submit(shm.shm_plan_rows, payload)] = (
+                "shm",
+                plan,
+                indices[rows[0]:rows[-1] + 1],
+                workspace,
+                rows[0],
+            )
+
     def _run_parallel(self, groups, entries: list[BatchEntry]) -> None:
         executor = make_executor(self.jobs, self.mode)
         if executor is None:  # pragma: no cover - guarded by caller
             return self._run_serial(groups, entries)
         futures = {}
+        workspaces: list = []
         try:
             with executor:
                 for plan, indices in groups.values():
                     if isinstance(plan, ReproError):
                         for index in indices:
                             entries[index].error = plan
+                        continue
+                    if self._use_shm(plan, indices):
+                        self._submit_shm(
+                            executor, futures, plan, indices, entries, workspaces
+                        )
                         continue
                     for chunk in split_evenly(indices, self.jobs):
                         payload = {
@@ -380,6 +518,7 @@ class BatchEngine:
                             "dispatched_at": time.time(),
                         }
                         futures[executor.submit(evaluate_plan_points, payload)] = (
+                            "points",
                             plan,
                             chunk,
                         )
@@ -390,7 +529,21 @@ class BatchEngine:
                         if self.budget is not None:
                             self.budget.check_deadline("batch collection")
                         for future in done:
-                            plan, chunk = futures[future]
+                            tag = futures[future]
+                            if tag[0] == "shm":
+                                _, plan, chunk, workspace, start = tag
+                                failures = unpack_worker_payload(future.result())
+                                results = workspace.array("results")
+                                for offset, index in enumerate(chunk):
+                                    entry = entries[index]
+                                    entry.backend = plan.backend
+                                    failure = failures.get(start + offset)
+                                    if failure is not None:
+                                        entry.error = rebuild_error(failure)
+                                    else:
+                                        entry.pfail = float(results[start + offset])
+                                continue
+                            _, plan, chunk = tag
                             outcomes = unpack_worker_payload(future.result())
                             for index, outcome in zip(chunk, outcomes):
                                 entry = entries[index]
@@ -410,3 +563,5 @@ class BatchEngine:
         finally:
             for future in futures:
                 future.cancel()
+            for workspace in workspaces:
+                workspace.close()

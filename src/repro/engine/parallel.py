@@ -27,6 +27,7 @@ importable from a fresh worker process:
 from __future__ import annotations
 
 import os
+import threading
 import time
 import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -46,6 +47,7 @@ __all__ = [
     "WorkerFailure",
     "broken_pool_error",
     "evaluate_plan_points",
+    "fused_counts",
     "fuzz_block",
     "make_executor",
     "numeric_sweep_chunk",
@@ -53,11 +55,53 @@ __all__ = [
     "rebuild_error",
     "remaining_deadline",
     "reset_clamp_warning",
+    "reset_fused_counts",
     "resolve_jobs",
     "simulate_block",
     "split_evenly",
     "unpack_worker_payload",
 ]
+
+
+# ---------------------------------------------------------------------------
+# fused-execution counters (shared by the batch engine and the sweep layer)
+# ---------------------------------------------------------------------------
+
+_fused_lock = threading.Lock()
+_fused = {"groups": 0, "entries": 0, "fallbacks": 0}
+
+
+def fused_counts() -> dict:
+    """Process-wide fused-execution counters.
+
+    ``groups``: same-fingerprint groups served by one stacked kernel call;
+    ``entries``: individual (model, point) evaluations those calls fused;
+    ``fallbacks``: groups the fused path handed back to the per-point path
+    (a poisoned point, so errors stay per-entry).
+    """
+    with _fused_lock:
+        return dict(_fused)
+
+
+def reset_fused_counts() -> None:
+    """Zero the fused counters (test isolation helper)."""
+    with _fused_lock:
+        for key in _fused:
+            _fused[key] = 0
+
+
+def charge_fused(groups: int = 0, entries: int = 0, fallbacks: int = 0) -> None:
+    """Charge fused-execution work to the module counters and metrics."""
+    with _fused_lock:
+        _fused["groups"] += groups
+        _fused["entries"] += entries
+        _fused["fallbacks"] += fallbacks
+    if groups:
+        obs.count("engine.fused.groups", groups)
+    if entries:
+        obs.count("engine.fused.entries", entries)
+    if fallbacks:
+        obs.count("engine.fused.fallbacks", fallbacks)
 
 
 def split_evenly(items: list, parts: int) -> list[list]:

@@ -37,11 +37,17 @@ import numpy as np
 
 from repro import observability as obs
 from repro.engine.fingerprint import canonical_json, service_fingerprint
-from repro.errors import CyclicAssemblyError, EvaluationError, SymbolicError
+from repro.errors import (
+    BudgetExceededError,
+    CyclicAssemblyError,
+    EvaluationError,
+    SymbolicError,
+    UnboundParameterError,
+)
 from repro.model.assembly import Assembly
 from repro.model.service import Service
 from repro.runtime.budget import EvaluationBudget
-from repro.runtime.guards import check_probability
+from repro.runtime.guards import check_probability, check_unit_interval_array
 from repro.symbolic import Expression
 from repro.symbolic.compiler import CompiledKernel, compile_expression
 
@@ -215,16 +221,100 @@ class EvaluationPlan:
         if self.backend == "symbolic":
             env = {**{k: float(v) for k, v in fixed.items()}, parameter: grid}
             target = self.kernel() if use_kernel else self.expression
-            return np.broadcast_to(
-                np.asarray(target.evaluate(env), dtype=float),
-                grid.shape,
-            ).copy()
+            result = np.asarray(target.evaluate(env), dtype=float)
+            if result.shape == grid.shape:
+                # the kernel's final op allocates a fresh array, so the
+                # result is safe to hand out — unless the closed form
+                # degenerates to the bare parameter and "result" is the
+                # caller's own grid
+                if np.shares_memory(result, grid):
+                    return result.copy()
+                return result
+            # the closed form eliminated the swept parameter: a scalar
+            return np.full(grid.shape, float(result))
         out = np.empty(grid.shape, dtype=float)
+        env = dict(fixed)
         for i, value in enumerate(grid):
-            out[i] = self.pfail(
-                {**fixed, parameter: float(value)}, budget=budget
-            )
+            env[parameter] = float(value)
+            try:
+                out[i] = self.pfail(env, budget=budget)
+            except BudgetExceededError as exc:
+                exc.add_note(self._partial_note("grid", i, grid.size))
+                raise
         return out
+
+    def pfail_stack(
+        self,
+        points: Sequence[Mapping[str, float]],
+        *,
+        budget: EvaluationBudget | None = None,
+        use_kernel: bool = True,
+    ) -> np.ndarray:
+        """``Pfail`` at many independent points in one fused pass.
+
+        ``points`` is a sequence of actual-parameter bindings — the shape a
+        batch engine holds after grouping same-fingerprint requests.  The
+        symbolic backend stacks each parameter into one ``(n,)`` column and
+        runs the compiled kernel **once** over the stack (no per-point
+        Python dispatch, no per-point dict building), returning results
+        bitwise-identical to ``n`` :meth:`pfail` calls.  A point missing a
+        parameter the closed form needs raises
+        :class:`~repro.errors.UnboundParameterError`, exactly as the
+        per-point path would.
+
+        The robust backend keeps its per-point loop (each point is a full
+        degradation-chain evaluation); a budget deadline hit mid-stack
+        raises with a partial-progress note rather than silently
+        truncating.
+        """
+        points = [dict(point) for point in points]
+        n = len(points)
+        if n == 0:
+            raise EvaluationError("pfail_stack needs at least one point")
+        if budget is not None:
+            budget.check_deadline(f"stacked evaluation of {self.service!r}")
+        if self.backend == "symbolic":
+            kernel = self.kernel() if use_kernel else None
+            if kernel is not None:
+                names = kernel.parameters
+            else:
+                names = tuple(sorted(self.expression.free_parameters()))
+            columns: dict[str, np.ndarray] = {}
+            for name in names:
+                try:
+                    columns[name] = np.fromiter(
+                        (point[name] for point in points), dtype=float, count=n
+                    )
+                except KeyError:
+                    raise UnboundParameterError(name) from None
+            if kernel is not None:
+                stacked = kernel.evaluate_stack(columns, n)
+            else:
+                value = np.asarray(
+                    self.expression.evaluate(columns), dtype=float
+                )
+                if value.shape == (n,):
+                    stacked = value
+                else:
+                    stacked = np.full(n, float(value))
+            return check_unit_interval_array(
+                f"Pfail({self.service})", stacked
+            )
+        out = np.empty(n, dtype=float)
+        for i, point in enumerate(points):
+            try:
+                out[i] = self.pfail(point, budget=budget)
+            except BudgetExceededError as exc:
+                exc.add_note(self._partial_note("stacked", i, n))
+                raise
+        return out
+
+    def _partial_note(self, what: str, done: int, total: int) -> str:
+        return (
+            f"{what} evaluation of {self.service!r} stopped at point "
+            f"{done + 1}/{total} ({done} completed); partial results "
+            "discarded"
+        )
 
     # -- internals ---------------------------------------------------------
 

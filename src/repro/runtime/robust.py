@@ -296,6 +296,10 @@ class RobustEvaluator:
             self._symbolic_evaluator = SymbolicEvaluator(
                 self.assembly, validate=False, budget=self.budget
             )
+        else:
+            # pooled plans swap budgets between calls; the cached tier
+            # must charge the current one, not the budget it was born with
+            self._symbolic_evaluator.budget = self.budget
         expression = self._symbolic_evaluator.pfail_expression(service)
         value = float(
             expression.evaluate(Environment({k: float(v) for k, v in actuals.items()}))
@@ -310,6 +314,8 @@ class RobustEvaluator:
                 self.assembly, validate=False, budget=self.budget,
                 solver=self.solver, incremental=self.incremental,
             )
+        else:
+            self._numeric_evaluator.budget = self.budget
         value = self._numeric_evaluator.pfail(service, **actuals)
         return check_probability(f"Pfail({service})", value), None, 0.0, None
 

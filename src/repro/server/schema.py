@@ -66,6 +66,14 @@ COMPILE = {
                    "hatch)",
 }
 
+FUSED = {
+    "type": "boolean",
+    "description": "fused execution (default `true`): symbolic grids and "
+                   "same-model batch groups run through one stacked kernel "
+                   "call each, bitwise-identical to the per-point path; "
+                   "`false` is the `--no-fused` escape hatch",
+}
+
 BUDGET = {
     "type": "object",
     "additionalProperties": False,
@@ -148,6 +156,7 @@ BATCH_REQUEST = {
         },
         "solver": SOLVER,
         "compile": COMPILE,
+        "fused": FUSED,
         "budget": BUDGET,
     },
 }
@@ -184,6 +193,7 @@ SWEEP_REQUEST = {
         },
         "solver": SOLVER,
         "compile": COMPILE,
+        "fused": FUSED,
         "budget": BUDGET,
     },
 }
@@ -354,9 +364,12 @@ ENDPOINTS: tuple[Endpoint, ...] = (
                     "`updates` counters `{applied, fallback_rank, "
                     "fallback_condition}` of the incremental "
                     "(Sherman-Morrison-Woodbury) re-solve path.  The "
-                    "numbers are live regardless of whether metrics "
-                    "collection is enabled — this is the endpoint "
-                    "warm-cache smoke tests watch.",
+                    "`engine.fused` block counts stacked-kernel group "
+                    "executions (`groups`/`entries`/`fallbacks`) and the "
+                    "shared-memory transport's `shm` "
+                    "`{segments, rows}` totals.  The numbers are live "
+                    "regardless of whether metrics collection is enabled — "
+                    "this is the endpoint warm-cache smoke tests watch.",
         response_example={
             "schema": RESPONSE_SCHEMA,
             "plan": {"hits": 9, "misses": 3, "evictions": 0,
@@ -370,6 +383,8 @@ ENDPOINTS: tuple[Endpoint, ...] = (
                                    "fallback_condition": 0}},
             "model": {"hits": 10, "misses": 2, "evictions": 0,
                       "hit_rate": 0.833, "size": 2},
+            "engine": {"fused": {"groups": 2, "entries": 9, "fallbacks": 0,
+                                 "shm": {"segments": 1, "rows": 40}}},
             "server": {"requests": 12, "evaluations": 3, "coalesced": 2},
         },
         status_codes=((200, "always"),),
@@ -417,7 +432,9 @@ ENDPOINTS: tuple[Endpoint, ...] = (
                     "object on that entry while the rest of the batch "
                     "completes, so the response is always `200` when the "
                     "batch itself was admissible.  Distinct models compile "
-                    "once each through the shared plan cache.",
+                    "once each through the shared plan cache, and entries "
+                    "sharing a symbolic plan evaluate through one stacked "
+                    "kernel call (`fused`, on by default).",
         request_schema=BATCH_REQUEST,
         request_example={
             "requests": [
@@ -439,7 +456,8 @@ ENDPOINTS: tuple[Endpoint, ...] = (
                  "backend": "symbolic", "error": None},
             ],
             "stats": {"entries": 2, "plans": 1, "compilations": 0,
-                      "cache_hits": 1, "elapsed": 0.003},
+                      "cache_hits": 1, "fused_entries": 2,
+                      "elapsed": 0.003},
         },
         status_codes=(
             (200, "batch ran; per-entry errors are in the body"),

@@ -170,6 +170,7 @@ class EvaluationService:
             budget=budget,
             compile=bool(payload.get("compile", True)),
             solver=solver,
+            fused=bool(payload.get("fused", True)),
         )
         requests = []
         for entry in payload["requests"]:
@@ -230,13 +231,14 @@ class EvaluationService:
         method = payload.get("method", "symbolic")
         solver = payload.get("solver", "auto")
         use_kernel = bool(payload.get("compile", True))
+        fused = bool(payload.get("fused", True))
         grid = [
             float(v)
             for v in np.linspace(payload["start"], payload["stop"], points)
         ]
         key = (
             "sweep", digest, service, parameter, tuple(grid),
-            tuple(sorted(fixed.items())), method, solver, use_kernel,
+            tuple(sorted(fixed.items())), method, solver, use_kernel, fused,
         )
 
         def compute() -> dict:
@@ -247,7 +249,7 @@ class EvaluationService:
             sweep = sweep_parameter(
                 assembly, service, parameter, grid, fixed,
                 method=method, cache=self.plan_cache, budget=budget,
-                compile=use_kernel, solver=solver,
+                compile=use_kernel, solver=solver, fused=fused,
             )
             return {
                 "schema": RESPONSE_SCHEMA,
@@ -272,6 +274,7 @@ class EvaluationService:
             factorization_count,
             plan_count,
         )
+        from repro.engine import fused_counts, shm_counts
         from repro.markov.updates import update_counts
         from repro.symbolic import default_kernel_cache
 
@@ -285,6 +288,9 @@ class EvaluationService:
             "kernel": _stats_dict(default_kernel_cache()),
             "solver": solver,
             "model": _stats_dict(self.models),
+            "engine": {
+                "fused": {**fused_counts(), "shm": shm_counts()},
+            },
             "server": {
                 "requests": self.requests,
                 "evaluations": self.evaluations,

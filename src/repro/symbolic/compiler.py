@@ -159,9 +159,13 @@ class CompiledKernel:
         The tape runs through straight-line code specialized to the call's
         *array signature* (which parameters are arrays); array-valued ops
         write into preallocated per-thread buffers.  Arrays of differing
-        shapes fall back to a generic per-op broadcasting pass.  Missing
-        parameters raise :class:`~repro.errors.UnboundParameterError`,
-        as the tree walk does.
+        but broadcast-compatible shapes (a ``(models, 1)`` column against a
+        ``(1, points)`` row of a stacked grid) are broadcast up front —
+        zero-copy views — and run through the same straight-line code;
+        only non-broadcastable shapes fall back to the generic per-op
+        pass.  Missing parameters raise
+        :class:`~repro.errors.UnboundParameterError`, as the tree walk
+        does.
         """
         values = []
         sig = []
@@ -189,21 +193,82 @@ class CompiledKernel:
             sig.append(is_array)
 
         if mixed:
-            result = self._run_mixed(values)
-        else:
-            key = tuple(sig)
-            variant = self._variants.get(key)
-            if variant is None:
-                variant = self._make_variant(key)
-            fn, n_buffers = variant
-            if n_buffers:
-                result = fn(*values, *self._buffers(key, shape, n_buffers))
+            try:
+                shape = np.broadcast_shapes(
+                    *[v.shape for v, a in zip(values, sig) if a]
+                )
+            except ValueError:
+                shape = None
+            if shape is None:
+                # non-broadcastable shapes: let the per-op interpreter
+                # raise exactly where the tree walk would
+                result = self._run_mixed(values)
             else:
-                result = fn(*values)
+                # broadcast up front (views, no copies) so the stacked
+                # call runs the same straight-line code as a uniform one
+                values = [
+                    np.broadcast_to(v, shape) if a else v
+                    for v, a in zip(values, sig)
+                ]
+                result = self._run_uniform(tuple(sig), values, shape)
+        else:
+            result = self._run_uniform(tuple(sig), values, shape)
 
         if isinstance(result, np.ndarray) and result.shape == ():
             return float(result)
         return result
+
+    def _run_uniform(self, key: tuple, values: list, shape: tuple | None):
+        """One straight-line pass over values sharing a single grid shape."""
+        variant = self._variants.get(key)
+        if variant is None:
+            variant = self._make_variant(key)
+        fn, n_buffers = variant
+        if n_buffers:
+            return fn(*values, *self._buffers(key, shape, n_buffers))
+        return fn(*values)
+
+    def evaluate_stack(self, columns: Mapping[str, Value], n: int) -> np.ndarray:
+        """Evaluate ``n`` independent points in one straight-line pass.
+
+        ``columns`` binds each parameter to either a ``(n,)`` float column
+        (one value per point) or a scalar shared by every point — the
+        stacked form a batch engine builds from ``(models × points)``
+        request groups.  Always returns a freshly allocated ``(n,)`` array
+        (never a view of an input column or a reused internal buffer),
+        elementwise bitwise-identical to ``n`` scalar :meth:`evaluate`
+        calls.  Missing parameters raise
+        :class:`~repro.errors.UnboundParameterError`.
+        """
+        values = []
+        sig = []
+        for name, _slot in self._params:
+            if columns is None or name not in columns:
+                raise UnboundParameterError(name)
+            value = columns[name]
+            if isinstance(value, np.ndarray) and value.shape != ():
+                if value.shape != (n,):
+                    raise ValueError(
+                        f"stacked column {name!r} has shape {value.shape}, "
+                        f"expected ({n},)"
+                    )
+                values.append(value.astype(float, copy=False))
+                sig.append(True)
+            else:
+                values.append(np.float64(value))
+                sig.append(False)
+        result = self._run_uniform(tuple(sig), values, (n,))
+        if not isinstance(result, np.ndarray) or result.shape == ():
+            # the closed form folded to a constant (or every column was
+            # scalar): materialize the stack
+            return np.full(n, float(result))
+        if self._result_is_op:
+            # the final op never writes into a reused buffer, so the
+            # result is already freshly allocated
+            return result
+        # degenerate tape (result is a bare parameter): do not alias the
+        # caller's column
+        return result.copy()
 
     __call__ = evaluate
 
@@ -299,16 +364,29 @@ class CompiledKernel:
             return variant
 
     def _buffers(self, sig: tuple, shape: tuple, n_buffers: int) -> list:
-        """Per-thread, per-signature ``out=`` buffers (reused while the
-        grid shape is stable, reallocated when it changes)."""
+        """Per-thread, per-signature ``out=`` buffers.
+
+        Backed by grow-only flat capacity arrays: a call hands out
+        ``flat[:size].reshape(shape)`` views, so batch sizes that
+        fluctuate (a 60-point sweep after a 240-point stack) reuse the
+        same storage instead of reallocating per shape change.  The views
+        themselves are memoized per stable shape — repeated same-shape
+        calls (the hot sweep loop) pay zero per-call allocation."""
         store = getattr(self._local, "variant_buffers", None)
         if store is None:
             store = self._local.variant_buffers = {}
-        buffers = store.get(sig)
-        if buffers is None or buffers[0].shape != shape:
-            buffers = [np.empty(shape) for _ in range(n_buffers)]
-            store[sig] = buffers
-        return buffers
+        entry = store.get(sig)
+        if entry is not None and entry[1] == shape:
+            return entry[2]
+        size = 1
+        for dim in shape:
+            size *= dim
+        flats = entry[0] if entry is not None else None
+        if flats is None or flats[0].size < size:
+            flats = [np.empty(size, dtype=float) for _ in range(n_buffers)]
+        views = [flat[:size].reshape(shape) for flat in flats]
+        store[sig] = (flats, shape, views)
+        return views
 
     # -- generic fallback (arrays of differing shapes) ---------------------
 

@@ -264,6 +264,7 @@ def batch_campaign(
     solver: str = "auto",
     compile: bool = True,
     incremental: bool = False,
+    fused: bool = True,
     units: int | None = None,
 ) -> Campaign:
     """Shard a batch (many models × many points) into work units.
@@ -282,6 +283,11 @@ def batch_campaign(
         incremental: low-rank re-solve updates for numeric plan backends
             (recorded in the config only when enabled, as in
             :func:`sweep_campaign`).
+        fused: stacked-kernel evaluation of a unit's symbolic entries
+            (default on).  Recorded in the config — and the campaign id —
+            only when *disabled*, so journals written before the flag
+            existed resume as fused and default-on campaigns hash
+            identically either side of the change.
         units: optional shard count (default: ``ceil(requests / 4)``).
     """
     from repro.engine.fingerprint import assembly_fingerprint, canonical_json
@@ -293,6 +299,8 @@ def batch_campaign(
               "service": service}
     if incremental:
         config["incremental"] = True
+    if not fused:
+        config["fused"] = False
     total = 0
     per_model: list[tuple[str, Assembly, list[dict]]] = []
     for label, assembly in models:

@@ -112,8 +112,32 @@ def _execute_batch(unit: dict, budget) -> list[dict]:
         assembly, config["service"], budget=budget, solver=config["solver"],
         incremental=bool(config.get("incremental", False)),
     )
+    unit_entries = unit["payload"]["entries"]
+    if (
+        config.get("fused", True)
+        and plan.backend == "symbolic"
+        and len(unit_entries) > 1
+    ):
+        # one stacked kernel call for the whole unit (bitwise-identical
+        # to the loop); any error falls back so isolation stays per-point
+        try:
+            stacked = plan.pfail_stack(
+                [entry["actuals"] for entry in unit_entries],
+                budget=budget, use_kernel=config["compile"],
+            )
+        except ReproError:
+            pass
+        else:
+            return [
+                {
+                    "request_index": int(entry["request_index"]),
+                    "pfail": float(stacked[i]),
+                    "backend": plan.backend,
+                }
+                for i, entry in enumerate(unit_entries)
+            ]
     entries: list[dict] = []
-    for entry in unit["payload"]["entries"]:
+    for entry in unit_entries:
         record = {"request_index": int(entry["request_index"])}
         try:
             record["pfail"] = float(plan.pfail(

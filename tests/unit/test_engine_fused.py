@@ -1,0 +1,316 @@
+"""The fused execution path: stacked kernels, counters, shm lifecycle.
+
+Covers the contracts the fused executor adds on top of the batch engine:
+
+- ``pfail_grid``'s symbolic fast path (grid-shaped kernel results return
+  directly; scalar closed forms — the swept parameter eliminated — still
+  materialize a full grid);
+- robust-backend ``pfail_grid``/``pfail_stack`` under cooperative budget
+  deadlines: a deadline hit mid-grid raises with a partial-progress note,
+  never a silently truncated result;
+- ``BatchEngine`` fused-group accounting (``fused_entries``,
+  ``engine.fused.*`` counters) and per-entry error isolation when a
+  poisoned point forces the fallback;
+- the shared-memory workspace lifecycle: idempotent close, no segment
+  leaked even when a worker is SIGKILLed mid-flight;
+- the ``fused`` knob end to end: CLI flags, server request schemas and
+  `/v1/cache-stats`, and work-unit id stability (default-on campaigns
+  hash identically to pre-fused journals).
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BatchEngine,
+    PlanCache,
+    fused_counts,
+    reset_fused_counts,
+    shm_counts,
+)
+from repro.engine import shm
+from repro.engine.plan import compile_plan
+from repro.errors import BudgetExceededError
+from repro.runtime.budget import EvaluationBudget
+from repro.scenarios import local_assembly, recursive_assembly
+
+
+# ---------------------------------------------------------------------------
+# pfail_grid symbolic fast path (satellite: no broadcast_to(...).copy())
+# ---------------------------------------------------------------------------
+
+
+class TestGridFastPath:
+    def test_grid_shaped_result_is_returned_directly(self, local):
+        plan = compile_plan(local, "search")
+        grid = np.linspace(1.0, 1000.0, 16)
+        fixed = {"elem": 1.0, "res": 1.0}
+        values = plan.pfail_grid("list", grid, fixed)
+        assert values.shape == grid.shape
+        loop = [plan.pfail({**fixed, "list": float(v)}) for v in grid]
+        assert np.array_equal(values, np.asarray(loop))
+
+    def test_scalar_closed_form_materializes_grid(self, local):
+        # sort1's closed form depends on "list" only: sweeping an unused
+        # name folds to a scalar, which must still come back grid-shaped
+        plan = compile_plan(local, "sort1")
+        assert plan.formals == ("list",)
+        grid = np.linspace(0.0, 9.0, 7)
+        values = plan.pfail_grid("unused", grid, {"list": 100.0})
+        assert values.shape == grid.shape
+        expected = plan.pfail({"list": 100.0})
+        assert np.array_equal(values, np.full(grid.shape, expected))
+
+    def test_grid_result_does_not_alias_grid(self, local):
+        plan = compile_plan(local, "search")
+        grid = np.linspace(1.0, 500.0, 8)
+        values = plan.pfail_grid("list", grid, {"elem": 1.0, "res": 1.0})
+        assert not np.shares_memory(values, grid)
+
+
+# ---------------------------------------------------------------------------
+# robust backend under cooperative deadlines (satellite 3)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def robust_plan():
+    return compile_plan(recursive_assembly(), "A", solver="sparse")
+
+
+class TestRobustDeadlines:
+    def test_grid_deadline_reports_partial_progress(self, robust_plan):
+        budget = EvaluationBudget(deadline=0.2)
+        with pytest.raises(BudgetExceededError) as info:
+            robust_plan.pfail_grid(
+                "size", np.arange(1.0, 64.0), {}, budget=budget
+            )
+        notes = "\n".join(getattr(info.value, "__notes__", []))
+        assert "stopped at point" in notes
+        assert "partial results discarded" in notes
+
+    def test_stack_deadline_reports_partial_progress(self, robust_plan):
+        budget = EvaluationBudget(deadline=0.2)
+        points = [{"size": float(v)} for v in range(1, 64)]
+        with pytest.raises(BudgetExceededError) as info:
+            robust_plan.pfail_stack(points, budget=budget)
+        notes = "\n".join(getattr(info.value, "__notes__", []))
+        assert "stacked evaluation" in notes
+        assert "stopped at point" in notes
+
+    def test_no_silent_truncation_under_generous_deadline(self, robust_plan):
+        budget = EvaluationBudget(deadline=60.0)
+        points = [{"size": float(v)} for v in range(1, 5)]
+        stacked = robust_plan.pfail_stack(points, budget=budget)
+        assert stacked.shape == (len(points),)
+        loop = [robust_plan.pfail(p) for p in points]
+        assert np.array_equal(stacked, np.asarray(loop))
+
+
+# ---------------------------------------------------------------------------
+# BatchEngine fused groups: accounting, fallback isolation, escape hatch
+# ---------------------------------------------------------------------------
+
+
+class TestEngineFused:
+    def _points(self, n):
+        return [
+            {"elem": 1.0, "res": 1.0, "list": float(v)}
+            for v in np.linspace(1.0, 1000.0, n)
+        ]
+
+    def test_fused_group_counts_entries(self, local):
+        reset_fused_counts()
+        engine = BatchEngine(jobs=1, cache=PlanCache())
+        result = engine.evaluate(local, "search", self._points(6))
+        assert result.ok
+        assert result.stats.fused_entries == 6
+        counts = fused_counts()
+        assert counts["groups"] == 1
+        assert counts["entries"] == 6
+        assert counts["fallbacks"] == 0
+
+    def test_no_fused_engine_reports_zero(self, local):
+        reset_fused_counts()
+        engine = BatchEngine(jobs=1, cache=PlanCache(), fused=False)
+        result = engine.evaluate(local, "search", self._points(5))
+        assert result.ok
+        assert result.stats.fused_entries == 0
+        assert fused_counts()["groups"] == 0
+
+    def test_fused_and_loop_agree_bitwise(self, local):
+        points = self._points(9)
+        fused = BatchEngine(jobs=1, cache=PlanCache())
+        loop = BatchEngine(jobs=1, cache=PlanCache(), fused=False)
+        lhs = [e.pfail for e in fused.evaluate(local, "search", points)]
+        rhs = [e.pfail for e in loop.evaluate(local, "search", points)]
+        assert lhs == rhs
+
+    def test_poisoned_point_falls_back_to_per_entry_isolation(self, local):
+        reset_fused_counts()
+        points = self._points(4)
+        del points[2]["list"]  # unbound parameter poisons the stack
+        engine = BatchEngine(jobs=1, cache=PlanCache())
+        result = engine.evaluate(local, "search", points)
+        assert not result.ok
+        entries = list(result)
+        assert [entry.ok for entry in entries] == [True, True, False, True]
+        assert result.stats.fused_entries == 0
+        assert fused_counts()["fallbacks"] == 1
+        # the healthy entries still carry correct values
+        plan = compile_plan(local, "search")
+        assert entries[0].pfail == plan.pfail(points[0])
+
+
+# ---------------------------------------------------------------------------
+# shared-memory workspace lifecycle (tentpole (b) + satellite 6)
+# ---------------------------------------------------------------------------
+
+
+def _kill_self():  # pragma: no cover - dies by design
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@pytest.mark.skipif(not shm.available(), reason="no shared-memory support")
+class TestShmLifecycle:
+    def _segments(self, workspace):
+        names = [workspace.spec()["doc"]["name"]]
+        names += [
+            spec[0] for spec in workspace.spec()["arrays"].values()
+        ]
+        return [name.lstrip("/") for name in names]
+
+    def test_roundtrip_and_idempotent_close(self):
+        before = shm_counts()["segments"]
+        workspace = shm.ShmWorkspace.create(
+            b"{}", {"results": ((4,), "float64"), "status": ((4,), "uint8")}
+        )
+        names = self._segments(workspace)
+        try:
+            workspace.array("results")[:] = [1.0, 2.0, 3.0, 4.0]
+            attached = shm._Attached(workspace.spec())
+            assert attached.doc == b"{}"
+            assert np.array_equal(
+                attached.arrays["results"], [1.0, 2.0, 3.0, 4.0]
+            )
+            attached.close()
+        finally:
+            workspace.close()
+            workspace.close()  # idempotent
+        assert shm_counts()["segments"] == before + len(names)
+        for name in names:
+            assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_no_leak_when_worker_is_sigkilled(self):
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        workspace = shm.ShmWorkspace.create(
+            b"{}", {"results": ((2,), "float64")}
+        )
+        names = self._segments(workspace)
+        executor = ProcessPoolExecutor(max_workers=1)
+        try:
+            with pytest.raises(BrokenProcessPool):
+                executor.submit(_kill_self).result(timeout=30)
+        finally:
+            executor.shutdown(wait=True)
+            workspace.close()
+        for name in names:
+            assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_parallel_shm_batch_matches_serial(self, monkeypatch):
+        # this box may have one core; the engine clamps jobs to the cpu
+        # count, so pretend there are enough to exercise the shm path
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assembly = recursive_assembly()
+        points = [{"size": float(1 + (i % 5))} for i in range(8)]
+        serial = BatchEngine(jobs=1, cache=PlanCache(), solver="sparse")
+        expected = [e.pfail for e in serial.evaluate(assembly, "A", points)]
+        rows_before = shm_counts()["rows"]
+        engine = BatchEngine(
+            jobs=2, cache=PlanCache(), solver="sparse", mode="process"
+        )
+        result = engine.evaluate(assembly, "A", points)
+        assert result.ok
+        assert [e.pfail for e in result] == expected
+        assert shm_counts()["rows"] - rows_before == len(points)
+
+
+# ---------------------------------------------------------------------------
+# the fused knob end to end: CLI, server, work units
+# ---------------------------------------------------------------------------
+
+
+class TestFusedKnob:
+    def test_cli_flags_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["batch", "search", "--model", "m.json"])
+        assert args.fused is True
+        args = parser.parse_args(
+            ["batch", "search", "--model", "m.json", "--no-fused"]
+        )
+        assert args.fused is False
+        args = parser.parse_args([
+            "sweep", "m.json", "search", "list",
+            "--from", "1", "--to", "10", "--no-fused",
+        ])
+        assert args.fused is False
+
+    def test_server_schema_accepts_fused(self):
+        from repro.server.schema import (
+            BATCH_REQUEST,
+            SWEEP_REQUEST,
+            schema_problems,
+        )
+
+        body = {
+            "requests": [{"model": {}, "service": "s"}],
+            "fused": False,
+        }
+        assert schema_problems(body, BATCH_REQUEST) == []
+        body = {
+            "model": {}, "service": "s", "parameter": "p",
+            "start": 0, "stop": 1, "fused": True,
+        }
+        assert schema_problems(body, SWEEP_REQUEST) == []
+        body["fused"] = "yes"
+        assert schema_problems(body, SWEEP_REQUEST) != []
+
+    def test_cache_stats_carries_engine_fused_block(self):
+        from repro.server.service import EvaluationService
+
+        stats = EvaluationService().cache_stats()
+        fused = stats["engine"]["fused"]
+        assert set(fused) >= {"groups", "entries", "fallbacks", "shm"}
+        assert set(fused["shm"]) == {"segments", "rows"}
+
+    def test_workunit_ids_stable_under_default_fused(self, local):
+        # absence-means-enabled hashing: a default-on campaign must
+        # produce the exact unit ids a pre-fused journal recorded
+        from repro.workunits import batch_campaign
+
+        points = [
+            {"elem": 1.0, "res": 1.0, "list": float(v)} for v in (1, 2, 3)
+        ]
+        models = [("local", local)]
+        default = batch_campaign(models, "search", points, units=2)
+        explicit = batch_campaign(
+            models, "search", points, units=2, fused=True
+        )
+        assert [u.unit_id for u in default.units] == [
+            u.unit_id for u in explicit.units
+        ]
+        assert default.campaign_id == explicit.campaign_id
+        disabled = batch_campaign(
+            models, "search", points, units=2, fused=False
+        )
+        assert disabled.campaign_id != default.campaign_id
+        assert all(
+            u.config.get("fused") is False for u in disabled.units
+        )
